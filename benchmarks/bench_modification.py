@@ -1,0 +1,131 @@
+"""E7 — the cost of the ModT fixpoint itself (paper Alg 5.1).
+
+Transaction modification is recursive: appended compensating programs may
+trigger further rules.  This bench builds compensation *chains* of
+increasing depth (rule i repairs relation i+1, triggering rule i+1) and
+measures modification cost per chain depth.
+
+Expected shape: rounds equal the chain depth; cost grows linearly with it
+(each round is one pass over the rule store).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks import report
+from repro.algebra.parser import parse_program, parse_transaction
+from repro.calculus.parser import parse_constraint
+from repro.core.modification import ModificationStats, StaticSelector, mod_t
+from repro.core.programs import IntegrityProgramStore, get_int_p
+from repro.core.rules import IntegrityRule
+from repro.engine import DatabaseSchema, RelationSchema
+from repro.engine.types import INT
+
+EXPERIMENT = "E7 / ModT fixpoint"
+DEPTHS = (1, 2, 4, 8)
+
+
+def chain_schema(depth: int) -> DatabaseSchema:
+    return DatabaseSchema(
+        [RelationSchema(f"c{index}", [("x", INT)]) for index in range(depth + 1)]
+    )
+
+
+def chain_rules(schema: DatabaseSchema, depth: int):
+    """rule_i: every c_i tuple must exist in c_{i+1}; repair by copying."""
+    rules = []
+    for index in range(depth):
+        source, target = f"c{index}", f"c{index + 1}"
+        condition = parse_constraint(
+            f"(forall x in {source})(exists y in {target})(x.x = y.x)"
+        )
+        action = parse_program(f"insert({target}, diff({source}, {target}))")
+        rules.append(IntegrityRule(condition, action=action, name=f"chain_{index}"))
+    return rules
+
+
+def build_selector(depth: int):
+    schema = chain_schema(depth)
+    store = IntegrityProgramStore()
+    for rule in chain_rules(schema, depth):
+        store.add(get_int_p(rule, schema))
+    return StaticSelector(store)
+
+
+@pytest.mark.benchmark(group="modification")
+def test_chain_depth_sweep(benchmark):
+    report.experiment(
+        EXPERIMENT,
+        "ModT cost vs compensation-chain depth (rule i repairs into "
+        "relation i+1)",
+        ["chain depth", "rounds", "statements appended", "ModT (ms)"],
+    )
+    transaction = parse_transaction("begin insert(c0, (1,)); end")
+
+    def sweep():
+        rows = []
+        for depth in DEPTHS:
+            selector = build_selector(depth)
+            stats = ModificationStats()
+            mod_t(transaction, selector, stats=stats)
+            started = time.perf_counter()
+            for _ in range(50):
+                mod_t(transaction, selector)
+            elapsed = (time.perf_counter() - started) / 50
+            rows.append((depth, stats.rounds, stats.statements_appended, elapsed))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for depth, rounds, appended, elapsed in rows:
+        report.record(
+            EXPERIMENT, depth, rounds, appended, f"{elapsed * 1000:.3f}"
+        )
+    report.note(
+        EXPERIMENT,
+        "rounds track the triggering-graph depth exactly; cost is linear "
+        "in the number of appended programs",
+    )
+    for depth, rounds, appended, _ in rows:
+        assert rounds == depth
+        assert appended == depth
+
+
+@pytest.mark.benchmark(group="modification")
+def test_mod_t_chain_depth_8(benchmark):
+    """Headline number: modification through an 8-deep triggering chain."""
+    selector = build_selector(8)
+    transaction = parse_transaction("begin insert(c0, (1,)); end")
+    benchmark(lambda: mod_t(transaction, selector))
+
+
+@pytest.mark.benchmark(group="modification")
+def test_trigger_generation_cost(benchmark):
+    """Alg 5.7 over a deeply nested condition."""
+    from repro.core.trigger_generation import generate_triggers
+
+    condition = parse_constraint(
+        "(forall a in c0)(exists b in c1)"
+        "(a.x = b.x and (forall c in c2)(exists d in c3)"
+        "(c.x != d.x or b.x = d.x))"
+    )
+    benchmark(lambda: generate_triggers(condition))
+
+
+@pytest.mark.benchmark(group="modification")
+def test_triggering_graph_validation_cost(benchmark):
+    """Section 6.1 graph construction + cycle check for a 64-rule catalog."""
+    depth = 64
+    schema = chain_schema(depth)
+    rules = chain_rules(schema, depth)
+    from repro.core.triggering_graph import TriggeringGraph
+
+    def build_and_validate():
+        graph = TriggeringGraph(rules)
+        graph.validate()
+        return graph
+
+    graph = benchmark(build_and_validate)
+    assert graph.is_acyclic

@@ -1,0 +1,90 @@
+"""E9 (supplementary) — total integrity-control overhead.
+
+The paper's closing claim: "constraint enforcement costs do not have to be
+an obstacle for integrity control in practice."  This bench quantifies the
+claim on the sequential engine: total transaction cost with and without
+the integrity controller attached, for growing transaction sizes, under
+differential enforcement.
+
+Expected shape: overhead is a bounded factor (the appended checks are
+linear in the batch the transaction touched, not in the database), and the
+*relative* overhead shrinks as the transaction itself grows.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks import report
+from repro.core.subsystem import IntegrityController
+from repro.engine import Session
+from repro.workloads.section7 import (
+    SECTION7_DOMAIN,
+    SECTION7_REFERENTIAL,
+    section7_database,
+    section7_insert_batch,
+    section7_transaction_text,
+)
+
+EXPERIMENT = "E9 / enforcement overhead"
+BATCH_SIZES = (10, 100, 1000)
+
+
+def run(batch_size: int, with_controller: bool) -> float:
+    db = section7_database(pk_size=1000, fk_size=10_000)
+    controller = None
+    if with_controller:
+        controller = IntegrityController(db.schema, differential=True)
+        controller.add_rule(SECTION7_REFERENTIAL)
+        controller.add_rule(SECTION7_DOMAIN)
+    session = Session(db, controller)
+    batch = section7_insert_batch(
+        batch_size=batch_size, pk_size=1000, start_id=50_000
+    )
+    transaction = session.transaction(section7_transaction_text(batch))
+    snapshot = db.snapshot()
+    repeats = 5
+    started = time.perf_counter()
+    for _ in range(repeats):
+        db.restore(snapshot)
+        result = session.execute(transaction)
+        assert result.committed
+    return (time.perf_counter() - started) / repeats
+
+
+@pytest.mark.benchmark(group="overhead")
+def test_enforcement_overhead_sweep(benchmark):
+    report.experiment(
+        EXPERIMENT,
+        "Insert transactions with vs without the integrity controller "
+        "(differential mode, referential + domain rules)",
+        ["batch size", "no control (ms)", "with control (ms)", "overhead"],
+    )
+
+    def sweep():
+        rows = []
+        for batch_size in BATCH_SIZES:
+            bare = run(batch_size, with_controller=False)
+            controlled = run(batch_size, with_controller=True)
+            rows.append((batch_size, bare, controlled))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for batch_size, bare, controlled in rows:
+        report.record(
+            EXPERIMENT,
+            batch_size,
+            f"{bare * 1000:.2f}",
+            f"{controlled * 1000:.2f}",
+            f"+{(controlled / bare - 1) * 100:.0f}%",
+        )
+    report.note(
+        EXPERIMENT,
+        "paper's closing claim: enforcement cost is not an obstacle — the "
+        "relative overhead shrinks as transactions grow",
+    )
+    small = rows[0][2] / rows[0][1]
+    large = rows[-1][2] / rows[-1][1]
+    assert large < small * 1.5  # relative overhead must not explode

@@ -1,0 +1,150 @@
+"""E4 — parallel scaling and enforcement strategies (Section 7 / [7]).
+
+The paper's evaluation ran on an 8-node POOMA with fragmented relations.
+This bench sweeps the node count (1, 2, 4, 8) and the enforcement strategy
+(local on co-fragmented relations, broadcast, repartition), reporting
+simulated times from the calibrated cost model over actually-executed
+fragmented checks.
+
+Expected shapes: near-linear speedup for LOCAL; BROADCAST pays for shipping
+the key relation to every node; REPARTITION sits between (it ships each
+tuple at most once).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks import report
+from repro.parallel import (
+    FragmentedDatabase,
+    HashFragmentation,
+    ParallelEnforcer,
+    RoundRobinFragmentation,
+    Strategy,
+)
+from repro.workloads.section7 import section7_database
+
+NODE_COUNTS = (1, 2, 4, 8)
+SCALING = "E4a / node scaling"
+STRATEGIES = "E4b / strategies"
+
+
+def co_fragmented(db, nodes):
+    return FragmentedDatabase.from_database(
+        db,
+        {
+            "pk": HashFragmentation("key", nodes),
+            "fk": HashFragmentation("ref", nodes),
+        },
+        nodes=nodes,
+    )
+
+
+def attribute_blind(db, nodes):
+    return FragmentedDatabase.from_database(
+        db,
+        {
+            "pk": HashFragmentation("key", nodes),
+            "fk": RoundRobinFragmentation(nodes),
+        },
+        nodes=nodes,
+    )
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_node_scaling_local_strategy(benchmark, section7_full):
+    db = section7_full
+    report.experiment(
+        SCALING,
+        "Full referential check (50k FK vs 5k keys), LOCAL strategy, "
+        "simulated times",
+        ["nodes", "simulated (s)", "speedup", "efficiency"],
+    )
+
+    def sweep():
+        results = {}
+        for nodes in NODE_COUNTS:
+            enforcer = ParallelEnforcer(co_fragmented(db, nodes))
+            results[nodes] = enforcer.referential_check(
+                "fk", "ref", "pk", "key", Strategy.LOCAL
+            )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    base = results[1].simulated_seconds
+    for nodes in NODE_COUNTS:
+        simulated = results[nodes].simulated_seconds
+        speedup = base / simulated
+        report.record(
+            SCALING,
+            nodes,
+            f"{simulated:.2f}",
+            f"{speedup:.2f}x",
+            f"{speedup / nodes * 100:.0f}%",
+        )
+    report.note(
+        SCALING,
+        "paper shape: near-linear scale-out for local enforcement on "
+        "co-fragmented relations",
+    )
+    assert results[8].simulated_seconds < results[1].simulated_seconds / 4
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_strategy_comparison(benchmark, section7_full):
+    db = section7_full
+    report.experiment(
+        STRATEGIES,
+        "Referential check strategies on 8 nodes (Grefen & Apers [7])",
+        ["fragmentation", "strategy", "simulated (s)", "tuples shipped"],
+    )
+
+    def run_all():
+        rows = []
+        local = ParallelEnforcer(co_fragmented(db, 8)).referential_check(
+            "fk", "ref", "pk", "key", Strategy.LOCAL
+        )
+        rows.append(("co-fragmented on key", local))
+        blind = attribute_blind(db, 8)
+        broadcast = ParallelEnforcer(blind).referential_check(
+            "fk", "ref", "pk", "key", Strategy.BROADCAST
+        )
+        rows.append(("round-robin FK", broadcast))
+        blind2 = attribute_blind(db, 8)
+        repartition = ParallelEnforcer(blind2).referential_check(
+            "fk", "ref", "pk", "key", Strategy.REPARTITION
+        )
+        rows.append(("round-robin FK", repartition))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for fragmentation, result in rows:
+        report.record(
+            STRATEGIES,
+            fragmentation,
+            result.strategy.value,
+            f"{result.simulated_seconds:.2f}",
+            result.tuples_shipped,
+        )
+    report.note(
+        STRATEGIES,
+        "paper shape: local enforcement avoids all data movement; "
+        "redistribution strategies pay shipping costs",
+    )
+    local, broadcast, repartition = (result for _, result in rows)
+    assert local.simulated_seconds <= repartition.simulated_seconds
+    assert local.tuples_shipped == 0
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_fragment_skew(benchmark, section7_full):
+    """Hash fragmentation balances the Section 7 data well (skew ~ 1)."""
+    db = section7_full
+
+    def skew():
+        fdb = co_fragmented(db, 8)
+        return fdb.relation("fk").skew()
+
+    result = benchmark.pedantic(skew, rounds=1, iterations=1)
+    assert result < 1.1

@@ -1,0 +1,78 @@
+"""Shared report collector for the benchmark harness.
+
+Benchmarks register paper-style result rows here; the conftest's
+``pytest_terminal_summary`` hook renders every experiment as an aligned
+table at the end of the run, so ``pytest benchmarks/ --benchmark-only``
+reproduces the paper's evaluation artifacts in one pass (alongside
+pytest-benchmark's own timing table).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Sequence
+
+_REGISTRY: "OrderedDict[str, dict]" = OrderedDict()
+
+
+def experiment(identifier: str, title: str, columns: Sequence[str]) -> None:
+    """Declare an experiment (id, human title, column headers)."""
+    if identifier not in _REGISTRY:
+        _REGISTRY[identifier] = {
+            "title": title,
+            "columns": list(columns),
+            "rows": [],
+        }
+
+
+def record(identifier: str, *values) -> None:
+    """Append one result row to an experiment."""
+    _REGISTRY[identifier]["rows"].append([_fmt(value) for value in values])
+
+
+def note(identifier: str, text: str) -> None:
+    """Attach a free-text note (expected shape, paper reference)."""
+    _REGISTRY[identifier].setdefault("notes", []).append(text)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:,.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_all() -> str:
+    """Render every recorded experiment as aligned text tables."""
+    blocks: List[str] = []
+    for identifier, data in _REGISTRY.items():
+        if not data["rows"]:
+            continue
+        blocks.append(_render_one(identifier, data))
+    return "\n\n".join(blocks)
+
+
+def _render_one(identifier: str, data: dict) -> str:
+    header = [data["columns"]]
+    rows = data["rows"]
+    widths = [
+        max(len(row[i]) for row in header + rows)
+        for i in range(len(data["columns"]))
+    ]
+
+    def line(row):
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+
+    separator = "  ".join("-" * width for width in widths)
+    parts = [f"== {identifier}: {data['title']} ==", line(data["columns"]), separator]
+    parts.extend(line(row) for row in rows)
+    for text in data.get("notes", []):
+        parts.append(f"   note: {text}")
+    return "\n".join(parts)
+
+
+def reset() -> None:
+    _REGISTRY.clear()

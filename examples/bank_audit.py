@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Banking scenario: transition constraints and a compensating audit trail.
+
+Demonstrates the parts of the paper the beer example leaves out:
+
+* a **transition constraint** (Def 3.3) over the pre-transaction auxiliary
+  state ``account@old``: an account balance may decrease by at most the
+  overdraft allowance in one transaction;
+* an **aggregate state constraint** (Table 1 rows 6-7): the bank's total
+  balance must stay non-negative;
+* a **compensating rule with a non-triggering action** (Def 6.2): every
+  transaction touching accounts appends an audit record — the action
+  inserts into ``audit`` but is declared non-triggering so it can never
+  cascade.
+
+Run with:  python examples/bank_audit.py
+"""
+
+from repro import Database, DatabaseSchema, IntegrityController, RelationSchema, Session
+from repro.engine import INT, STRING
+
+OVERDRAFT = 500
+
+
+def build_schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        [
+            RelationSchema("account", [("id", INT), ("owner", STRING), ("balance", INT)]),
+            RelationSchema("audit", [("account_id", INT), ("balance", INT)]),
+        ]
+    )
+
+
+def build_controller(schema: DatabaseSchema) -> IntegrityController:
+    controller = IntegrityController(schema)
+
+    # State constraint: balances never drop below the overdraft line.
+    controller.add_rule(f"""
+        RULE no_deep_overdraft
+        IF NOT (forall a in account)(a.balance >= -{OVERDRAFT})
+        THEN abort
+    """)
+
+    # Transition constraint (Def 3.3): a single transaction may not cut a
+    # balance by more than the overdraft allowance. account@old is the
+    # pre-transaction state maintained by the engine.
+    controller.add_rule(f"""
+        RULE bounded_withdrawal
+        WHEN INS(account), DEL(account)
+        IF NOT (forall a in account)(forall o in account@old)
+               (a.id != o.id or o.balance - a.balance <= {OVERDRAFT})
+        THEN abort
+    """)
+
+    # Aggregate constraint: the bank as a whole stays solvent.
+    controller.add_rule("""
+        RULE bank_solvent
+        IF NOT SUM(account, balance) >= 0
+        THEN abort
+    """)
+
+    # Compensating, non-triggering audit rule: whenever accounts change,
+    # record the current state of every touched account.  The condition is
+    # an exclusion against the differential (new audit rows must exist for
+    # changed accounts); the action simply writes them.
+    controller.add_rule("""
+        RULE audit_trail
+        WHEN INS(account), DEL(account)
+        IF NOT (forall a in account@plus)(exists e in audit)
+               (a.id = e.account_id and a.balance = e.balance)
+        THEN NONTRIGGERING
+             insert(audit, project(account@plus, [id, balance]))
+    """)
+    return controller
+
+
+def main() -> None:
+    schema = build_schema()
+    db = Database(schema)
+    db.load(
+        "account",
+        [(1, "ada", 1200), (2, "bob", 300), (3, "cyn", -200)],
+    )
+    controller = build_controller(schema)
+    session = Session(db, controller)
+    print(f"initial: {db}")
+    print(f"rules:   {[rule.name for rule in controller.rules]}")
+    print(f"graph:   {controller.validate_rules()}\n")
+
+    # A legal transfer: ada -> bob, 400.
+    result = session.execute(
+        """
+        begin
+            update(account, id = 1, balance := balance - 400);
+            update(account, id = 2, balance := balance + 400);
+        end
+        """
+    )
+    print(f"transfer 400 ada->bob: {result}")
+    print(f"  audit rows: {db.relation('audit').sorted_rows()}")
+
+    # An illegal withdrawal: cuts ada's balance by more than the allowance.
+    result = session.execute(
+        "begin update(account, id = 1, balance := balance - 501); end"
+    )
+    print(f"\nwithdraw 501 from ada: {result}")
+
+    # A deep overdraft: blocked by the state constraint.
+    result = session.execute(
+        "begin update(account, id = 3, balance := balance - 400); end"
+    )
+    print(f"overdraw cyn by 400:   {result}")
+
+    # Draining the bank: blocked by the aggregate constraint.
+    result = session.execute(
+        "begin update(account, balance > 0, balance := balance - 1000); end"
+    )
+    print(f"drain all accounts:    {result}")
+
+    print(f"\nfinal:  {db}")
+    print(f"audit:  {db.relation('audit').sorted_rows()}")
+    print(f"intact: violated = {controller.violated_constraints(db)}")
+
+
+if __name__ == "__main__":
+    main()

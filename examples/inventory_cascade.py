@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Inventory scenario: compensation cascades and triggering-graph analysis.
+
+Shows the *recursive* nature of transaction modification (Alg 5.1): a
+compensating rule's repair program performs updates that trigger further
+rules, so ModT keeps appending until a fixpoint.  Also demonstrates the
+infinite-triggering analysis of Section 6.1: a cyclic rule set is detected
+by the triggering graph, and declaring one action non-triggering (Def 6.2)
+breaks the cycle.
+
+Schema: orders reference products; products reference suppliers.  Deleting
+a supplier cascades: its products are dropped, which cascades to orders.
+
+Run with:  python examples/inventory_cascade.py
+"""
+
+from repro import Database, DatabaseSchema, IntegrityController, RelationSchema, Session
+from repro.algebra.pretty import render_transaction
+from repro.engine import INT, STRING
+from repro.errors import TriggerCycleError
+
+
+def build_schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        [
+            RelationSchema("supplier", [("id", INT), ("name", STRING)]),
+            RelationSchema("part", [("id", INT), ("supplier_id", INT)]),
+            RelationSchema("orders", [("id", INT), ("part_id", INT)]),
+        ]
+    )
+
+
+def build_controller(schema: DatabaseSchema) -> IntegrityController:
+    controller = IntegrityController(schema)
+    # Products of vanished suppliers are dropped (cascade level 1).
+    controller.add_rule("""
+        RULE part_supplier_fk
+        IF NOT (forall p in part)(exists s in supplier)(p.supplier_id = s.id)
+        THEN delete(part, antijoin(part, supplier, left.supplier_id = right.id))
+    """)
+    # Orders of vanished products are dropped (cascade level 2).
+    controller.add_rule("""
+        RULE order_part_fk
+        IF NOT (forall o in orders)(exists p in part)(o.part_id = p.id)
+        THEN delete(orders, antijoin(orders, part, left.part_id = right.id))
+    """)
+    return controller
+
+
+def main() -> None:
+    schema = build_schema()
+    db = Database(schema)
+    db.load("supplier", [(1, "acme"), (2, "globex")])
+    db.load("part", [(10, 1), (11, 1), (20, 2)])
+    db.load("orders", [(100, 10), (101, 11), (102, 20)])
+    controller = build_controller(schema)
+    session = Session(db, controller)
+
+    graph = controller.validate_rules()
+    print(f"triggering graph: {graph}")
+    print(f"edges: {list(graph.edges)}")
+    print(f"longest triggering chain: {graph.triggering_depth()} rounds\n")
+
+    transaction = session.transaction("begin delete(supplier, where id = 1); end")
+    modified = controller.modify_transaction(transaction)
+    print("deleting supplier 1 becomes the cascade:")
+    print(render_transaction(modified))
+    print(f"(ModT rounds: {controller.last_stats.rounds})\n")
+
+    result = session.execute(transaction)
+    print(f"execution: {result}")
+    print(f"products left: {db.relation('part').sorted_rows()}")
+    print(f"orders left:   {db.relation('orders').sorted_rows()}")
+    print(f"audit: violated = {controller.violated_constraints(db)}\n")
+
+    # -- the cyclic case (Section 6.1) ---------------------------------------
+    print("now a *cyclic* rule set: products sync to a mirror and back ...")
+    cyclic_schema = DatabaseSchema(
+        [
+            RelationSchema("left_copy", [("id", INT)]),
+            RelationSchema("right_copy", [("id", INT)]),
+        ]
+    )
+    cyclic = IntegrityController(cyclic_schema)
+    cyclic.add_rule("""
+        RULE sync_right
+        IF NOT (forall x in left_copy)(exists y in right_copy)(x.id = y.id)
+        THEN insert(right_copy, diff(left_copy, right_copy))
+    """)
+    cyclic.add_rule("""
+        RULE sync_left
+        IF NOT (forall x in right_copy)(exists y in left_copy)(x.id = y.id)
+        THEN insert(left_copy, diff(right_copy, left_copy))
+    """)
+    try:
+        cyclic.validate_rules()
+    except TriggerCycleError as error:
+        print(f"cycle detected: {error}")
+        print(f"suggested fix: declare non-triggering -> "
+              f"{cyclic.triggering_graph().suggest_non_triggering()}")
+
+    # Break the cycle per Def 6.2 and show the fixpoint now terminates.
+    fixed = IntegrityController(cyclic_schema)
+    fixed.add_rule("""
+        RULE sync_right
+        IF NOT (forall x in left_copy)(exists y in right_copy)(x.id = y.id)
+        THEN insert(right_copy, diff(left_copy, right_copy))
+    """)
+    fixed.add_rule("""
+        RULE sync_left
+        IF NOT (forall x in right_copy)(exists y in left_copy)(x.id = y.id)
+        THEN NONTRIGGERING insert(left_copy, diff(right_copy, left_copy))
+    """)
+    fixed.validate_rules()
+    print(f"\nafter marking sync_left non-triggering: {fixed.triggering_graph()}")
+    mirror_db = Database(cyclic_schema)
+    mirror_session = Session(mirror_db, fixed)
+    result = mirror_session.execute("begin insert(left_copy, (7,)); end")
+    print(f"insert into left_copy: {result}")
+    print(f"right_copy mirrored: {mirror_db.relation('right_copy').sorted_rows()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""repro — transaction modification integrity control.
+
+A full reproduction of:
+
+    Paul W.P.J. Grefen, *Combining Theory and Practice in Integrity
+    Control: A Declarative Approach to the Specification of a Transaction
+    Modification Subsystem*, Proc. 19th VLDB, Dublin, Ireland, 1993.
+
+The package implements the paper's complete stack from scratch:
+
+* a main-memory relational engine with the paper's transaction model
+  (:mod:`repro.engine`);
+* the extended relational algebra including the ``alarm`` statement
+  (:mod:`repro.algebra`);
+* the constraint language CL and the rule language RL
+  (:mod:`repro.calculus`, :mod:`repro.core.rule_language`);
+* the transaction modification subsystem — trigger generation, rule
+  translation and optimization, the ModT fixpoint, integrity programs, and
+  triggering-graph validation (:mod:`repro.core`);
+* the parallel/fragmented extension with a simulated multi-node cost model
+  (:mod:`repro.parallel`), materialized views via transaction modification
+  (:mod:`repro.views`), and workload generators (:mod:`repro.workloads`).
+
+Quickstart::
+
+    from repro import (
+        Database, DatabaseSchema, RelationSchema, Session,
+        IntegrityController, STRING, FLOAT,
+    )
+
+    schema = DatabaseSchema([
+        RelationSchema("beer", [("name", STRING), ("type", STRING),
+                                ("brewery", STRING), ("alcohol", FLOAT)]),
+        RelationSchema("brewery", [("name", STRING),
+                                   ("city", STRING, True),
+                                   ("country", STRING, True)]),
+    ])
+    db = Database(schema)
+    controller = IntegrityController(schema)
+    controller.add_constraint(
+        "beer_alcohol", "(forall x in beer)(x.alcohol >= 0)")
+    session = Session(db, controller)
+    result = session.execute(
+        'begin insert(beer, ("pils", "lager", "heineken", 5.0)); end')
+"""
+
+from repro.engine import (
+    BOOL,
+    Database,
+    DatabaseSchema,
+    FLOAT,
+    INT,
+    NULL,
+    Relation,
+    RelationSchema,
+    Session,
+    STRING,
+    Transaction,
+    TransactionManager,
+    TransactionResult,
+    TransactionStatus,
+)
+from repro.algebra import (
+    parse_expression,
+    parse_program,
+    parse_transaction,
+)
+from repro.calculus import evaluate_constraint, parse_constraint, render_constraint
+from repro.core import (
+    IntegrityController,
+    IntegrityRule,
+    TriggeringGraph,
+    generate_triggers,
+    parse_rule,
+)
+from repro.errors import (
+    ConstraintViolation,
+    IntegrityError,
+    ReproError,
+    TransactionAborted,
+    TriggerCycleError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOOL",
+    "ConstraintViolation",
+    "Database",
+    "DatabaseSchema",
+    "FLOAT",
+    "INT",
+    "IntegrityController",
+    "IntegrityError",
+    "IntegrityRule",
+    "NULL",
+    "Relation",
+    "RelationSchema",
+    "ReproError",
+    "STRING",
+    "Session",
+    "Transaction",
+    "TransactionAborted",
+    "TransactionManager",
+    "TransactionResult",
+    "TransactionStatus",
+    "TriggerCycleError",
+    "TriggeringGraph",
+    "evaluate_constraint",
+    "generate_triggers",
+    "parse_constraint",
+    "parse_expression",
+    "parse_program",
+    "parse_rule",
+    "parse_transaction",
+    "render_constraint",
+    "__version__",
+]

@@ -1,0 +1,187 @@
+"""Statements of the extended relational algebra (paper Def 2.4, Def 5.1).
+
+Statements are what makes the algebra *extended*: they specify actions
+against the database rather than values.  The statement set is exactly the
+paper's: assignment, insert, delete, update — plus the ``alarm`` statement
+(Def 5.1) that aborts the enclosing transaction when its argument is
+non-empty, and the unconditional ``abort`` used by aborting violation
+response actions ("THEN abort" in RL).
+
+Every statement implements:
+
+``execute(context)``
+    run against a :class:`~repro.engine.transaction.TransactionContext`;
+``update_triggers()``
+    the elementary update types it performs, as ``(kind, relation)`` pairs
+    with kind in ``{"INS", "DEL"}`` — this is the paper's ``GetTrigS``
+    (Alg 5.2): an update counts as a delete plus an insert (Def 4.5);
+``relations_read()``
+    names of relations whose contents the statement reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union as TypingUnion
+
+from repro.algebra import predicates as P
+from repro.algebra.expressions import Expression, Select, RelationRef
+from repro.errors import TransactionAborted
+
+INS = "INS"
+DEL = "DEL"
+
+
+class Statement:
+    """Base class for extended relational algebra statements."""
+
+    __slots__ = ()
+
+    def execute(self, context) -> None:
+        raise NotImplementedError
+
+    def update_triggers(self) -> frozenset:
+        """The paper's GetTrigS: elementary update types of this statement."""
+        return frozenset()
+
+    def relations_read(self) -> set:
+        return set()
+
+
+@dataclass(frozen=True)
+class Assign(Statement):
+    """``name := E`` — bind a temporary relation (dropped at commit)."""
+
+    name: str
+    expr: Expression
+
+    def execute(self, context) -> None:
+        from repro.algebra.expressions import Rename
+
+        value = Rename(self.expr, self.name).evaluate(context)
+        context.set_temp(self.name, value)
+
+    def relations_read(self) -> set:
+        return self.expr.relations()
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    """``insert(R, E)`` — add the tuples of E to base relation R."""
+
+    relation: str
+    expr: Expression
+
+    def execute(self, context) -> None:
+        rows = list(self.expr.evaluate(context))
+        context.insert_rows(self.relation, rows)
+
+    def update_triggers(self) -> frozenset:
+        return frozenset({(INS, self.relation)})
+
+    def relations_read(self) -> set:
+        return self.expr.relations()
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    """``delete(R, E)`` — remove the tuples of E from base relation R."""
+
+    relation: str
+    expr: Expression
+
+    def execute(self, context) -> None:
+        rows = list(self.expr.evaluate(context))
+        context.delete_rows(self.relation, rows)
+
+    def update_triggers(self) -> frozenset:
+        return frozenset({(DEL, self.relation)})
+
+    def relations_read(self) -> set:
+        return self.expr.relations()
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    """``update(R, pred, attr := e, ...)`` — transform matching tuples.
+
+    Executed, per Def 4.5, as a delete of the matching tuples followed by an
+    insert of their transformed versions; both differentials are maintained
+    and the trigger set is ``{INS(R), DEL(R)}``.
+    """
+
+    relation: str
+    predicate: P.Predicate
+    assignments: Tuple[Tuple[TypingUnion[int, str], P.ScalarExpr], ...]
+
+    def execute(self, context) -> None:
+        source = context.resolve(self.relation)
+        schema = source.schema
+        matching = list(
+            Select(RelationRef(self.relation), self.predicate).evaluate(context)
+        )
+        positions = [
+            schema.position_of(attr) - 1 for attr, _ in self.assignments
+        ]
+        compiled = [
+            P.compile_scalar(expr, schema) for _, expr in self.assignments
+        ]
+        replacements = []
+        for row in matching:
+            new_row = list(row)
+            for position, fn in zip(positions, compiled):
+                new_row[position] = fn(row)
+            replacements.append(tuple(new_row))
+        context.delete_rows(self.relation, matching)
+        context.insert_rows(self.relation, replacements)
+
+    def update_triggers(self) -> frozenset:
+        return frozenset({(INS, self.relation), (DEL, self.relation)})
+
+    def relations_read(self) -> set:
+        return {self.relation}
+
+
+@dataclass(frozen=True)
+class Alarm(Statement):
+    """``alarm(E)`` — abort the transaction when E is non-empty (Def 5.1).
+
+    The optional message names the violated constraint, making abort reasons
+    actionable; the paper's definition is the unlabelled special case.
+    """
+
+    expr: Expression
+    message: Optional[str] = None
+
+    def execute(self, context) -> None:
+        result = self.expr.evaluate(context)
+        if len(result) > 0:
+            reason = self.message or "integrity alarm"
+            sample = result.sorted_rows()[:3]
+            raise TransactionAborted(
+                f"{reason} ({len(result)} violating tuple(s), e.g. {sample})"
+            )
+
+    def relations_read(self) -> set:
+        return self.expr.relations()
+
+
+@dataclass(frozen=True)
+class Abort(Statement):
+    """Unconditional abort — the default violation response."""
+
+    message: Optional[str] = None
+
+    def execute(self, context) -> None:
+        raise TransactionAborted(self.message or "explicit abort")
+
+
+def statement_update_triggers(statements) -> frozenset:
+    """GetTrigP over a sequence of statements (Alg 5.2).
+
+    The union of the elementary update types of all statements.
+    """
+    triggers: set = set()
+    for statement in statements:
+        triggers |= statement.update_triggers()
+    return frozenset(triggers)

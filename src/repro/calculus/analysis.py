@@ -1,0 +1,154 @@
+"""Static analyses over CL formulas.
+
+Three analyses matter to the rest of the system:
+
+* **free variables / closedness** — an integrity constraint must be a
+  *sentence* (no free tuple variables), otherwise its truth value over a
+  database state is not defined;
+* **safety (range restriction)** — every quantified variable must be bound
+  by at least one membership atom ``x in R`` within the quantifier's scope.
+  Both the direct evaluator and the calculus-to-algebra translation rely on
+  this: quantification is over relations, never over an unbounded domain
+  (the paper's CL examples and Table 1 are all range-restricted);
+* **variable ranges** — the relations each variable is bound to, used for
+  attribute-name resolution and by the trigger-set generator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.calculus import ast as C
+from repro.errors import AnalysisError, UnsafeFormulaError
+
+
+def term_variables(term: C.Term) -> Set[str]:
+    """Variables occurring in a term."""
+    if isinstance(term, C.AttrSel):
+        return {term.var}
+    if isinstance(term, C.ArithTerm):
+        return term_variables(term.left) | term_variables(term.right)
+    return set()
+
+
+def free_variables(formula: C.Formula) -> Set[str]:
+    """The free tuple variables of a formula."""
+    if isinstance(formula, C.Compare):
+        return term_variables(formula.left) | term_variables(formula.right)
+    if isinstance(formula, C.Member):
+        return {formula.var}
+    if isinstance(formula, C.TupleEq):
+        return {formula.left, formula.right}
+    if isinstance(formula, C.Not):
+        return free_variables(formula.operand)
+    if isinstance(formula, (C.And, C.Or, C.Implies)):
+        return free_variables(formula.left) | free_variables(formula.right)
+    if isinstance(formula, (C.Forall, C.Exists)):
+        return free_variables(formula.body) - {formula.var}
+    raise AnalysisError(f"unknown formula node {formula!r}")
+
+
+def check_closed(formula: C.Formula) -> None:
+    """Raise AnalysisError when the formula has free variables."""
+    free = free_variables(formula)
+    if free:
+        names = ", ".join(sorted(free))
+        raise AnalysisError(
+            f"integrity constraint must be closed; free variable(s): {names}"
+        )
+
+
+def relation_names(formula: C.Formula) -> Set[str]:
+    """All relation names mentioned (memberships, aggregates, counts)."""
+    found: Set[str] = set()
+    for sub in C.iter_subformulas(formula):
+        if isinstance(sub, C.Member):
+            found.add(sub.relation)
+    for term in C.iter_terms(formula):
+        if isinstance(term, C.AggTerm):
+            found.add(term.relation)
+        elif isinstance(term, (C.CntTerm, C.MltTerm)):
+            found.add(term.relation)
+    return found
+
+
+def variable_ranges(formula: C.Formula) -> Dict[str, Set[str]]:
+    """Map each variable to the relations it is bound to by memberships.
+
+    Shadowing is handled: a membership atom contributes to the innermost
+    enclosing quantifier of its variable.
+    """
+    ranges: Dict[str, Set[str]] = {}
+
+    def visit(node: C.Formula) -> None:
+        if isinstance(node, C.Member):
+            ranges.setdefault(node.var, set()).add(node.relation)
+        elif isinstance(node, C.Not):
+            visit(node.operand)
+        elif isinstance(node, (C.And, C.Or, C.Implies)):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, (C.Forall, C.Exists)):
+            visit(node.body)
+
+    visit(formula)
+    return ranges
+
+
+def check_safety(formula: C.Formula) -> None:
+    """Raise UnsafeFormulaError unless the formula is range-restricted.
+
+    The check: every quantified variable must occur in at least one
+    membership atom ``var in R`` *within the quantifier's scope* (with
+    correct shadowing).  This is the weak-safety condition sufficient for
+    the active-range evaluation of :mod:`repro.calculus.evaluation`; the
+    translation of Section 5.2.2 additionally pattern-matches guard shapes
+    and reports its own errors when a formula is too exotic to translate.
+    """
+
+    def visit(node: C.Formula) -> None:
+        if isinstance(node, (C.Forall, C.Exists)):
+            if not _has_membership(node.body, node.var):
+                raise UnsafeFormulaError(
+                    f"quantified variable {node.var!r} has no membership "
+                    f"atom '{node.var} in R' in its scope"
+                )
+            visit(node.body)
+        elif isinstance(node, C.Not):
+            visit(node.operand)
+        elif isinstance(node, (C.And, C.Or, C.Implies)):
+            visit(node.left)
+            visit(node.right)
+
+    visit(formula)
+
+
+def _has_membership(node: C.Formula, var: str) -> bool:
+    if isinstance(node, C.Member):
+        return node.var == var
+    if isinstance(node, C.Not):
+        return _has_membership(node.operand, var)
+    if isinstance(node, (C.And, C.Or, C.Implies)):
+        return _has_membership(node.left, var) or _has_membership(node.right, var)
+    if isinstance(node, (C.Forall, C.Exists)):
+        if node.var == var:  # shadowed: memberships below bind the inner var
+            return False
+        return _has_membership(node.body, var)
+    return False
+
+
+def check_constraint(formula: C.Formula) -> None:
+    """Full static validation of an integrity constraint."""
+    check_closed(formula)
+    check_safety(formula)
+
+
+def quantifier_depth(formula: C.Formula) -> int:
+    """Maximum quantifier nesting depth (used by benchmarks and tests)."""
+    if isinstance(formula, (C.Forall, C.Exists)):
+        return 1 + quantifier_depth(formula.body)
+    if isinstance(formula, C.Not):
+        return quantifier_depth(formula.operand)
+    if isinstance(formula, (C.And, C.Or, C.Implies)):
+        return max(quantifier_depth(formula.left), quantifier_depth(formula.right))
+    return 0

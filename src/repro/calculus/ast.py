@@ -1,0 +1,214 @@
+"""AST of the constraint language CL (paper Definitions 4.1-4.4).
+
+The node set mirrors the paper exactly:
+
+* **terms** (Def 4.2): value constants, attribute selections ``x.i`` /
+  ``x.name``, arithmetic function applications, aggregate function
+  applications ``SUM/AVG/MIN/MAX(R, i)``, counting applications ``CNT(R)``
+  (and ``MLT(R)`` from the multiset extension, which Alg 5.7 already
+  mentions);
+* **atomic formulas** (Def 4.3): arithmetic comparisons, set membership
+  ``x in R``, tuple value comparisons ``x = y``;
+* **well-formed formulas** (Def 4.4): atoms, negation, the binary
+  connectives ``and/or/=>``, and quantifications.
+
+All nodes are frozen dataclasses, so formulas are hashable values with
+structural equality — the trigger-generation and translation tests depend on
+this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union as TypingUnion
+
+
+class Term:
+    """Base class for CL terms."""
+
+    __slots__ = ()
+
+
+class Formula:
+    """Base class for CL well-formed formulas (atoms included)."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Terms (Def 4.2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A value constant from the set C."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class AttrSel(Term):
+    """An attribute selection ``x.i`` (1-based position) or ``x.name``."""
+
+    var: str
+    attr: TypingUnion[int, str]
+
+
+@dataclass(frozen=True)
+class ArithTerm(Term):
+    """An arithmetic function application (FV = {+, -, *, /})."""
+
+    op: str
+    left: Term
+    right: Term
+
+
+@dataclass(frozen=True)
+class AggTerm(Term):
+    """An aggregate function application ``FUNC(R, i)`` (FA, type M x C -> C)."""
+
+    func: str  # SUM | AVG | MIN | MAX
+    relation: str
+    attr: TypingUnion[int, str]
+
+
+@dataclass(frozen=True)
+class CntTerm(Term):
+    """A counting function application ``CNT(R)`` (FC, type M -> C)."""
+
+    relation: str
+
+
+@dataclass(frozen=True)
+class MltTerm(Term):
+    """``MLT(R)``: distinct-tuple count (multiset extension; see Alg 5.7)."""
+
+    relation: str
+
+
+# ---------------------------------------------------------------------------
+# Atomic formulas (Def 4.3)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Compare(Formula):
+    """An arithmetic comparison ``T1 op T2`` with op in PV."""
+
+    op: str  # < | <= | = | != | >= | >
+    left: Term
+    right: Term
+
+
+@dataclass(frozen=True)
+class Member(Formula):
+    """A set membership expression ``x in R`` (PM)."""
+
+    var: str
+    relation: str
+
+
+@dataclass(frozen=True)
+class TupleEq(Formula):
+    """A tuple value comparison ``x = y`` (PT)."""
+
+    left: str
+    right: str
+
+
+# ---------------------------------------------------------------------------
+# Well-formed formulas (Def 4.4)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    var: str
+    body: Formula
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    var: str
+    body: Formula
+
+
+AGGREGATE_FUNCS = ("SUM", "AVG", "MIN", "MAX")
+COUNTING_FUNCS = ("CNT", "MLT")
+
+
+def forall_in(var: str, relation: str, body: Formula) -> Forall:
+    """The bounded-quantifier sugar ``(forall x in R)(W)``.
+
+    Desugars to the paper's idiom ``(forall x)(x in R => W)``.
+    """
+    return Forall(var, Implies(Member(var, relation), body))
+
+
+def exists_in(var: str, relation: str, body: Formula) -> Exists:
+    """The bounded-quantifier sugar ``(exists x in R)(W)``.
+
+    Desugars to ``(exists x)(x in R and W)``.
+    """
+    return Exists(var, And(Member(var, relation), body))
+
+
+def conjoin(*formulas: Formula) -> Formula:
+    """Left-nested conjunction of one or more formulas."""
+    if not formulas:
+        raise ValueError("conjoin needs at least one formula")
+    result = formulas[0]
+    for formula in formulas[1:]:
+        result = And(result, formula)
+    return result
+
+
+def iter_subformulas(formula: Formula):
+    """Pre-order iteration over all subformulas (atoms included)."""
+    yield formula
+    if isinstance(formula, Not):
+        yield from iter_subformulas(formula.operand)
+    elif isinstance(formula, (And, Or, Implies)):
+        yield from iter_subformulas(formula.left)
+        yield from iter_subformulas(formula.right)
+    elif isinstance(formula, (Forall, Exists)):
+        yield from iter_subformulas(formula.body)
+
+
+def iter_terms(formula: Formula):
+    """All terms appearing in atomic formulas of ``formula``."""
+    for sub in iter_subformulas(formula):
+        if isinstance(sub, Compare):
+            yield from _iter_term_tree(sub.left)
+            yield from _iter_term_tree(sub.right)
+
+
+def _iter_term_tree(term: Term):
+    yield term
+    if isinstance(term, ArithTerm):
+        yield from _iter_term_tree(term.left)
+        yield from _iter_term_tree(term.right)

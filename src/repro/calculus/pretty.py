@@ -1,0 +1,113 @@
+"""Rendering CL formulas back to text.
+
+Two styles: the default ASCII form (parseable — round-trip property tested)
+and the paper's symbol form (``∀ ∃ ∧ ∨ ¬ ⇒ ∈``) for report output.
+Bounded-quantifier sugar is re-introduced when the body has the guard shape,
+so ``Forall(x, Implies(Member(x, R), W))`` renders as
+``(forall x in R)(W)``.
+"""
+
+from __future__ import annotations
+
+from repro.calculus import ast as C
+from repro.engine.types import NULL
+
+_ASCII = {
+    "forall": "forall",
+    "exists": "exists",
+    "and": " and ",
+    "or": " or ",
+    "not": "not ",
+    "implies": " => ",
+    "in": " in ",
+    "!=": "!=",
+    "<=": "<=",
+    ">=": ">=",
+}
+_SYMBOLS = {
+    "forall": "∀",
+    "exists": "∃",
+    "and": " ∧ ",
+    "or": " ∨ ",
+    "not": "¬",
+    "implies": " ⇒ ",
+    "in": " ∈ ",
+    "!=": "≠",
+    "<=": "≤",
+    ">=": "≥",
+}
+
+
+def render_constraint(formula: C.Formula, symbols: bool = False) -> str:
+    """Render a CL formula; ``symbols=True`` gives the paper's notation."""
+    style = _SYMBOLS if symbols else _ASCII
+    return _render(formula, style, top=True)
+
+
+def _render(node: C.Formula, style: dict, top: bool = False) -> str:
+    if isinstance(node, C.Forall):
+        return _render_quantifier(node, "forall", style)
+    if isinstance(node, C.Exists):
+        return _render_quantifier(node, "exists", style)
+    if isinstance(node, C.Implies):
+        left = _render(node.left, style)
+        right = _render(node.right, style)
+        text = f"{left}{style['implies']}{right}"
+        return text if top else f"({text})"
+    if isinstance(node, C.And):
+        text = f"{_render(node.left, style)}{style['and']}{_render(node.right, style)}"
+        return text if top else f"({text})"
+    if isinstance(node, C.Or):
+        text = f"{_render(node.left, style)}{style['or']}{_render(node.right, style)}"
+        return text if top else f"({text})"
+    if isinstance(node, C.Not):
+        return f"{style['not']}{_render(node.operand, style)}"
+    if isinstance(node, C.Member):
+        return f"{node.var}{style['in']}{node.relation}"
+    if isinstance(node, C.TupleEq):
+        return f"{node.left} = {node.right}"
+    if isinstance(node, C.Compare):
+        op = style.get(node.op, node.op)
+        return f"{_render_term(node.left)} {op} {_render_term(node.right)}"
+    raise TypeError(f"cannot render formula {node!r}")
+
+
+def _render_quantifier(node, kind: str, style: dict) -> str:
+    word = style[kind]
+    space = "" if word in ("∀", "∃") else " "
+    # Re-sugar the guard shape into a bounded quantifier.
+    body = node.body
+    if kind == "forall" and isinstance(body, C.Implies) and _is_guard(body.left, node.var):
+        inner = _render(body.right, style, top=True)
+        return f"({word}{space}{node.var}{style['in']}{body.left.relation})({inner})"
+    if kind == "exists" and isinstance(body, C.And) and _is_guard(body.left, node.var):
+        inner = _render(body.right, style, top=True)
+        return f"({word}{space}{node.var}{style['in']}{body.left.relation})({inner})"
+    return f"({word}{space}{node.var})({_render(body, style, top=True)})"
+
+
+def _is_guard(node: C.Formula, var: str) -> bool:
+    return isinstance(node, C.Member) and node.var == var
+
+
+def _render_term(term: C.Term) -> str:
+    if isinstance(term, C.Const):
+        if term.value is NULL:
+            return "null"
+        if isinstance(term.value, bool):
+            return "true" if term.value else "false"
+        if isinstance(term.value, str):
+            escaped = term.value.replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        return repr(term.value)
+    if isinstance(term, C.AttrSel):
+        return f"{term.var}.{term.attr}"
+    if isinstance(term, C.ArithTerm):
+        return f"({_render_term(term.left)} {term.op} {_render_term(term.right)})"
+    if isinstance(term, C.AggTerm):
+        return f"{term.func}({term.relation}, {term.attr})"
+    if isinstance(term, C.CntTerm):
+        return f"CNT({term.relation})"
+    if isinstance(term, C.MltTerm):
+        return f"MLT({term.relation})"
+    raise TypeError(f"cannot render term {term!r}")

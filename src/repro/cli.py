@@ -1,0 +1,294 @@
+"""An interactive shell for the transaction modification subsystem.
+
+Run with ``python -m repro`` (optionally piping a script).  The shell wires
+together the whole stack — DDL, data loading, RL rules, CL constraints,
+queries, and transactions with live transaction modification — and exposes
+the subsystem's introspection (rule catalog, triggering graph, the modified
+form of a transaction before execution).
+
+Commands::
+
+    relation NAME(attr domain [null], ...)   -- DDL, before any data exists
+    load NAME (v, ...) (v, ...) ...          -- bulk-load rows (no checks)
+    rule <RL text>                           -- register an integrity rule
+    constraint NAME <CL text>                -- shorthand: aborting rule
+    begin ... end                            -- run a transaction (modified)
+    query <algebra expression>               -- evaluate and print rows
+    check <CL text>                          -- evaluate a constraint now
+    show rules | graph | schema | db         -- introspection
+    explain begin ... end                    -- print the modified form only
+    audit                                    -- direct-check all rules
+    help                                     -- this text
+    exit / quit
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, List, Optional, TextIO
+
+from repro import __version__
+from repro.algebra.pretty import render_transaction
+from repro.calculus.evaluation import evaluate_constraint
+from repro.calculus.parser import parse_constraint
+from repro.calculus.pretty import render_constraint
+from repro.core.subsystem import IntegrityController
+from repro.core.triggers import format_trigger_set
+from repro.ddl import parse_relation_schema, render_relation_schema
+from repro.engine import Database, DatabaseSchema, Session
+from repro.engine.session import DatabaseView
+from repro.errors import ReproError
+
+PROMPT = "repro> "
+CONTINUATION = "   ... "
+
+
+class Shell:
+    """The interactive shell state machine (testable: streams injectable)."""
+
+    def __init__(
+        self,
+        stdin: Optional[TextIO] = None,
+        stdout: Optional[TextIO] = None,
+        interactive: bool = True,
+    ):
+        self.stdin = stdin or sys.stdin
+        self.stdout = stdout or sys.stdout
+        self.interactive = interactive
+        self.schema = DatabaseSchema()
+        self.database = Database(self.schema)
+        self.controller = IntegrityController(self.schema)
+        self.session = Session(self.database, self.controller)
+        self.running = False
+
+    # -- i/o helpers -----------------------------------------------------------
+
+    def write(self, text: str = "") -> None:
+        self.stdout.write(text + "\n")
+
+    def _read_line(self, prompt: str) -> Optional[str]:
+        if self.interactive:
+            self.stdout.write(prompt)
+            self.stdout.flush()
+        line = self.stdin.readline()
+        if not line:
+            return None
+        return line.rstrip("\n")
+
+    def _read_block(self, first_line: str, end_token: str) -> str:
+        """Collect lines until one ends with ``end_token`` (or is empty)."""
+        lines = [first_line]
+        while not _block_complete(lines, end_token):
+            line = self._read_line(CONTINUATION)
+            if line is None or line.strip() == "":
+                break
+            lines.append(line)
+        return "\n".join(lines)
+
+    # -- main loop ----------------------------------------------------------------
+
+    def run(self) -> int:
+        self.running = True
+        if self.interactive:
+            self.write(f"repro {__version__} — transaction modification shell")
+            self.write("type 'help' for commands")
+        while self.running:
+            line = self._read_line(PROMPT)
+            if line is None:
+                break
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                self.dispatch(line)
+            except ReproError as error:
+                self.write(f"error: {error}")
+            except Exception as error:  # pragma: no cover - safety net
+                self.write(f"internal error: {error!r}")
+        return 0
+
+    # -- command dispatch -------------------------------------------------------------
+
+    def dispatch(self, line: str) -> None:
+        word = line.split(None, 1)[0].lower()
+        rest = line[len(word):].strip()
+        handlers: dict = {
+            "relation": self.cmd_relation,
+            "load": self.cmd_load,
+            "rule": self.cmd_rule,
+            "constraint": self.cmd_constraint,
+            "begin": lambda _: self.cmd_begin(line),
+            "query": self.cmd_query,
+            "check": self.cmd_check,
+            "show": self.cmd_show,
+            "explain": self.cmd_explain,
+            "audit": self.cmd_audit,
+            "help": self.cmd_help,
+            "exit": self.cmd_exit,
+            "quit": self.cmd_exit,
+        }
+        handler = handlers.get(word)
+        if handler is None:
+            self.write(f"unknown command {word!r}; try 'help'")
+            return
+        handler(rest)
+
+    def cmd_relation(self, rest: str) -> None:
+        schema = parse_relation_schema(f"relation {rest}")
+        self.database.add_relation(schema)
+        self.write(f"created {render_relation_schema(schema)}")
+
+    def cmd_load(self, rest: str) -> None:
+        parts = rest.split(None, 1)
+        if len(parts) != 2:
+            self.write("usage: load NAME (v, ...) (v, ...)")
+            return
+        name, rows_text = parts
+        from repro.algebra.parser import parse_expression
+
+        rows = []
+        depth = 0
+        current = ""
+        for char in rows_text:
+            current += char
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+                if depth == 0:
+                    rows.append(current.strip().strip(","))
+                    current = ""
+        literal = parse_expression("{" + ", ".join(rows) + "}")
+        inserted = self.database.load(name, literal.rows)
+        self.write(f"loaded {inserted} row(s) into {name}")
+
+    def cmd_rule(self, rest: str) -> None:
+        text = self._read_block(rest, end_token="")
+        rule = self.controller.add_rule(text)
+        kind = "aborting" if rule.is_aborting else "compensating"
+        self.write(
+            f"registered {rule.name} ({kind}), "
+            f"WHEN {format_trigger_set(rule.triggers)}"
+        )
+
+    def cmd_constraint(self, rest: str) -> None:
+        parts = rest.split(None, 1)
+        if len(parts) != 2:
+            self.write("usage: constraint NAME <CL text>")
+            return
+        name, text = parts
+        rule = self.controller.add_constraint(name, text)
+        self.write(
+            f"registered {rule.name} (aborting), "
+            f"WHEN {format_trigger_set(rule.triggers)}"
+        )
+
+    def cmd_begin(self, line: str) -> None:
+        text = self._read_block(line, end_token="end")
+        result = self.session.execute(text)
+        if result.committed:
+            self.write(
+                f"committed (t={result.post_time}; "
+                f"+{result.tuples_inserted}/-{result.tuples_deleted} tuples)"
+            )
+        else:
+            self.write(f"aborted: {result.reason}")
+
+    def cmd_explain(self, rest: str) -> None:
+        text = self._read_block(rest, end_token="end")
+        transaction = self.session.transaction(text)
+        modified = self.controller.modify_transaction(transaction)
+        self.write(render_transaction(modified))
+        stats = self.controller.last_stats
+        self.write(
+            f"-- {stats.rounds} round(s), rules: "
+            f"{', '.join(stats.selected_rule_names) or '(none)'}"
+        )
+
+    def cmd_query(self, rest: str) -> None:
+        rows = self.session.rows(rest)
+        for row in rows:
+            self.write(f"  {row}")
+        self.write(f"({len(rows)} row(s))")
+
+    def cmd_check(self, rest: str) -> None:
+        formula = parse_constraint(rest)
+        verdict = evaluate_constraint(formula, DatabaseView(self.database))
+        self.write("satisfied" if verdict else "VIOLATED")
+
+    def cmd_audit(self, rest: str) -> None:
+        violated = self.controller.violated_constraints(self.database)
+        if violated:
+            self.write(f"VIOLATED: {', '.join(violated)}")
+        else:
+            self.write("all constraints satisfied")
+
+    def cmd_show(self, rest: str) -> None:
+        what = rest.strip().lower()
+        if what == "rules":
+            if not self.controller.rules:
+                self.write("(no rules)")
+            for rule in self.controller.rules:
+                kind = "abort" if rule.is_aborting else "compensate"
+                self.write(
+                    f"  {rule.name}: WHEN {format_trigger_set(rule.triggers)} "
+                    f"IF NOT {render_constraint(rule.condition)} [{kind}]"
+                )
+        elif what == "graph":
+            graph = self.controller.triggering_graph()
+            self.write(f"  {graph}")
+            for edge in graph.edges:
+                self.write(f"  {edge[0]} -> {edge[1]}")
+            if not graph.is_acyclic:
+                self.write(
+                    f"  suggest non-triggering: "
+                    f"{graph.suggest_non_triggering()}"
+                )
+        elif what == "schema":
+            for relation_schema in self.schema:
+                self.write(f"  {render_relation_schema(relation_schema)}")
+        elif what == "db":
+            self.write(f"  {self.database}")
+        else:
+            self.write("usage: show rules | graph | schema | db")
+
+    def cmd_help(self, rest: str) -> None:
+        self.write(__doc__.split("Commands::")[1])
+
+    def cmd_exit(self, rest: str) -> None:
+        self.running = False
+
+
+def _block_complete(lines: List[str], end_token: str) -> bool:
+    if not end_token:
+        # Rule blocks end at a blank line (handled by the reader) or when
+        # the text already parses on its own — single-line rules.
+        text = "\n".join(lines)
+        if "then" in text.lower() or "if" not in text.lower():
+            return _parses_as_rule(text)
+        return False
+    stripped = lines[-1].strip().lower()
+    return stripped == end_token or stripped.endswith(" " + end_token) or (
+        len(lines) == 1 and stripped.endswith(end_token) and len(stripped) > len(end_token)
+    ) or stripped.endswith(";" + end_token)
+
+
+def _parses_as_rule(text: str) -> bool:
+    from repro.core.rule_language import parse_rule
+
+    try:
+        parse_rule(text)
+        return True
+    except ReproError:
+        return False
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro``."""
+    interactive = sys.stdin.isatty()
+    shell = Shell(interactive=interactive)
+    return shell.run()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

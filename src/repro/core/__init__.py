@@ -1,0 +1,70 @@
+"""The paper's primary contribution: the transaction modification subsystem.
+
+This package implements Sections 4.2-6 of the paper:
+
+* :mod:`repro.core.triggers` — trigger specifications and sets (Defs
+  4.5-4.6), ``GetTrigS``/``GetTrigP``/``GetTrigPX`` (Alg 5.2, Def 6.2);
+* :mod:`repro.core.trigger_generation` — automatic trigger-set generation
+  from rule conditions (Alg 5.7);
+* :mod:`repro.core.rules` / :mod:`repro.core.rule_language` — integrity
+  rules and the RL language ``WHEN ts IF NOT c THEN p`` (Def 4.7);
+* :mod:`repro.core.translation` — rule translation ``TransR``/``TransC``
+  with the Table 1 construct families and a general calculus-to-algebra
+  translation (Algs 5.5-5.6, Def 5.1);
+* :mod:`repro.core.optimization` — rule optimization ``OptR``/``OptC``
+  including differential (``R@plus``/``R@minus``) specialization (Alg 5.4);
+* :mod:`repro.core.modification` — the transaction modification algorithm
+  ``ModT``/``ModP``/``TrigP`` with rule selection ``SelRS`` and
+  ``TrOptRS`` (Algs 5.1-5.3);
+* :mod:`repro.core.programs` — integrity programs and the compiled store
+  for static, rule-definition-time translation (Def 6.3, Algs 6.1-6.2);
+* :mod:`repro.core.triggering_graph` — triggering-graph construction and
+  cycle analysis (Defs 6.1-6.2);
+* :mod:`repro.core.subsystem` — the :class:`IntegrityController` facade
+  that plugs into the transaction manager.
+"""
+
+from repro.core.triggers import (
+    DEL,
+    INS,
+    TriggerSet,
+    get_trig_p,
+    get_trig_px,
+    get_trig_s,
+)
+from repro.core.trigger_generation import generate_triggers
+from repro.core.rules import IntegrityRule, ABORT_ACTION
+from repro.core.rule_language import parse_rule
+from repro.core.translation import trans_c, trans_r, calc_to_alg
+from repro.core.optimization import opt_r, opt_c, differential_programs
+from repro.core.modification import mod_t, mod_p, ModificationStats
+from repro.core.programs import IntegrityProgram, IntegrityProgramStore, get_int_p
+from repro.core.triggering_graph import TriggeringGraph
+from repro.core.subsystem import IntegrityController
+
+__all__ = [
+    "ABORT_ACTION",
+    "DEL",
+    "INS",
+    "IntegrityController",
+    "IntegrityProgram",
+    "IntegrityProgramStore",
+    "IntegrityRule",
+    "ModificationStats",
+    "TriggerSet",
+    "TriggeringGraph",
+    "calc_to_alg",
+    "differential_programs",
+    "generate_triggers",
+    "get_int_p",
+    "get_trig_p",
+    "get_trig_px",
+    "get_trig_s",
+    "mod_p",
+    "mod_t",
+    "opt_c",
+    "opt_r",
+    "parse_rule",
+    "trans_c",
+    "trans_r",
+]

@@ -1,0 +1,160 @@
+"""Transaction modification: ModT / ModP / TrigP (paper Algs 5.1-5.3, 6.2).
+
+The central recursion of the paper::
+
+    ModT(T, J)  =  ModP(T↓, J)↑
+
+    ModP(P, J)  =  P                          if TrigP(P, J) = Pε
+                   P ⊕ ModP(TrigP(P, J), J)   otherwise
+
+``TrigP`` produces the integrity-control program for the updates performed
+by ``P``; because that program may itself contain updates, it is modified
+recursively until a fixpoint (an appended program that triggers no rules).
+
+Two selector back-ends implement ``TrigP``:
+
+* :class:`DynamicSelector` — Alg 5.2/5.3 verbatim: ``SelRS`` picks the rules
+  whose trigger set meets ``GetTrigP(P)``, and ``TrOptRS`` optimizes and
+  translates them *on every modification* — the naive scheme the paper
+  improves upon in §6.2;
+* :class:`StaticSelector` — Alg 6.2: rules were compiled to integrity
+  programs at definition time; ``SelPS``/``ConcatP`` just look them up.
+
+Both selectors return the appended pieces individually so the recursion can
+honour per-piece non-triggering flags (Def 6.2) even after concatenation.
+
+Termination: on an acyclic triggering graph the recursion reaches a
+fixpoint; a cyclic rule set would recurse forever, so ``mod_p`` enforces a
+round limit and reports the offending rules (Section 6.1 recommends
+validating the graph up front — see
+:mod:`repro.core.triggering_graph`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.algebra.programs import EMPTY_PROGRAM, Program, bracket, concat, debracket
+from repro.core.triggers import TriggerSet, get_trig_px
+from repro.engine.schema import DatabaseSchema
+from repro.engine.transaction import Transaction
+from repro.errors import IntegrityError
+
+DEFAULT_MAX_ROUNDS = 64
+
+
+@dataclass
+class ModificationStats:
+    """Observability of one ModT run (consumed by benches and tests)."""
+
+    rounds: int = 0
+    rules_selected: int = 0
+    statements_appended: int = 0
+    selected_rule_names: List[str] = field(default_factory=list)
+
+
+class DynamicSelector:
+    """Alg 5.2/5.3: select, optimize, and translate rules per modification.
+
+    ``SelRS(P, J) = {J in J | triggers(J) ∩ GetTrigP(P) ≠ ∅}`` followed by
+    ``TrOptRS``: per-rule ``TransR(OptR(J))``, concatenated.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence,
+        db: DatabaseSchema,
+        optimize: bool = True,
+        allow_fallback: bool = True,
+    ):
+        self.rules = list(rules)
+        self.db = db
+        self.optimize = optimize
+        self.allow_fallback = allow_fallback
+
+    def select(self, performed: TriggerSet) -> List[Tuple[str, Program]]:
+        from repro.core.optimization import opt_r
+        from repro.core.translation import trans_r
+
+        pieces: List[Tuple[str, Program]] = []
+        for rule in self.rules:
+            if rule.triggers & performed:
+                candidate = opt_r(rule) if self.optimize else rule
+                program = trans_r(
+                    candidate, self.db, allow_fallback=self.allow_fallback
+                )
+                if self.optimize:
+                    from repro.algebra.optimizer import optimize_program
+
+                    program = optimize_program(program)
+                pieces.append((rule.name, program))
+        return pieces
+
+
+class StaticSelector:
+    """Alg 6.2: look up precompiled integrity programs (SelPS/ConcatP)."""
+
+    def __init__(self, store):
+        self.store = store
+
+    def select(self, performed: TriggerSet) -> List[Tuple[str, Program]]:
+        pieces: List[Tuple[str, Program]] = []
+        for integrity_program in self.store:
+            matched = integrity_program.triggers & performed
+            if matched:
+                piece = integrity_program.action_for(matched)
+                if not piece.is_empty:
+                    pieces.append((integrity_program.name, piece))
+        return pieces
+
+
+def mod_p(
+    program: Program,
+    selector,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    stats: Optional[ModificationStats] = None,
+) -> Program:
+    """ModP (Alg 5.1): extend ``program`` until no further rules trigger."""
+    result = program
+    performed = get_trig_px(program)
+    rounds = 0
+    while performed:
+        pieces = selector.select(performed)
+        if not pieces:
+            break
+        rounds += 1
+        if rounds > max_rounds:
+            names = sorted({name for name, _ in pieces})
+            raise IntegrityError(
+                f"transaction modification did not reach a fixpoint after "
+                f"{max_rounds} rounds; rules still triggering: {names} "
+                f"(cyclic triggering graph? see TriggeringGraph.validate)"
+            )
+        appended = concat(*[piece for _, piece in pieces])
+        result = result.concat(appended)
+        if stats is not None:
+            stats.rounds = rounds
+            stats.rules_selected += len(pieces)
+            stats.statements_appended += len(appended)
+            stats.selected_rule_names.extend(name for name, _ in pieces)
+        # The next round reacts to the updates of the appended pieces only,
+        # respecting each piece's own non-triggering flag.
+        performed = frozenset().union(
+            *[get_trig_px(piece) for _, piece in pieces]
+        )
+    return result
+
+
+def mod_t(
+    transaction: Transaction,
+    selector,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    stats: Optional[ModificationStats] = None,
+) -> Transaction:
+    """ModT (Alg 5.1): ``ModP(T↓, J)↑`` — debracket, modify, rebracket."""
+    body = debracket(transaction)
+    modified = mod_p(body, selector, max_rounds=max_rounds, stats=stats)
+    if modified is body:
+        return transaction
+    return bracket(modified, name=f"{transaction.name}+ic")

@@ -1,0 +1,286 @@
+"""The integrity controller: the transaction modification subsystem facade.
+
+This is the component a DBMS architecture plugs in front of its transaction
+manager (the paper's §7: "the technique can easily be mapped to an abstract
+DBMS system architecture").  It owns the rule catalog, compiles rules to
+integrity programs at definition time (static mode, §6.2) or translates on
+demand (dynamic mode, Alg 5.1-5.3), validates triggering behaviour
+(§6.1), and exposes ``modify_transaction`` — the hook
+:class:`~repro.engine.transaction.TransactionManager` calls.
+
+Typical use::
+
+    controller = IntegrityController(db.schema)
+    controller.add_constraint(
+        "beer_alcohol", "(forall x in beer)(x.alcohol >= 0)")
+    controller.add_rule('''
+        RULE beer_fk
+        IF NOT (forall x in beer)
+               (exists y in brewery)(x.brewery = y.name)
+        THEN temp := diff(project(beer, [brewery]), project(brewery, [name]));
+             insert(brewery, project(temp, [brewery as name, null, null]))
+    ''')
+    session = Session(db, controller)
+    session.execute('begin insert(beer, (...)); end')
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.algebra.parser import parse_program
+from repro.algebra.programs import Program
+from repro.calculus import ast as C
+from repro.calculus.analysis import relation_names, variable_ranges
+from repro.calculus.evaluation import evaluate_constraint
+from repro.calculus.parser import parse_constraint
+from repro.core.modification import (
+    DynamicSelector,
+    ModificationStats,
+    StaticSelector,
+    mod_t,
+)
+from repro.core.programs import IntegrityProgramStore, get_int_p
+from repro.core.rule_language import parse_rule
+from repro.core.rules import ABORT_ACTION, IntegrityRule
+from repro.core.triggering_graph import TriggeringGraph
+from repro.engine import naming
+from repro.engine.database import Database
+from repro.engine.schema import DatabaseSchema
+from repro.engine.session import DatabaseView
+from repro.engine.transaction import Transaction, TransactionManager
+from repro.errors import AnalysisError, RuleError, UnknownRelationError
+
+MODES = ("static", "dynamic")
+
+
+class IntegrityController:
+    """Rule catalog + transaction modification engine."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        mode: str = "static",
+        optimize: bool = True,
+        differential: bool = True,
+        allow_fallback: bool = True,
+    ):
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}")
+        self.schema = schema
+        self.mode = mode
+        self.optimize = optimize
+        self.differential = differential
+        self.allow_fallback = allow_fallback
+        self.rules: List[IntegrityRule] = []
+        self.store = IntegrityProgramStore()
+        self.last_stats: Optional[ModificationStats] = None
+        self.modifications = 0
+
+    # -- rule management ---------------------------------------------------------
+
+    def add_rule(
+        self, rule: Union[str, IntegrityRule], name: Optional[str] = None
+    ) -> IntegrityRule:
+        """Register a rule (RL text or a prebuilt IntegrityRule)."""
+        if isinstance(rule, str):
+            rule = parse_rule(rule, name=name)
+        if any(existing.name == rule.name for existing in self.rules):
+            raise RuleError(f"a rule named {rule.name!r} is already registered")
+        self._check_condition_schema(rule.condition)
+        self._check_action_schema(rule)
+        self.rules.append(rule)
+        self.store.add(
+            get_int_p(
+                rule,
+                self.schema,
+                optimize=self.optimize,
+                differential=self.differential,
+                allow_fallback=self.allow_fallback,
+            )
+        )
+        return rule
+
+    def add_constraint(
+        self,
+        name: str,
+        condition: Union[str, C.Formula],
+        response: Union[None, str, Program] = None,
+        triggers=None,
+        non_triggering: bool = False,
+    ) -> IntegrityRule:
+        """Register a constraint; the default response aborts (Section 4).
+
+        ``response`` may be None (abort), the literal string ``"abort"``, an
+        algebra program, or program text for a compensating action.
+        """
+        if isinstance(condition, str):
+            condition = parse_constraint(condition)
+        if response is None or (
+            isinstance(response, str) and response.strip().lower() == "abort"
+        ):
+            action = ABORT_ACTION
+        elif isinstance(response, Program):
+            action = response
+        else:
+            action = parse_program(response)
+        rule = IntegrityRule(
+            condition,
+            action=action,
+            triggers=triggers,
+            name=name,
+            non_triggering=non_triggering,
+        )
+        return self.add_rule(rule)
+
+    def remove_rule(self, name: str) -> None:
+        self.rules = [rule for rule in self.rules if rule.name != name]
+        if name in self.store:
+            self.store.remove(name)
+
+    def rule(self, name: str) -> IntegrityRule:
+        for rule in self.rules:
+            if rule.name == name:
+                return rule
+        raise RuleError(f"no rule named {name!r}")
+
+    # -- validation ---------------------------------------------------------------
+
+    def _check_condition_schema(self, condition: C.Formula) -> None:
+        """Relations exist; attribute references resolve (names, arity)."""
+        for relation in relation_names(condition):
+            base = naming.base_of(relation)
+            if base not in self.schema:
+                raise UnknownRelationError(base, "integrity constraint")
+        ranges = variable_ranges(condition)
+        schemas: Dict[str, list] = {
+            var: [self.schema.relation(naming.base_of(rel)) for rel in sorted(rels)]
+            for var, rels in ranges.items()
+        }
+        for term in C.iter_terms(condition):
+            if isinstance(term, C.AttrSel):
+                candidates = schemas.get(term.var)
+                if not candidates:
+                    continue  # closedness/safety checks report this better
+                if not any(
+                    _resolves(schema, term.attr) for schema in candidates
+                ):
+                    raise AnalysisError(
+                        f"attribute {term.attr!r} of variable {term.var!r} "
+                        f"does not resolve against "
+                        f"{[schema.name for schema in candidates]}"
+                    )
+            elif isinstance(term, C.AggTerm):
+                base = naming.base_of(term.relation)
+                if not _resolves(self.schema.relation(base), term.attr):
+                    raise AnalysisError(
+                        f"attribute {term.attr!r} does not resolve against "
+                        f"relation {base!r}"
+                    )
+
+    def _check_action_schema(self, rule: IntegrityRule) -> None:
+        if rule.is_aborting:
+            return
+        for relation in rule.action_program().relations_read():
+            base = naming.base_of(relation)
+            if base not in self.schema and "@" not in relation:
+                # Temporaries assigned earlier in the action are legal.
+                assigned = {
+                    statement.name
+                    for statement in rule.action_program()
+                    if hasattr(statement, "name")
+                }
+                if base not in assigned:
+                    raise UnknownRelationError(base, f"action of rule {rule.name!r}")
+
+    def validate_rules(self) -> TriggeringGraph:
+        """Build the triggering graph and raise on cycles (Section 6.1)."""
+        graph = TriggeringGraph(self.rules)
+        graph.validate()
+        return graph
+
+    def triggering_graph(self) -> TriggeringGraph:
+        return TriggeringGraph(self.rules)
+
+    # -- the transaction modification hook --------------------------------------------
+
+    def _selector(self):
+        if self.mode == "static":
+            return StaticSelector(self.store)
+        return DynamicSelector(
+            self.rules,
+            self.schema,
+            optimize=self.optimize,
+            allow_fallback=self.allow_fallback,
+        )
+
+    def modify_transaction(self, transaction: Transaction) -> Transaction:
+        """ModT (Alg 5.1) with the configured selector back-end."""
+        stats = ModificationStats()
+        modified = mod_t(transaction, self._selector(), stats=stats)
+        self.last_stats = stats
+        self.modifications += 1
+        return modified
+
+    def modify_program(self, program: Program) -> Program:
+        """ModP on a bare program (useful for inspection and tests)."""
+        from repro.core.modification import mod_p
+
+        stats = ModificationStats()
+        result = mod_p(program, self._selector(), stats=stats)
+        self.last_stats = stats
+        return result
+
+    # -- direct checking (the audit/baseline path) ---------------------------------------
+
+    def violated_constraints(self, database: Database) -> List[str]:
+        """Names of rules whose conditions fail on the current state.
+
+        This bypasses transaction modification entirely — it is the direct
+        evaluation oracle used for audits, tests, and the check-after-write
+        baseline in the benchmarks.
+        """
+        view = DatabaseView(database)
+        return [
+            rule.name
+            for rule in self.rules
+            if not evaluate_constraint(rule.condition, view, validate=False)
+        ]
+
+    def is_correct_transaction(self, database: Database, transaction) -> bool:
+        """Def 3.5: is ``transaction`` correct w.r.t. ``database`` and the
+        registered rules?
+
+        A transaction is correct when its committed execution violates no
+        transition constraint and leaves a state violating no state
+        constraint.  Checked non-destructively: the transaction runs
+        *unmodified* against a snapshot, the post-state is audited, and the
+        original database is restored.  (Transaction modification makes
+        every transaction's execution correct; this predicate classifies
+        the transaction *itself*, as the paper's Def 3.5 does.)
+        """
+        snapshot = database.snapshot()
+        pre_time = database.logical_time
+        try:
+            result = TransactionManager(database).execute(transaction)
+            if result.aborted:
+                # An abort is the identity transition: vacuously correct.
+                return True
+            return not self.violated_constraints(database)
+        finally:
+            database.restore(snapshot)
+            database.logical_time = pre_time
+
+    def __repr__(self) -> str:
+        return (
+            f"IntegrityController({len(self.rules)} rules, mode={self.mode}, "
+            f"differential={self.differential})"
+        )
+
+
+def _resolves(schema, attr) -> bool:
+    try:
+        schema.position_of(attr)
+        return True
+    except Exception:
+        return False

@@ -1,0 +1,71 @@
+"""Trigger specifications and trigger sets (paper Defs 4.5-4.6, Alg 5.2).
+
+A *trigger specification* is a pair ``U(R)`` of an elementary update type
+``U in {INS, DEL}`` and a relation name (Def 4.5); an update operation
+counts as a delete plus an insert.  A *trigger set* is a set of trigger
+specifications (Def 4.6) — here a frozenset of ``(kind, relation)`` pairs.
+
+The derivation functions of Alg 5.2:
+
+* ``get_trig_s`` — the update types of one statement (``GetTrigS``);
+* ``get_trig_p`` — of a whole program (``GetTrigP``);
+* ``get_trig_px`` — ``GetTrigPX`` of Def 6.2, which returns the empty set
+  for programs declared non-triggering (the cycle-breaking device).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.algebra.programs import Program
+from repro.algebra.statements import DEL, INS, Statement, statement_update_triggers
+from repro.errors import RuleError
+
+TriggerSpec = Tuple[str, str]
+TriggerSet = frozenset
+
+_VALID_KINDS = (INS, DEL)
+
+
+def make_trigger(kind: str, relation: str) -> TriggerSpec:
+    """Build a validated trigger specification ``U(R)``."""
+    kind = kind.upper()
+    if kind not in _VALID_KINDS:
+        raise RuleError(f"unknown update type {kind!r} (expected INS or DEL)")
+    return (kind, relation)
+
+
+def make_trigger_set(specs: Iterable) -> TriggerSet:
+    """Build a trigger set from ``(kind, relation)`` pairs."""
+    return frozenset(make_trigger(kind, relation) for kind, relation in specs)
+
+
+def get_trig_s(statement: Statement) -> TriggerSet:
+    """GetTrigS (Alg 5.2): the elementary update types of one statement."""
+    return statement.update_triggers()
+
+
+def get_trig_p(program) -> TriggerSet:
+    """GetTrigP (Alg 5.2): union of update types over a program.
+
+    Accepts a :class:`~repro.algebra.programs.Program` or any iterable of
+    statements.
+    """
+    if isinstance(program, Program):
+        return statement_update_triggers(program.statements)
+    return statement_update_triggers(program)
+
+
+def get_trig_px(program: Program) -> TriggerSet:
+    """GetTrigPX (Def 6.2): honours the non-triggering flag."""
+    if isinstance(program, Program) and program.non_triggering:
+        return frozenset()
+    return get_trig_p(program)
+
+
+def format_trigger_set(triggers: TriggerSet) -> str:
+    """Human-readable rendering, e.g. ``INS(beer), DEL(brewery)``."""
+    return ", ".join(
+        f"{kind}({relation})"
+        for kind, relation in sorted(triggers, key=lambda spec: (spec[1], spec[0]))
+    )

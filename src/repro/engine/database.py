@@ -1,0 +1,132 @@
+"""Database states and transitions (paper Definitions 2.2 and 2.3).
+
+A :class:`Database` is a set of relation instances over a
+:class:`~repro.engine.schema.DatabaseSchema`, stamped with a *logical time*
+that advances by one on every committed transaction (single-step transitions,
+Def 2.3).  Aborted transactions leave the state and its logical time
+untouched (atomicity, Section 2.2).
+
+The database object itself knows nothing about transactions in progress;
+temporary and auxiliary relations live in the
+:class:`~repro.engine.transaction.TransactionContext` layered on top.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.engine.relation import Relation
+from repro.engine.schema import DatabaseSchema, RelationSchema
+from repro.errors import UnknownRelationError
+
+
+class Transition:
+    """An ordered pair of database states ``(D^t1, D^t2)`` (Def 2.3).
+
+    Used by the direct transition-constraint checker and by tests; the
+    states are snapshots (name -> Relation copies).
+    """
+
+    __slots__ = ("pre", "post", "pre_time", "post_time")
+
+    def __init__(self, pre: Mapping, post: Mapping, pre_time: int, post_time: int):
+        self.pre = dict(pre)
+        self.post = dict(post)
+        self.pre_time = pre_time
+        self.post_time = post_time
+
+    @property
+    def is_single_step(self) -> bool:
+        return self.post_time == self.pre_time + 1
+
+    def __repr__(self) -> str:
+        return f"Transition(t={self.pre_time} -> t={self.post_time})"
+
+
+class Database:
+    """A database state: relation instances plus a logical time."""
+
+    def __init__(self, schema: DatabaseSchema, bag: bool = False):
+        self.schema = schema
+        self.bag = bag
+        self._relations: dict = {
+            relation_schema.name: Relation(relation_schema, bag=bag)
+            for relation_schema in schema
+        }
+        self.logical_time = 0
+
+    # -- relation access ------------------------------------------------------
+
+    def relation(self, name: str) -> Relation:
+        """The instance of base relation ``name``."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    @property
+    def relation_names(self) -> tuple:
+        return tuple(self._relations)
+
+    def relation_schema(self, name: str) -> RelationSchema:
+        return self.relation(name).schema
+
+    # -- data loading ----------------------------------------------------------
+
+    def load(self, name: str, rows: Iterable[tuple]) -> int:
+        """Bulk-load rows into a base relation outside any transaction.
+
+        Intended for test fixtures and benchmarks; returns the number of rows
+        actually inserted.  Loading does not advance logical time.
+        """
+        return self.relation(name).insert_many(rows)
+
+    def add_relation(self, schema: RelationSchema, rows: Iterable[tuple] = ()) -> Relation:
+        """Add a new base relation to a live database (DDL helper)."""
+        self.schema.add(schema)
+        relation = Relation(schema, rows, bag=self.bag)
+        self._relations[schema.name] = relation
+        return relation
+
+    # -- snapshots and transitions ----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A copy of the full state (name -> independent Relation copy)."""
+        return {name: rel.copy() for name, rel in self._relations.items()}
+
+    def restore(self, snapshot: Mapping) -> None:
+        """Restore a snapshot previously produced by :meth:`snapshot`."""
+        for name, relation in snapshot.items():
+            self._relations[name] = relation.copy()
+
+    def install(self, relations: Mapping, advance_time: bool = True) -> None:
+        """Install new relation states (transaction commit).
+
+        Only the names present in ``relations`` are replaced; logical time
+        advances by one step unless ``advance_time`` is false.
+        """
+        for name, relation in relations.items():
+            if name not in self._relations:
+                raise UnknownRelationError(name)
+            self._relations[name] = relation
+        if advance_time:
+            self.logical_time += 1
+
+    # -- statistics ---------------------------------------------------------------
+
+    def cardinalities(self) -> dict:
+        """name -> tuple count, for all base relations."""
+        return {name: len(rel) for name, rel in self._relations.items()}
+
+    def total_tuples(self) -> int:
+        return sum(len(rel) for rel in self._relations.values())
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{name}[{len(rel)}]" for name, rel in self._relations.items())
+        return f"Database(t={self.logical_time}, {sizes})"

@@ -1,0 +1,70 @@
+"""Naming conventions for auxiliary relations.
+
+The paper (Section 4.1) distinguishes *base* relations from *auxiliary*
+relations that the DBMS computes automatically for integrity-control
+purposes; the most important auxiliary relation is the pre-transaction state
+of a relation, needed for transition constraints.  The differential
+optimization (Section 5.2.1, refs [18, 5, 7]) additionally needs the sets of
+tuples inserted and deleted by the running transaction.
+
+We expose three auxiliary relations per base relation ``R``:
+
+``R@old``
+    the pre-transaction state of ``R`` (paper: the state at logical time t).
+``R@plus``
+    tuples inserted into ``R`` by the transaction so far (net of deletes).
+``R@minus``
+    tuples deleted from ``R`` by the transaction so far (net of inserts).
+
+The ``@`` character cannot occur in user relation names (schema identifiers
+are ``[A-Za-z_][A-Za-z0-9_]*``), so auxiliary names can never collide with
+base names.  Both the CL parser and the algebra parser accept ``name@suffix``
+as a single relation token.
+"""
+
+from __future__ import annotations
+
+OLD_SUFFIX = "old"
+PLUS_SUFFIX = "plus"
+MINUS_SUFFIX = "minus"
+
+_AUX_SUFFIXES = (OLD_SUFFIX, PLUS_SUFFIX, MINUS_SUFFIX)
+
+
+def old_name(relation: str) -> str:
+    """Auxiliary name of the pre-transaction state of ``relation``."""
+    return f"{relation}@{OLD_SUFFIX}"
+
+
+def plus_name(relation: str) -> str:
+    """Auxiliary name of the inserted-tuples differential of ``relation``."""
+    return f"{relation}@{PLUS_SUFFIX}"
+
+
+def minus_name(relation: str) -> str:
+    """Auxiliary name of the deleted-tuples differential of ``relation``."""
+    return f"{relation}@{MINUS_SUFFIX}"
+
+
+def is_auxiliary(name: str) -> bool:
+    """True when ``name`` follows the auxiliary naming convention."""
+    return "@" in name
+
+
+def split_auxiliary(name: str) -> tuple:
+    """Split an auxiliary name into ``(base, suffix)``.
+
+    For a plain base name, returns ``(name, None)``.  Raises ValueError for a
+    malformed auxiliary name (unknown suffix or multiple ``@``).
+    """
+    if "@" not in name:
+        return name, None
+    base, _, suffix = name.partition("@")
+    if not base or suffix not in _AUX_SUFFIXES or "@" in suffix:
+        raise ValueError(f"malformed auxiliary relation name {name!r}")
+    return base, suffix
+
+
+def base_of(name: str) -> str:
+    """The base relation a (possibly auxiliary) name refers to."""
+    return split_auxiliary(name)[0]

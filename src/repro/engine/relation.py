@@ -1,0 +1,184 @@
+"""Relation instances (paper Def 2.1) with set and multiset semantics.
+
+The paper's core model is set-based; Section 7 mentions the multi-set
+(bag) extension of [8] as important for SQL-like environments.  Both are
+supported here: a :class:`Relation` stores tuples with multiplicities and a
+``bag`` flag decides whether duplicate insertions accumulate (bag) or are
+absorbed (set).  The ``MLT`` counting function of the multiset extension
+reads the multiplicities.
+
+Relations are value-like: algebra operators produce new relations and never
+mutate their inputs.  Mutating methods (insert/delete) exist for the engine's
+update statements and for data loading.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.engine.schema import RelationSchema
+from repro.errors import TypeMismatchError
+
+
+class Relation:
+    """A relation state: a (multi)set of typed tuples over a schema."""
+
+    __slots__ = ("schema", "bag", "_rows")
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        rows: Iterable[tuple] = (),
+        bag: bool = False,
+        _validated: bool = False,
+    ):
+        self.schema = schema
+        self.bag = bag
+        self._rows: dict = {}
+        for row in rows:
+            self.insert(row, _validated=_validated)
+
+    # -- basic container protocol -------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of tuples (counting multiplicities in bag mode)."""
+        if self.bag:
+            return sum(self._rows.values())
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        """Iterate tuples; bag mode yields duplicates."""
+        if self.bag:
+            for row, count in self._rows.items():
+                for _ in range(count):
+                    yield row
+        else:
+            yield from self._rows
+
+    def __contains__(self, row: tuple) -> bool:
+        return tuple(row) in self._rows
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __eq__(self, other) -> bool:
+        """Equality of contents (schema names are not compared).
+
+        Two relations are equal when they contain the same tuples with the
+        same multiplicities; a set relation never equals a bag relation that
+        holds duplicates.
+        """
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._rows == other._rows
+
+    def __hash__(self):
+        raise TypeError("Relation instances are mutable and unhashable")
+
+    def __repr__(self) -> str:
+        kind = "bag" if self.bag else "set"
+        return f"Relation({self.schema.name}, {len(self)} tuples, {kind})"
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def cardinality(self) -> int:
+        return len(self)
+
+    def distinct_count(self) -> int:
+        """Number of distinct tuples regardless of bag/set mode."""
+        return len(self._rows)
+
+    def multiplicity(self, row: tuple) -> int:
+        """The MLT function of the multiset extension: count of ``row``."""
+        return self._rows.get(tuple(row), 0)
+
+    def rows(self) -> Iterator[tuple]:
+        """Iterate distinct tuples (ignores multiplicities)."""
+        return iter(self._rows)
+
+    def to_set(self) -> frozenset:
+        """The tuple set, as a frozenset (multiplicities dropped)."""
+        return frozenset(self._rows)
+
+    def sorted_rows(self) -> list:
+        """Deterministically ordered rows (useful for printing and tests)."""
+        return sorted(self, key=repr)
+
+    # -- mutation (engine-internal and data loading) -------------------------
+
+    def insert(self, row: tuple, _validated: bool = False) -> bool:
+        """Insert one tuple.
+
+        Returns True when the relation changed (always true in bag mode; in
+        set mode a duplicate insert is a no-op returning False).
+        """
+        row = tuple(row) if _validated else self.schema.validate_tuple(tuple(row))
+        if self.bag:
+            self._rows[row] = self._rows.get(row, 0) + 1
+            return True
+        if row in self._rows:
+            return False
+        self._rows[row] = 1
+        return True
+
+    def delete(self, row: tuple) -> bool:
+        """Delete one tuple (one occurrence, in bag mode).
+
+        Returns True when the relation changed.
+        """
+        row = tuple(row)
+        count = self._rows.get(row)
+        if count is None:
+            return False
+        if self.bag and count > 1:
+            self._rows[row] = count - 1
+        else:
+            del self._rows[row]
+        return True
+
+    def insert_many(self, rows: Iterable[tuple]) -> int:
+        """Insert many tuples; return the number of actual changes."""
+        return sum(1 for row in rows if self.insert(row))
+
+    def delete_many(self, rows: Iterable[tuple]) -> int:
+        """Delete many tuples; return the number of actual changes."""
+        return sum(1 for row in rows if self.delete(row))
+
+    def clear(self) -> None:
+        self._rows.clear()
+
+    def replace_contents(self, other: "Relation") -> None:
+        """Overwrite this relation's rows with those of ``other``."""
+        self._rows = dict(other._rows)
+
+    # -- value-like derivation ------------------------------------------------
+
+    def copy(self) -> "Relation":
+        """An independent copy (tuples are immutable, so this is cheap)."""
+        clone = Relation(self.schema, bag=self.bag)
+        clone._rows = dict(self._rows)
+        return clone
+
+    def with_schema(self, schema: RelationSchema) -> "Relation":
+        """The same rows viewed under a different (compatible) schema."""
+        if schema.arity != self.schema.arity:
+            raise TypeMismatchError(
+                f"cannot view arity-{self.schema.arity} relation under "
+                f"arity-{schema.arity} schema {schema.name!r}"
+            )
+        clone = Relation(schema, bag=self.bag)
+        clone._rows = dict(self._rows)
+        return clone
+
+    def filtered(self, predicate: Callable[[tuple], bool]) -> "Relation":
+        """A new relation holding the rows satisfying ``predicate``."""
+        clone = Relation(self.schema, bag=self.bag)
+        clone._rows = {
+            row: count for row, count in self._rows.items() if predicate(row)
+        }
+        return clone
+
+    def items(self):
+        """(row, multiplicity) pairs."""
+        return self._rows.items()

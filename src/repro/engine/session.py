@@ -1,0 +1,98 @@
+"""A convenience facade over database, parser, and transaction manager.
+
+A :class:`Session` is the "user terminal" of the reproduction: it accepts
+transactions and read-only queries in their text forms, routes transactions
+through the integrity controller's transaction modification (when one is
+attached), and executes them with full atomicity.
+
+The session lazily imports the algebra parser and evaluator so that the
+engine package stays a pure substrate with no upward dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.engine.transaction import (
+    Transaction,
+    TransactionManager,
+    TransactionResult,
+)
+
+
+class Session:
+    """Execute textual or pre-built transactions against a database."""
+
+    def __init__(self, database: Database, controller=None):
+        self.database = database
+        self.controller = controller
+        modifier = controller.modify_transaction if controller is not None else None
+        self.manager = TransactionManager(database, modifier=modifier)
+
+    # -- transactions -----------------------------------------------------------
+
+    def transaction(self, source: Union[str, Transaction]) -> Transaction:
+        """Build a Transaction from ``begin ... end`` text (or pass through)."""
+        if isinstance(source, Transaction):
+            return source
+        from repro.algebra.parser import parse_transaction
+
+        return parse_transaction(source)
+
+    def execute(
+        self,
+        source: Union[str, Transaction],
+        modify: bool = True,
+    ) -> TransactionResult:
+        """Parse (if needed), modify, and run a transaction."""
+        return self.manager.execute(self.transaction(source), modify=modify)
+
+    # -- queries -------------------------------------------------------------------
+
+    def query(self, expression_text: str) -> Relation:
+        """Evaluate a read-only algebra expression against the current state."""
+        from repro.algebra.evaluation import evaluate_expression
+        from repro.algebra.parser import parse_expression
+
+        expression = parse_expression(expression_text)
+        return evaluate_expression(expression, DatabaseView(self.database))
+
+    def rows(self, expression_text: str) -> list:
+        """Evaluate a query and return deterministically sorted rows."""
+        return self.query(expression_text).sorted_rows()
+
+    # -- integrity ---------------------------------------------------------------------
+
+    def verify_integrity(self) -> list:
+        """Directly evaluate all registered constraints on the current state.
+
+        Returns the list of violated constraint names (empty means the state
+        is correct).  Requires an attached integrity controller.
+        """
+        if self.controller is None:
+            return []
+        return self.controller.violated_constraints(self.database)
+
+
+class DatabaseView:
+    """Read-only name resolution over a database outside any transaction.
+
+    Auxiliary relations resolve to sensible defaults: ``R@old`` is the
+    current state (no transaction is running, so pre = current) and the
+    differentials are empty.  This lets constraint conditions mentioning
+    auxiliaries be evaluated between transactions as well.
+    """
+
+    def __init__(self, database: Database):
+        self.database = database
+
+    def resolve(self, name: str) -> Relation:
+        from repro.engine import naming
+
+        base, suffix = naming.split_auxiliary(name)
+        if suffix is None or suffix == naming.OLD_SUFFIX:
+            return self.database.relation(base)
+        schema = self.database.relation_schema(base)
+        return Relation(schema, bag=self.database.bag)

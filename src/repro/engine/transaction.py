@@ -1,0 +1,324 @@
+"""Transactions and their execution (paper Definitions 2.4-2.5, Section 2.2).
+
+A transaction is an extended relational algebra program enclosed in
+transaction brackets, executed against a database state ``D^t``.  During
+execution the database passes through intermediate states ``D^{t.i}`` that
+may contain temporary relations; these states have no semantics outside the
+transaction.  On commit, temporaries are dropped and the result is installed
+as ``D^{t+1}``; on abort, ``D^t`` is kept (atomicity).
+
+The implementation uses copy-on-write: base relations of the underlying
+:class:`~repro.engine.Database` are never mutated while a transaction runs.
+The first write to a relation copies it into the transaction's working set;
+reads prefer the working set.  This gives three things for free:
+
+* atomicity — aborting simply discards the working set;
+* the pre-transaction auxiliary state ``R@old`` — it is the database's
+  untouched relation;
+* cheap commit — the working set is installed wholesale.
+
+The transaction context additionally maintains the *differential* auxiliary
+relations ``R@plus`` (net inserted) and ``R@minus`` (net deleted), which the
+integrity-rule optimizer of Section 5.2.1 relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterable, Optional
+
+from repro.engine import naming
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.errors import (
+    NoActiveTransactionError,
+    ReproError,
+    TransactionAborted,
+    UnknownRelationError,
+)
+
+
+class TransactionStatus(enum.Enum):
+    """Outcome of a transaction execution."""
+
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """A bracketed extended relational algebra program (Def 2.5).
+
+    ``program`` is any object with a ``statements`` sequence whose items
+    implement ``execute(context)`` (see :mod:`repro.algebra.statements`); a
+    plain sequence of such statements is also accepted.
+    """
+
+    _counter = 0
+
+    def __init__(self, program, name: Optional[str] = None):
+        Transaction._counter += 1
+        self.program = program
+        self.name = name or f"txn_{Transaction._counter}"
+
+    @property
+    def statements(self) -> tuple:
+        statements = getattr(self.program, "statements", None)
+        if statements is not None:
+            return tuple(statements)
+        return tuple(self.program)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __repr__(self) -> str:
+        return f"Transaction({self.name}, {len(self)} statements)"
+
+
+class TransactionResult:
+    """What a transaction execution produced."""
+
+    __slots__ = (
+        "status",
+        "reason",
+        "transaction",
+        "statements_executed",
+        "tuples_inserted",
+        "tuples_deleted",
+        "pre_time",
+        "post_time",
+    )
+
+    def __init__(
+        self,
+        status: TransactionStatus,
+        transaction: Transaction,
+        reason: str = "",
+        statements_executed: int = 0,
+        tuples_inserted: int = 0,
+        tuples_deleted: int = 0,
+        pre_time: int = 0,
+        post_time: int = 0,
+    ):
+        self.status = status
+        self.reason = reason
+        self.transaction = transaction
+        self.statements_executed = statements_executed
+        self.tuples_inserted = tuples_inserted
+        self.tuples_deleted = tuples_deleted
+        self.pre_time = pre_time
+        self.post_time = post_time
+
+    @property
+    def committed(self) -> bool:
+        return self.status is TransactionStatus.COMMITTED
+
+    @property
+    def aborted(self) -> bool:
+        return self.status is TransactionStatus.ABORTED
+
+    def __repr__(self) -> str:
+        outcome = self.status.value
+        if self.aborted and self.reason:
+            outcome = f"{outcome}: {self.reason}"
+        return f"TransactionResult({self.transaction.name}, {outcome})"
+
+
+class TransactionContext:
+    """The mutable execution state of one running transaction.
+
+    Resolves relation names for the algebra evaluator (base relations,
+    temporaries, and the auxiliary relations ``R@old`` / ``R@plus`` /
+    ``R@minus``) and applies updates with copy-on-write and differential
+    maintenance.
+    """
+
+    def __init__(self, database: Database):
+        self.database = database
+        self.working: dict = {}
+        self.temps: dict = {}
+        self._plus: dict = {}
+        self._minus: dict = {}
+        self.tuples_inserted = 0
+        self.tuples_deleted = 0
+        self.statements_executed = 0
+
+    # -- name resolution -------------------------------------------------------
+
+    def resolve(self, name: str) -> Relation:
+        """Return the relation instance ``name`` denotes right now.
+
+        Resolution order: temporaries shadow nothing (they live in a
+        separate namespace but are checked first so assignments can be
+        re-read), then auxiliary names, then working copies, then the
+        underlying database state.
+        """
+        if name in self.temps:
+            return self.temps[name]
+        base, suffix = naming.split_auxiliary(name)
+        if suffix is None:
+            if base in self.working:
+                return self.working[base]
+            return self.database.relation(base)
+        if base not in self.database:
+            raise UnknownRelationError(base)
+        if suffix == naming.OLD_SUFFIX:
+            return self.database.relation(base)
+        if suffix == naming.PLUS_SUFFIX:
+            return self._differential(self._plus, base)
+        return self._differential(self._minus, base)
+
+    def _differential(self, table: dict, base: str) -> Relation:
+        relation = table.get(base)
+        if relation is None:
+            relation = Relation(self.database.relation_schema(base), bag=self.database.bag)
+            table[base] = relation
+        return relation
+
+    def _working_copy(self, base: str) -> Relation:
+        relation = self.working.get(base)
+        if relation is None:
+            relation = self.database.relation(base).copy()
+            self.working[base] = relation
+        return relation
+
+    # -- updates ------------------------------------------------------------------
+
+    def insert_rows(self, base: str, rows: Iterable[tuple]) -> int:
+        """Insert rows into a base relation; returns effective insert count."""
+        target = self._working_copy(base)
+        plus = self._differential(self._plus, base)
+        minus = self._differential(self._minus, base)
+        changed = 0
+        for row in rows:
+            row = target.schema.validate_tuple(tuple(row))
+            if target.insert(row, _validated=True):
+                changed += 1
+                if not minus.delete(row):
+                    plus.insert(row, _validated=True)
+        self.tuples_inserted += changed
+        return changed
+
+    def delete_rows(self, base: str, rows: Iterable[tuple]) -> int:
+        """Delete rows from a base relation; returns effective delete count."""
+        target = self._working_copy(base)
+        plus = self._differential(self._plus, base)
+        minus = self._differential(self._minus, base)
+        changed = 0
+        for row in list(rows):
+            row = tuple(row)
+            if target.delete(row):
+                changed += 1
+                if not plus.delete(row):
+                    minus.insert(row, _validated=True)
+        self.tuples_deleted += changed
+        return changed
+
+    def set_temp(self, name: str, relation: Relation) -> None:
+        """Bind a temporary relation (the assignment statement)."""
+        if naming.is_auxiliary(name):
+            raise UnknownRelationError(name, "assignment target")
+        if name in self.database:
+            raise UnknownRelationError(
+                name, "assignment target (shadows a base relation)"
+            )
+        self.temps[name] = relation
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Install the working set as ``D^{t+1}`` (temporaries dropped)."""
+        self.database.install(self.working)
+
+    def modified_relations(self) -> tuple:
+        """Names of base relations with a non-empty net differential."""
+        touched = []
+        for base in self.working:
+            plus = self._plus.get(base)
+            minus = self._minus.get(base)
+            if (plus and len(plus)) or (minus and len(minus)):
+                touched.append(base)
+        return tuple(touched)
+
+
+class TransactionManager:
+    """Executes transactions against a database with full atomicity.
+
+    An optional *modifier* hook — the integrity controller's ``ModT`` — is
+    applied to every transaction before execution; this is exactly where the
+    paper's transaction modification subsystem sits in the DBMS architecture.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        modifier: Optional[Callable[[Transaction], Transaction]] = None,
+    ):
+        self.database = database
+        self.modifier = modifier
+        self._active: Optional[TransactionContext] = None
+        self.executed = 0
+        self.committed = 0
+        self.aborted = 0
+
+    def execute(
+        self,
+        transaction: Transaction,
+        modify: bool = True,
+    ) -> TransactionResult:
+        """Run one transaction to completion (commit or abort).
+
+        When ``modify`` is true and a modifier hook is installed, the
+        transaction is first passed through it (transaction modification).
+        """
+        if self.modifier is not None and modify:
+            transaction = self.modifier(transaction)
+        context = TransactionContext(self.database)
+        self._active = context
+        pre_time = self.database.logical_time
+        self.executed += 1
+        try:
+            for statement in transaction.statements:
+                statement.execute(context)
+                context.statements_executed += 1
+        except TransactionAborted as abort:
+            self.aborted += 1
+            return TransactionResult(
+                TransactionStatus.ABORTED,
+                transaction,
+                reason=abort.reason,
+                statements_executed=context.statements_executed,
+                pre_time=pre_time,
+                post_time=pre_time,
+            )
+        except ReproError as error:
+            # Runtime errors (division by zero, type mismatches, unknown
+            # relations) abort the transaction like a real DBMS would; the
+            # copy-on-write working set guarantees the pre-state survives.
+            self.aborted += 1
+            return TransactionResult(
+                TransactionStatus.ABORTED,
+                transaction,
+                reason=f"runtime error: {error}",
+                statements_executed=context.statements_executed,
+                pre_time=pre_time,
+                post_time=pre_time,
+            )
+        finally:
+            self._active = None
+        context.commit()
+        self.committed += 1
+        return TransactionResult(
+            TransactionStatus.COMMITTED,
+            transaction,
+            statements_executed=context.statements_executed,
+            tuples_inserted=context.tuples_inserted,
+            tuples_deleted=context.tuples_deleted,
+            pre_time=pre_time,
+            post_time=self.database.logical_time,
+        )
+
+    @property
+    def active_context(self) -> TransactionContext:
+        if self._active is None:
+            raise NoActiveTransactionError("no transaction is executing")
+        return self._active

@@ -1,0 +1,248 @@
+"""A small shared tokenizer for the library's text languages.
+
+Three text languages share this lexer: the constraint language CL
+(:mod:`repro.calculus.parser`), the integrity rule language RL
+(:mod:`repro.core.rule_language`), and the extended-algebra program/
+transaction language (:mod:`repro.algebra.parser`).
+
+Token kinds:
+
+``NAME``
+    identifiers, including auxiliary relation names ``rel@old`` /
+    ``rel@plus`` / ``rel@minus`` (the ``@suffix`` is part of one token);
+``INT`` / ``FLOAT``
+    numeric literals;
+``STRING``
+    single- or double-quoted, with backslash escapes;
+``OP``
+    operators and punctuation (longest match first), including the Unicode
+    aliases used by the paper's notation (``∀ ∃ ∧ ∨ ¬ ⇒ ∈ ≠ ≤ ≥``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple, Optional
+
+from repro.errors import LexError, ParseError
+
+
+class Token(NamedTuple):
+    kind: str
+    value: object
+    text: str
+    position: int
+
+
+# Longest operators first so the scanner can use greedy matching.
+_OPERATORS = [
+    ":=",
+    "=>",
+    "<=",
+    ">=",
+    "!=",
+    "<>",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ";",
+    ".",
+    "<",
+    ">",
+    "=",
+    "+",
+    "-",
+    "*",
+    "/",
+]
+
+# Unicode aliases normalize to their ASCII spelling.
+_UNICODE_ALIASES = {
+    "∀": "forall",
+    "∃": "exists",
+    "∧": "and",
+    "∨": "or",
+    "¬": "not",
+    "⇒": "=>",
+    "→": "=>",
+    "∈": "in",
+    "≠": "!=",
+    "≤": "<=",
+    "≥": ">=",
+    "−": "-",
+}
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CONT = _NAME_START | set("0123456789")
+_AUX_SUFFIXES = ("old", "plus", "minus")
+
+
+def tokenize(text: str) -> list:
+    """Tokenize ``text``; raises LexError on invalid input."""
+    tokens = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch == "#":  # comment to end of line
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch in _UNICODE_ALIASES:
+            alias = _UNICODE_ALIASES[ch]
+            kind = "NAME" if alias[0].isalpha() else "OP"
+            tokens.append(Token(kind, alias, ch, i))
+            i += 1
+            continue
+        if ch in _NAME_START:
+            start = i
+            while i < n and text[i] in _NAME_CONT:
+                i += 1
+            name = text[start:i]
+            # Auxiliary relation names: name@old / name@plus / name@minus.
+            if i < n and text[i] == "@":
+                j = i + 1
+                while j < n and text[j] in _NAME_CONT:
+                    j += 1
+                suffix = text[i + 1 : j]
+                if suffix not in _AUX_SUFFIXES:
+                    raise LexError(
+                        f"unknown auxiliary suffix {suffix!r}", i, text
+                    )
+                name = f"{name}@{suffix}"
+                i = j
+            tokens.append(Token("NAME", name, name, start))
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and text[i].isdigit():
+                i += 1
+            is_float = False
+            if i < n and text[i] == "." and i + 1 < n and text[i + 1].isdigit():
+                is_float = True
+                i += 1
+                while i < n and text[i].isdigit():
+                    i += 1
+            if i < n and text[i] in "eE":
+                j = i + 1
+                if j < n and text[j] in "+-":
+                    j += 1
+                if j < n and text[j].isdigit():
+                    is_float = True
+                    i = j
+                    while i < n and text[i].isdigit():
+                        i += 1
+            literal = text[start:i]
+            if is_float:
+                tokens.append(Token("FLOAT", float(literal), literal, start))
+            else:
+                tokens.append(Token("INT", int(literal), literal, start))
+            continue
+        if ch in "'\"":
+            quote = ch
+            start = i
+            i += 1
+            parts = []
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    escape = text[i + 1]
+                    parts.append({"n": "\n", "t": "\t"}.get(escape, escape))
+                    i += 2
+                else:
+                    parts.append(text[i])
+                    i += 1
+            if i >= n:
+                raise LexError("unterminated string literal", start, text)
+            i += 1
+            tokens.append(Token("STRING", "".join(parts), text[start:i], start))
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("OP", op, op, i))
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", i, text)
+    tokens.append(Token("EOF", None, "", n))
+    return tokens
+
+
+class TokenStream:
+    """A cursor over a token list with the usual parser conveniences."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def peek(self, ahead: int = 1) -> Token:
+        index = min(self.index + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "EOF":
+            self.index += 1
+        return token
+
+    def at(self, kind: str, value: Optional[object] = None) -> bool:
+        token = self.current
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def at_name(self, *names: str) -> bool:
+        """True when the current token is one of the given keywords.
+
+        Keyword matching is case-insensitive, so ``FORALL`` and ``forall``
+        are the same token (the paper mixes fonts, not spellings).
+        """
+        token = self.current
+        if token.kind != "NAME":
+            return False
+        return token.value.lower() in names
+
+    def accept(self, kind: str, value: Optional[object] = None) -> Optional[Token]:
+        if self.at(kind, value):
+            return self.advance()
+        return None
+
+    def accept_name(self, *names: str) -> Optional[Token]:
+        if self.at_name(*names):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[object] = None) -> Token:
+        if self.at(kind, value):
+            return self.advance()
+        want = value if value is not None else kind
+        raise ParseError(
+            f"expected {want!r} but found {self.current.text or 'end of input'!r} "
+            f"at position {self.current.position}"
+        )
+
+    def expect_name(self, *names: str) -> Token:
+        if self.at_name(*names):
+            return self.advance()
+        raise ParseError(
+            f"expected one of {names} but found "
+            f"{self.current.text or 'end of input'!r} "
+            f"at position {self.current.position}"
+        )
+
+    def expect_eof(self) -> None:
+        if self.current.kind != "EOF":
+            raise ParseError(
+                f"unexpected trailing input {self.current.text!r} "
+                f"at position {self.current.position}"
+            )

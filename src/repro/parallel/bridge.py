@@ -1,0 +1,197 @@
+"""From translated integrity programs to parallel enforcement.
+
+PRISMA/DB did not enforce constraints tuple-at-a-time: the alarm programs
+produced by rule translation (Section 5.2.2) were executed by the parallel
+query layer over fragmented relations ([7]).  This module is that bridge:
+it recognizes the violation-expression shapes ``trans_c`` produces —
+
+* ``alarm(σ_p(R))`` — domain family,
+* ``alarm(R ⊳_θ S)`` — referential family (θ an attribute equality),
+* ``alarm(R ⋉_θ S)`` — exclusion family,
+* ``alarm((R ⋉_θ S@minus) ⊳_θ S)`` — the delete-path differential
+  referential check (§5.2.1): referers of deleted targets must still find
+  a target,
+
+— and dispatches them to the corresponding
+:class:`~repro.parallel.enforcement.ParallelEnforcer` check.  Differential
+programs work too: auxiliary names (``R@plus``/``R@minus``) are resolved
+through a caller-supplied mapping of fragmented relations (the parallel
+system's local differentials).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.algebra import expressions as E
+from repro.algebra import predicates as P
+from repro.algebra.programs import Program
+from repro.algebra.statements import Alarm
+from repro.errors import FragmentationError
+from repro.parallel.cost_model import CostModel, POOMA_1992
+from repro.parallel.enforcement import (
+    EnforcementReport,
+    ParallelEnforcer,
+    Strategy,
+)
+from repro.parallel.fragmentation import FragmentedRelation
+from repro.parallel.nodes import FragmentedDatabase
+
+
+class ParallelRuleEnforcer:
+    """Execute translated alarm programs over a fragmented database."""
+
+    def __init__(
+        self,
+        database: FragmentedDatabase,
+        cost_model: CostModel = POOMA_1992,
+        auxiliaries: Union[Dict[str, FragmentedRelation], None] = None,
+    ):
+        self.database = database
+        self.enforcer = ParallelEnforcer(database, cost_model)
+        self.auxiliaries = dict(auxiliaries or {})
+
+    def bind_auxiliary(self, name: str, relation: FragmentedRelation) -> None:
+        """Register a fragmented differential (e.g. ``fk@plus``)."""
+        self.auxiliaries[name] = relation
+
+    def _resolve(self, name: str) -> Union[str, FragmentedRelation]:
+        if name in self.auxiliaries:
+            return self.auxiliaries[name]
+        if "@" in name:
+            raise FragmentationError(
+                f"auxiliary relation {name!r} is not bound; call "
+                f"bind_auxiliary first"
+            )
+        return name
+
+    # -- program-level entry points ------------------------------------------------
+
+    def enforce_program(
+        self, program: Program, strategy: Strategy = Strategy.AUTO
+    ) -> List[EnforcementReport]:
+        """Enforce every alarm statement of a translated program."""
+        reports = []
+        for statement in program:
+            if isinstance(statement, Alarm):
+                reports.append(self.enforce_alarm(statement, strategy))
+            else:
+                raise FragmentationError(
+                    f"parallel enforcement supports alarm programs only, "
+                    f"found {type(statement).__name__}"
+                )
+        return reports
+
+    def enforce_alarm(
+        self, alarm: Alarm, strategy: Strategy = Strategy.AUTO
+    ) -> EnforcementReport:
+        """Dispatch one alarm expression to the matching parallel check."""
+        expr = alarm.expr
+        if isinstance(expr, E.Select) and isinstance(expr.input, E.RelationRef):
+            return self.enforcer.domain_check(
+                self._resolve(expr.input.name), expr.predicate
+            )
+        if isinstance(expr, E.AntiJoin) and isinstance(expr.left, E.SemiJoin):
+            # Delete-path differential: (R ⋉_θ S@minus) ⊳_θ S.  Materialize
+            # the affected referers with an exclusion check, then verify
+            # them against the surviving targets.
+            inner = expr.left
+            if not (
+                isinstance(inner.left, E.RelationRef)
+                and isinstance(inner.right, E.RelationRef)
+                and isinstance(expr.right, E.RelationRef)
+            ):
+                raise FragmentationError(
+                    "unsupported nested shape for parallel enforcement"
+                )
+            left_attr, right_attr = _equality_attributes(inner.predicate)
+            affected = self._materialize_matches(
+                self._resolve(inner.left.name),
+                left_attr,
+                self._resolve(inner.right.name),
+                right_attr,
+            )
+            outer_left, outer_right = _equality_attributes(expr.predicate)
+            return self.enforcer.referential_check(
+                affected,
+                outer_left,
+                self._resolve(expr.right.name),
+                outer_right,
+                strategy,
+            )
+        if isinstance(expr, (E.AntiJoin, E.SemiJoin)):
+            left, right = expr.left, expr.right
+            if not isinstance(left, E.RelationRef) or not isinstance(
+                right, E.RelationRef
+            ):
+                raise FragmentationError(
+                    "parallel enforcement requires plain relation operands "
+                    "(run the differential optimizer first)"
+                )
+            left_attr, right_attr = _equality_attributes(expr.predicate)
+            if isinstance(expr, E.AntiJoin):
+                return self.enforcer.referential_check(
+                    self._resolve(left.name),
+                    left_attr,
+                    self._resolve(right.name),
+                    right_attr,
+                    strategy,
+                )
+            return self.enforcer.exclusion_check(
+                self._resolve(left.name),
+                left_attr,
+                self._resolve(right.name),
+                right_attr,
+                strategy,
+            )
+        raise FragmentationError(
+            f"unsupported alarm shape for parallel enforcement: {expr!r}"
+        )
+
+    def _materialize_matches(
+        self,
+        left: Union[str, FragmentedRelation],
+        left_attr,
+        right: Union[str, FragmentedRelation],
+        right_attr,
+    ) -> FragmentedRelation:
+        """Semijoin as a materialized fragmented relation (keeps the left
+        relation's fragmentation scheme)."""
+        left_rel = left if isinstance(left, FragmentedRelation) else (
+            self.database.relation(left)
+        )
+        right_rel = right if isinstance(right, FragmentedRelation) else (
+            self.database.relation(right)
+        )
+        right_position = right_rel.schema.position_of(right_attr) - 1
+        keys = {
+            row[right_position]
+            for fragment in right_rel.fragments
+            for row in fragment.rows()
+        }
+        left_position = left_rel.schema.position_of(left_attr) - 1
+        result = FragmentedRelation(left_rel.schema, left_rel.scheme)
+        for index, fragment in enumerate(left_rel.fragments):
+            for row in fragment.rows():
+                if row[left_position] in keys:
+                    result.fragment(index).insert(row, _validated=True)
+        return result
+
+
+def _equality_attributes(predicate: P.Predicate):
+    """Extract (left_attr, right_attr) from a single-equality θ."""
+    if (
+        isinstance(predicate, P.Comparison)
+        and predicate.op == "="
+        and isinstance(predicate.left, P.ColRef)
+        and isinstance(predicate.right, P.ColRef)
+    ):
+        left, right = predicate.left, predicate.right
+        if left.side == "left" and right.side == "right":
+            return left.attr, right.attr
+        if left.side == "right" and right.side == "left":
+            return right.attr, left.attr
+    raise FragmentationError(
+        f"parallel join checks require a single attribute equality, "
+        f"found {predicate!r}"
+    )

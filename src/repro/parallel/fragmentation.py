@@ -1,0 +1,165 @@
+"""Horizontal fragmentation schemes.
+
+A fragmentation scheme assigns every tuple of a relation to one of ``n``
+fragments (one fragment per simulated node).  Three classical schemes are
+provided:
+
+* :class:`HashFragmentation` — hash of one attribute modulo node count;
+  the scheme PRISMA/DB used for its base relations, and the one that makes
+  referential checks *local* when both relations hash the same key;
+* :class:`RangeFragmentation` — explicit boundary list;
+* :class:`RoundRobinFragmentation` — load-balanced but attribute-blind
+  (always forces a redistribution strategy for joins).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Sequence, Union
+
+from repro.engine.relation import Relation
+from repro.engine.schema import RelationSchema
+from repro.errors import FragmentationError
+
+
+def _stable_hash(value) -> int:
+    """Deterministic cross-run hash (Python's str hash is salted)."""
+    if isinstance(value, int):
+        return value * 2654435761 & 0xFFFFFFFF
+    if isinstance(value, float):
+        value = repr(value)
+    return zlib.crc32(str(value).encode("utf-8"))
+
+
+class FragmentationScheme:
+    """Base class: maps rows to fragment indices."""
+
+    def __init__(self, fragments: int):
+        if fragments < 1:
+            raise FragmentationError("fragment count must be >= 1")
+        self.fragments = fragments
+
+    def fragment_of(self, row: tuple, schema: RelationSchema) -> int:
+        raise NotImplementedError
+
+    def is_compatible_join(self, other, my_attr, other_attr) -> bool:
+        """True when equijoins on the given attributes are node-local."""
+        return False
+
+
+class HashFragmentation(FragmentationScheme):
+    """Hash fragmentation on one attribute."""
+
+    def __init__(self, attr: Union[int, str], fragments: int):
+        super().__init__(fragments)
+        self.attr = attr
+
+    def fragment_of(self, row: tuple, schema: RelationSchema) -> int:
+        position = schema.position_of(self.attr) - 1
+        return _stable_hash(row[position]) % self.fragments
+
+    def is_compatible_join(self, other, my_attr, other_attr) -> bool:
+        if not isinstance(other, HashFragmentation):
+            return False
+        if self.fragments != other.fragments:
+            return False
+        return _same_attr(self.attr, my_attr) and _same_attr(other.attr, other_attr)
+
+    def __repr__(self) -> str:
+        return f"HashFragmentation({self.attr!r}, {self.fragments})"
+
+
+class RangeFragmentation(FragmentationScheme):
+    """Range fragmentation: boundaries[i] is the exclusive upper bound of
+    fragment i; the last fragment is unbounded."""
+
+    def __init__(self, attr: Union[int, str], boundaries: Sequence):
+        super().__init__(len(boundaries) + 1)
+        self.attr = attr
+        self.boundaries = list(boundaries)
+        if self.boundaries != sorted(self.boundaries):
+            raise FragmentationError("range boundaries must be sorted")
+
+    def fragment_of(self, row: tuple, schema: RelationSchema) -> int:
+        position = schema.position_of(self.attr) - 1
+        value = row[position]
+        for index, bound in enumerate(self.boundaries):
+            if value < bound:
+                return index
+        return len(self.boundaries)
+
+    def __repr__(self) -> str:
+        return f"RangeFragmentation({self.attr!r}, {self.boundaries})"
+
+
+class RoundRobinFragmentation(FragmentationScheme):
+    """Round-robin: perfectly balanced, join-incompatible with everything."""
+
+    def __init__(self, fragments: int):
+        super().__init__(fragments)
+        self._next = 0
+
+    def fragment_of(self, row: tuple, schema: RelationSchema) -> int:
+        index = self._next
+        self._next = (self._next + 1) % self.fragments
+        return index
+
+    def __repr__(self) -> str:
+        return f"RoundRobinFragmentation({self.fragments})"
+
+
+def _same_attr(a, b) -> bool:
+    return a == b
+
+
+class FragmentedRelation:
+    """A relation split into per-node fragments under a scheme."""
+
+    def __init__(self, schema: RelationSchema, scheme: FragmentationScheme):
+        self.schema = schema
+        self.scheme = scheme
+        self.fragments: List[Relation] = [
+            Relation(schema) for _ in range(scheme.fragments)
+        ]
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def insert(self, row: tuple) -> int:
+        """Insert a row into its fragment; returns the fragment index."""
+        row = self.schema.validate_tuple(tuple(row))
+        index = self.scheme.fragment_of(row, self.schema)
+        self.fragments[index].insert(row, _validated=True)
+        return index
+
+    def load(self, rows) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def fragment(self, index: int) -> Relation:
+        return self.fragments[index]
+
+    def cardinality(self) -> int:
+        return sum(len(fragment) for fragment in self.fragments)
+
+    def merged(self) -> Relation:
+        """The reconstructed global relation (fragmentation transparency)."""
+        result = Relation(self.schema)
+        for fragment in self.fragments:
+            for row in fragment.rows():
+                result.insert(row, _validated=True)
+        return result
+
+    def skew(self) -> float:
+        """max/avg fragment size (1.0 = perfectly balanced)."""
+        sizes = [len(fragment) for fragment in self.fragments]
+        total = sum(sizes)
+        if total == 0:
+            return 1.0
+        average = total / len(sizes)
+        return max(sizes) / average if average else 1.0
+
+    def __repr__(self) -> str:
+        sizes = [len(fragment) for fragment in self.fragments]
+        return f"FragmentedRelation({self.name}, fragments={sizes})"

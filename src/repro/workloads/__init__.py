@@ -1,0 +1,47 @@
+"""Workload and data generators for examples, tests, and benchmarks.
+
+* :mod:`repro.workloads.beer` — the paper's running beer/brewery example
+  (Section 4 examples, Example 5.1);
+* :mod:`repro.workloads.employees` — an employee/department schema with
+  state *and* transition constraints;
+* :mod:`repro.workloads.section7` — the Section 7 performance workload:
+  a 5000-tuple key relation, a 50000-tuple foreign-key relation, and a
+  5000-tuple insert batch;
+* :mod:`repro.workloads.generators` — random rows, databases, and
+  transactions for property-based testing.
+"""
+
+from repro.workloads.beer import (
+    BEER_RULE_DOMAIN,
+    BEER_RULE_REFERENTIAL,
+    beer_controller,
+    beer_database,
+    beer_schema,
+)
+from repro.workloads.employees import employees_controller, employees_database
+from repro.workloads.section7 import (
+    section7_database,
+    section7_insert_batch,
+    section7_schema,
+)
+from repro.workloads.generators import (
+    random_database,
+    random_rows,
+    random_transaction,
+)
+
+__all__ = [
+    "BEER_RULE_DOMAIN",
+    "BEER_RULE_REFERENTIAL",
+    "beer_controller",
+    "beer_database",
+    "beer_schema",
+    "employees_controller",
+    "employees_database",
+    "random_database",
+    "random_rows",
+    "random_transaction",
+    "section7_database",
+    "section7_insert_batch",
+    "section7_schema",
+]

@@ -1,0 +1,109 @@
+"""The paper's running example: the beer database.
+
+Section 4 introduces ``beer(name, type, brewery, alcohol)`` and
+``brewery(name, city, country)`` with a domain constraint I1 and a
+referential integrity constraint I2; Example 4.2 turns them into the rules
+R1 (aborting) and R2 (compensating) reproduced verbatim below; Example 5.1
+modifies an insert transaction against them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.subsystem import IntegrityController
+from repro.engine import Database, DatabaseSchema, FLOAT, RelationSchema, STRING
+
+#: Rule R1 of Example 4.2 (aborting domain rule), in RL text.
+BEER_RULE_DOMAIN = """
+RULE R1
+WHEN INS(beer)
+IF NOT (forall x)(x in beer => x.alcohol >= 0)
+THEN abort
+"""
+
+#: Rule R2 of Example 4.2 (compensating referential rule), in RL text.
+BEER_RULE_REFERENTIAL = """
+RULE R2
+WHEN INS(beer), DEL(brewery)
+IF NOT (forall x)(x in beer =>
+        (exists y)(y in brewery and x.brewery = y.name))
+THEN temp := diff(project(beer, [brewery]), project(brewery, [name]));
+     insert(brewery, project(temp, [brewery as name, null, null]))
+"""
+
+#: The transaction of Example 5.1.
+EXAMPLE_51_TRANSACTION = """
+begin
+    insert(beer, ("exportgold", "stout", "guineken", 6.0));
+end
+"""
+
+_BEER_TYPES = ("lager", "stout", "ale", "pilsner", "porter", "wheat")
+_CITIES = ("amsterdam", "dublin", "munich", "brussels", "prague", "enschede")
+_COUNTRIES = ("nl", "ie", "de", "be", "cz")
+
+
+def beer_schema() -> DatabaseSchema:
+    """The beer/brewery database schema of Section 4."""
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "beer",
+                [
+                    ("name", STRING),
+                    ("type", STRING),
+                    ("brewery", STRING),
+                    ("alcohol", FLOAT),
+                ],
+            ),
+            RelationSchema(
+                "brewery",
+                [
+                    ("name", STRING),
+                    ("city", STRING, True),
+                    ("country", STRING, True),
+                ],
+            ),
+        ]
+    )
+
+
+def beer_database(
+    beers: int = 20, breweries: int = 8, seed: int = 1993
+) -> Database:
+    """A populated, consistent beer database."""
+    rng = random.Random(seed)
+    database = Database(beer_schema())
+    brewery_names = [f"brewery_{index}" for index in range(breweries)]
+    database.load(
+        "brewery",
+        [
+            (name, rng.choice(_CITIES), rng.choice(_COUNTRIES))
+            for name in brewery_names
+        ],
+    )
+    database.load(
+        "beer",
+        [
+            (
+                f"beer_{index}",
+                rng.choice(_BEER_TYPES),
+                rng.choice(brewery_names),
+                round(rng.uniform(0.0, 12.0), 1),
+            )
+            for index in range(beers)
+        ],
+    )
+    return database
+
+
+def beer_controller(
+    schema: Optional[DatabaseSchema] = None, **controller_options
+) -> IntegrityController:
+    """An integrity controller loaded with the paper's rules R1 and R2."""
+    controller = IntegrityController(schema or beer_schema(), **controller_options)
+    controller.add_rule(BEER_RULE_DOMAIN)
+    controller.add_rule(BEER_RULE_REFERENTIAL)
+    return controller

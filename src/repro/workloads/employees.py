@@ -1,0 +1,125 @@
+"""Employee/department workload: state and transition constraints.
+
+Exercises the parts of the paper the beer example does not: transition
+(dynamic) constraints over the pre-transaction auxiliary state ``emp@old``
+(Def 3.3), aggregate constraints, and multi-variable universals (Table 1
+row 4).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.subsystem import IntegrityController
+from repro.engine import Database, DatabaseSchema, INT, RelationSchema, STRING
+
+#: Referential: every employee's department exists.
+EMP_DEPT_FK = """
+RULE emp_dept_fk
+IF NOT (forall e)(e in emp => (exists d)(d in dept and e.dept_id = d.id))
+THEN abort
+"""
+
+#: Domain: salaries are positive.
+EMP_SALARY_DOMAIN = """
+RULE emp_salary_domain
+IF NOT (forall e)(e in emp => e.salary > 0)
+THEN abort
+"""
+
+#: Transition constraint (Def 3.3): salaries never decrease.  The
+#: pre-transaction state is the auxiliary relation emp@old.
+EMP_SALARY_MONOTONE = """
+RULE emp_salary_monotone
+WHEN INS(emp)
+IF NOT (forall e)(e in emp =>
+        (forall o)(o in emp@old => (e.id != o.id or e.salary >= o.salary)))
+THEN abort
+"""
+
+#: Aggregate constraint: total payroll is capped.
+EMP_PAYROLL_CAP = """
+RULE emp_payroll_cap
+IF NOT SUM(emp, salary) <= 1000000
+THEN abort
+"""
+
+#: Two-variable universal (Table 1 row 4): within a department, grades of
+#: colleagues differ by at most 3.
+EMP_GRADE_SPREAD = """
+RULE emp_grade_spread
+IF NOT (forall x, y)((x in emp and y in emp and x.dept_id = y.dept_id)
+        => x.grade <= y.grade + 3)
+THEN abort
+"""
+
+
+def employees_schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "emp",
+                [
+                    ("id", INT),
+                    ("name", STRING),
+                    ("dept_id", INT),
+                    ("salary", INT),
+                    ("grade", INT),
+                ],
+            ),
+            RelationSchema(
+                "dept",
+                [("id", INT), ("name", STRING), ("city", STRING, True)],
+            ),
+        ]
+    )
+
+
+def employees_database(
+    employees: int = 50, departments: int = 5, seed: int = 7
+) -> Database:
+    """A populated, consistent employee database."""
+    rng = random.Random(seed)
+    database = Database(employees_schema())
+    database.load(
+        "dept",
+        [(index, f"dept_{index}", f"city_{index % 3}") for index in range(departments)],
+    )
+    base_grade = {index: rng.randint(1, 6) for index in range(departments)}
+    database.load(
+        "emp",
+        [
+            (
+                index,
+                f"emp_{index}",
+                index % departments,
+                rng.randint(2000, 9000),
+                base_grade[index % departments] + rng.randint(0, 3),
+            )
+            for index in range(employees)
+        ],
+    )
+    return database
+
+
+def employees_controller(
+    schema: Optional[DatabaseSchema] = None,
+    include_transition: bool = True,
+    include_aggregate: bool = True,
+    include_spread: bool = False,
+    **controller_options,
+) -> IntegrityController:
+    """A controller with the employee rule set (configurable subsets)."""
+    controller = IntegrityController(
+        schema or employees_schema(), **controller_options
+    )
+    controller.add_rule(EMP_DEPT_FK)
+    controller.add_rule(EMP_SALARY_DOMAIN)
+    if include_transition:
+        controller.add_rule(EMP_SALARY_MONOTONE)
+    if include_aggregate:
+        controller.add_rule(EMP_PAYROLL_CAP)
+    if include_spread:
+        controller.add_rule(EMP_GRADE_SPREAD)
+    return controller

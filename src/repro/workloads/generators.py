@@ -1,0 +1,119 @@
+"""Random data, database, and transaction generators.
+
+Used by property-based tests (alongside hypothesis strategies) and by the
+benchmarks for reproducible synthetic inputs.  All generators take an
+explicit ``random.Random`` or seed — nothing here touches global state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Union
+
+from repro.algebra import expressions as E
+from repro.algebra import predicates as P
+from repro.algebra import statements as S
+from repro.algebra.programs import Program, bracket
+from repro.engine import Database, DatabaseSchema, RelationSchema
+from repro.engine.schema import Attribute
+from repro.engine.transaction import Transaction
+from repro.engine.types import BOOL, FLOAT, INT, STRING
+
+_WORDS = (
+    "ale", "bock", "dort", "edel", "frue", "gose", "hell", "ipa",
+    "kolsch", "lager", "marz", "pils", "quad", "rauch", "saison", "tripel",
+)
+
+
+def _rng(seed_or_rng: Union[int, random.Random, None]) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def random_value(attribute: Attribute, rng: random.Random):
+    """A random value fitting an attribute's domain."""
+    domain = attribute.domain
+    if domain is INT:
+        return rng.randint(-50, 50)
+    if domain is FLOAT:
+        return round(rng.uniform(-50.0, 50.0), 2)
+    if domain is BOOL:
+        return rng.random() < 0.5
+    if domain is STRING:
+        return rng.choice(_WORDS) + str(rng.randint(0, 9))
+    return rng.randint(0, 9)
+
+
+def random_rows(
+    schema: RelationSchema, count: int, seed: Union[int, random.Random, None] = None
+) -> List[tuple]:
+    """``count`` random rows for a relation schema."""
+    rng = _rng(seed)
+    return [
+        tuple(random_value(attribute, rng) for attribute in schema.attributes)
+        for _ in range(count)
+    ]
+
+
+def random_database(
+    schema: DatabaseSchema,
+    rows_per_relation: int = 10,
+    seed: Union[int, random.Random, None] = None,
+) -> Database:
+    """A database with random contents (no constraints guaranteed)."""
+    rng = _rng(seed)
+    database = Database(schema)
+    for relation_schema in schema:
+        database.load(
+            relation_schema.name, random_rows(relation_schema, rows_per_relation, rng)
+        )
+    return database
+
+
+def random_transaction(
+    database: Database,
+    statements: int = 4,
+    seed: Union[int, random.Random, None] = None,
+    allow_updates: bool = True,
+) -> Transaction:
+    """A random multi-update transaction against the current database.
+
+    Mixes inserts of fresh random rows, deletes of existing rows (by value),
+    and single-attribute updates — the "arbitrary multi-update transactions"
+    the paper's technique is designed for.
+    """
+    rng = _rng(seed)
+    names = list(database.relation_names)
+    produced: List[S.Statement] = []
+    for _ in range(statements):
+        name = rng.choice(names)
+        relation = database.relation(name)
+        schema = relation.schema
+        kind = rng.random()
+        if kind < 0.55 or len(relation) == 0:
+            rows = tuple(
+                tuple(random_value(attribute, rng) for attribute in schema.attributes)
+                for _ in range(rng.randint(1, 3))
+            )
+            produced.append(S.Insert(name, E.Literal(rows)))
+        elif kind < 0.8 or not allow_updates:
+            victims = rng.sample(
+                list(relation.rows()), k=min(len(relation), rng.randint(1, 2))
+            )
+            produced.append(S.Delete(name, E.Literal(tuple(victims))))
+        else:
+            position = rng.randint(1, schema.arity)
+            attribute = schema.attributes[position - 1]
+            new_value = random_value(attribute, rng)
+            pivot = random_value(attribute, rng)
+            if attribute.domain in (INT, FLOAT):
+                predicate: P.Predicate = P.Comparison(
+                    rng.choice(("<", ">=")), P.ColRef(position), P.Const(pivot)
+                )
+            else:
+                predicate = P.Comparison("=", P.ColRef(position), P.Const(pivot))
+            produced.append(
+                S.Update(name, predicate, ((position, P.Const(new_value)),))
+            )
+    return bracket(Program(produced))

@@ -1,0 +1,117 @@
+"""The Section 7 performance workload.
+
+The paper's evaluation: "Given a test database with a key relation of 5000
+tuples and a foreign key relation of 50000 tuples, checking a referential
+integrity constraint after the insertion of 5000 new tuples into the
+foreign key relation can be completed within 3 seconds on an 8-node POOMA
+multiprocessor.  Checking a domain constraint in the same situation takes
+less than 1 second."
+
+This module builds exactly that database and insert batch:
+
+* ``pk(key, payload)`` — the key relation (5000 tuples);
+* ``fk(id, ref, amount)`` — the foreign-key relation (50000 tuples), with
+  ``fk.ref`` referencing ``pk.key`` and ``fk.amount >= 0`` as the domain
+  constraint's attribute;
+* an insert batch of 5000 new ``fk`` tuples, optionally seeded with
+  violations to exercise the abort path.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.core.subsystem import IntegrityController
+from repro.engine import Database, DatabaseSchema, INT, RelationSchema, STRING
+
+PK_SIZE = 5000
+FK_SIZE = 50000
+BATCH_SIZE = 5000
+
+SECTION7_REFERENTIAL = """
+RULE fk_ref
+IF NOT (forall x)(x in fk => (exists y)(y in pk and x.ref = y.key))
+THEN abort
+"""
+
+SECTION7_DOMAIN = """
+RULE fk_domain
+IF NOT (forall x)(x in fk => x.amount >= 0)
+THEN abort
+"""
+
+
+def section7_schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        [
+            RelationSchema("pk", [("key", INT), ("payload", STRING)]),
+            RelationSchema(
+                "fk", [("id", INT), ("ref", INT), ("amount", INT)]
+            ),
+        ]
+    )
+
+
+def section7_database(
+    pk_size: int = PK_SIZE, fk_size: int = FK_SIZE, seed: int = 1993
+) -> Database:
+    """The 5000-key / 50000-FK test database (sizes configurable)."""
+    rng = random.Random(seed)
+    database = Database(section7_schema())
+    database.load("pk", [(key, f"payload_{key}") for key in range(pk_size)])
+    database.load(
+        "fk",
+        [
+            (row_id, rng.randrange(pk_size), rng.randint(0, 10000))
+            for row_id in range(fk_size)
+        ],
+    )
+    return database
+
+
+def section7_insert_batch(
+    batch_size: int = BATCH_SIZE,
+    pk_size: int = PK_SIZE,
+    start_id: int = FK_SIZE,
+    violations: int = 0,
+    violation_kind: str = "referential",
+    seed: int = 29,
+) -> List[Tuple[int, int, int]]:
+    """A batch of new fk tuples; optionally the first ``violations`` rows
+    break the referential (dangling ref) or domain (negative amount)
+    constraint."""
+    rng = random.Random(seed)
+    rows: List[Tuple[int, int, int]] = []
+    for offset in range(batch_size):
+        ref = rng.randrange(pk_size)
+        amount = rng.randint(0, 10000)
+        if offset < violations:
+            if violation_kind == "referential":
+                ref = pk_size + 1 + offset  # dangling
+            else:
+                amount = -1 - offset  # negative
+        rows.append((start_id + offset, ref, amount))
+    return rows
+
+
+def section7_transaction_text(rows: List[Tuple[int, int, int]]) -> str:
+    """The insert batch as a ``begin ... end`` transaction text."""
+    statements = "\n".join(
+        f"    insert(fk, ({row_id}, {ref}, {amount}));"
+        for row_id, ref, amount in rows
+    )
+    return f"begin\n{statements}\nend"
+
+
+def section7_controller(
+    referential: bool = True,
+    domain: bool = True,
+    **controller_options,
+) -> IntegrityController:
+    controller = IntegrityController(section7_schema(), **controller_options)
+    if referential:
+        controller.add_rule(SECTION7_REFERENTIAL)
+    if domain:
+        controller.add_rule(SECTION7_DOMAIN)
+    return controller

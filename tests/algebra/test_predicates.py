@@ -1,0 +1,157 @@
+"""Scalar expressions, predicates, compilation, three-valued logic."""
+
+import pytest
+
+from repro.algebra import predicates as P
+from repro.algebra.predicates import compile_predicate, compile_scalar, negate
+from repro.engine.schema import RelationSchema
+from repro.engine.types import INT, NULL, STRING
+from repro.errors import EvaluationError
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("t", [("a", INT), ("b", INT), ("name", STRING, True)])
+
+
+ROW = (4, 10, "x")
+
+
+class TestScalarCompilation:
+    def test_const(self, schema):
+        assert compile_scalar(P.Const(7), schema)(ROW) == 7
+
+    def test_colref_by_name(self, schema):
+        assert compile_scalar(P.ColRef("b"), schema)(ROW) == 10
+
+    def test_colref_by_position(self, schema):
+        assert compile_scalar(P.ColRef(1), schema)(ROW) == 4
+
+    def test_arith(self, schema):
+        expr = P.Arith("+", P.ColRef("a"), P.Arith("*", P.ColRef("b"), P.Const(2)))
+        assert compile_scalar(expr, schema)(ROW) == 24
+
+    def test_division_exact_stays_int(self, schema):
+        expr = P.Arith("/", P.ColRef("b"), P.Const(2))
+        assert compile_scalar(expr, schema)(ROW) == 5
+
+    def test_division_inexact_is_float(self, schema):
+        expr = P.Arith("/", P.ColRef("b"), P.Const(4))
+        assert compile_scalar(expr, schema)(ROW) == 2.5
+
+    def test_division_by_zero(self, schema):
+        expr = P.Arith("/", P.ColRef("a"), P.Const(0))
+        with pytest.raises(EvaluationError):
+            compile_scalar(expr, schema)(ROW)
+
+    def test_null_propagates_through_arith(self, schema):
+        expr = P.Arith("+", P.Const(NULL), P.Const(1))
+        assert compile_scalar(expr, schema)(ROW) is NULL
+
+    def test_right_side_in_binary_context(self, schema):
+        other = RelationSchema("s", [("c", INT)])
+        fn = compile_scalar(P.ColRef("c", "right"), schema, other)
+        assert fn(ROW, (42,)) == 42
+
+    def test_right_side_in_unary_context_fails(self, schema):
+        with pytest.raises(EvaluationError):
+            compile_scalar(P.ColRef("c", "right"), schema)
+
+
+class TestPredicateCompilation:
+    def test_comparisons(self, schema):
+        for op, expected in [
+            ("<", True), ("<=", True), ("=", False),
+            ("!=", True), (">=", False), (">", False),
+        ]:
+            predicate = P.Comparison(op, P.ColRef("a"), P.ColRef("b"))
+            assert compile_predicate(predicate, schema)(ROW) is expected
+
+    def test_null_comparison_is_unknown(self, schema):
+        predicate = P.Comparison("=", P.ColRef("name"), P.Const("x"))
+        assert compile_predicate(predicate, schema)((1, 2, NULL)) is None
+
+    def test_is_null(self, schema):
+        predicate = P.IsNull(P.ColRef("name"))
+        fn = compile_predicate(predicate, schema)
+        assert fn((1, 2, NULL)) is True
+        assert fn(ROW) is False
+
+    def test_kleene_and(self, schema):
+        unknown = P.Comparison("=", P.Const(NULL), P.Const(1))
+        false = P.FalsePred()
+        true = P.TruePred()
+        fn = compile_predicate(P.And(unknown, false), schema)
+        assert fn(ROW) is False  # unknown AND false = false
+        fn = compile_predicate(P.And(unknown, true), schema)
+        assert fn(ROW) is None  # unknown AND true = unknown
+
+    def test_kleene_or(self, schema):
+        unknown = P.Comparison("=", P.Const(NULL), P.Const(1))
+        fn = compile_predicate(P.Or(unknown, P.TruePred()), schema)
+        assert fn(ROW) is True  # unknown OR true = true
+        fn = compile_predicate(P.Or(unknown, P.FalsePred()), schema)
+        assert fn(ROW) is None
+
+    def test_not_unknown_is_unknown(self, schema):
+        unknown = P.Comparison("=", P.Const(NULL), P.Const(1))
+        assert compile_predicate(P.Not(unknown), schema)(ROW) is None
+
+    def test_true_false(self, schema):
+        assert compile_predicate(P.TRUE, schema)(ROW) is True
+        assert compile_predicate(P.FALSE, schema)(ROW) is False
+
+
+class TestNegate:
+    def test_comparison_flips_operator(self):
+        predicate = P.Comparison(">=", P.ColRef("a"), P.Const(0))
+        assert negate(predicate) == P.Comparison("<", P.ColRef("a"), P.Const(0))
+
+    def test_double_negation(self):
+        inner = P.IsNull(P.ColRef("a"))
+        assert negate(P.Not(inner)) is inner
+
+    def test_de_morgan(self):
+        a = P.Comparison("=", P.ColRef("a"), P.Const(1))
+        b = P.Comparison("=", P.ColRef("b"), P.Const(2))
+        assert negate(P.And(a, b)) == P.Or(negate(a), negate(b))
+        assert negate(P.Or(a, b)) == P.And(negate(a), negate(b))
+
+    def test_constants(self):
+        assert negate(P.TRUE) == P.FALSE
+        assert negate(P.FALSE) == P.TRUE
+
+    def test_opaque_wrapped_in_not(self):
+        predicate = P.IsNull(P.ColRef("a"))
+        assert negate(predicate) == P.Not(predicate)
+
+
+class TestConjoin:
+    def test_empty_is_true(self):
+        assert P.conjoin() == P.TRUE
+
+    def test_true_elimination(self):
+        a = P.Comparison("=", P.ColRef("a"), P.Const(1))
+        assert P.conjoin(P.TRUE, a, P.TRUE) == a
+
+    def test_false_dominates(self):
+        a = P.Comparison("=", P.ColRef("a"), P.Const(1))
+        assert P.conjoin(a, P.FALSE) == P.FALSE
+
+    def test_two_predicates_nest(self):
+        a = P.Comparison("=", P.ColRef("a"), P.Const(1))
+        b = P.Comparison("=", P.ColRef("b"), P.Const(2))
+        assert P.conjoin(a, b) == P.And(a, b)
+
+
+class TestPredicateColumns:
+    def test_collects_all_refs(self):
+        predicate = P.And(
+            P.Comparison("=", P.ColRef("a", "left"), P.ColRef("c", "right")),
+            P.Not(P.IsNull(P.ColRef("b"))),
+        )
+        assert P.predicate_columns(predicate) == {
+            P.ColRef("a", "left"),
+            P.ColRef("c", "right"),
+            P.ColRef("b"),
+        }

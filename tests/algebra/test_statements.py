@@ -1,0 +1,152 @@
+"""Statement execution semantics and trigger derivation (GetTrigS)."""
+
+import pytest
+
+from repro.algebra import expressions as E
+from repro.algebra import predicates as P
+from repro.algebra import statements as S
+from repro.algebra.statements import DEL, INS, statement_update_triggers
+from repro.engine.transaction import TransactionContext
+from repro.errors import TransactionAborted
+
+
+@pytest.fixture
+def context(db):
+    return TransactionContext(db)
+
+
+class TestInsertDelete:
+    def test_insert_literal(self, context):
+        S.Insert("beer", E.Literal((("n", "ale", "heineken", 4.0),))).execute(context)
+        assert ("n", "ale", "heineken", 4.0) in context.resolve("beer")
+
+    def test_insert_from_query(self, context):
+        # Copy all guinness beers under the heineken brewery.
+        statement = S.Insert(
+            "beer",
+            E.Project(
+                E.Select(
+                    E.RelationRef("beer"),
+                    P.Comparison("=", P.ColRef("brewery"), P.Const("guinness")),
+                ),
+                (
+                    E.ProjectItem(P.Const("clone")),
+                    E.ProjectItem(P.ColRef("type")),
+                    E.ProjectItem(P.Const("heineken")),
+                    E.ProjectItem(P.ColRef("alcohol")),
+                ),
+            ),
+        )
+        statement.execute(context)
+        assert ("clone", "stout", "heineken", 7.5) in context.resolve("beer")
+
+    def test_insert_self_reference_is_safe(self, context):
+        # insert(R, R) must materialize before inserting (no mutation during
+        # iteration); with set semantics it is a no-op.
+        before = context.resolve("beer").to_set()
+        S.Insert("beer", E.RelationRef("beer")).execute(context)
+        assert context.resolve("beer").to_set() == before
+
+    def test_delete_expression(self, context):
+        statement = S.Delete(
+            "beer",
+            E.Select(
+                E.RelationRef("beer"),
+                P.Comparison(">", P.ColRef("alcohol"), P.Const(5.0)),
+            ),
+        )
+        statement.execute(context)
+        assert len(context.resolve("beer")) == 1
+
+    def test_triggers(self):
+        assert S.Insert("r", E.Literal(())).update_triggers() == {(INS, "r")}
+        assert S.Delete("r", E.Literal(())).update_triggers() == {(DEL, "r")}
+
+
+class TestUpdate:
+    def test_update_is_delete_plus_insert(self, context):
+        statement = S.Update(
+            "beer",
+            P.Comparison("=", P.ColRef("brewery"), P.Const("heineken")),
+            (("alcohol", P.Arith("+", P.ColRef("alcohol"), P.Const(1.0))),),
+        )
+        statement.execute(context)
+        assert ("pils", "lager", "heineken", 6.0) in context.resolve("beer")
+        assert ("pils", "lager", "heineken", 5.0) not in context.resolve("beer")
+        # Both differentials populated (Def 4.5: update = DEL + INS).
+        assert ("pils", "lager", "heineken", 6.0) in context.resolve("beer@plus")
+        assert ("pils", "lager", "heineken", 5.0) in context.resolve("beer@minus")
+
+    def test_update_triggers_both(self):
+        statement = S.Update("r", P.TRUE, ((1, P.Const(0)),))
+        assert statement.update_triggers() == {(INS, "r"), (DEL, "r")}
+
+    def test_update_by_position(self, context):
+        statement = S.Update(
+            "beer",
+            P.Comparison("=", P.ColRef(1), P.Const("pils")),
+            ((4, P.Const(0.0)),),
+        )
+        statement.execute(context)
+        assert ("pils", "lager", "heineken", 0.0) in context.resolve("beer")
+
+    def test_update_no_matches_is_noop(self, context):
+        before = context.resolve("beer").to_set()
+        S.Update("beer", P.FALSE, (("alcohol", P.Const(0.0)),)).execute(context)
+        assert context.resolve("beer").to_set() == before
+
+
+class TestAlarmAndAbort:
+    def test_alarm_quiet_when_empty(self, context):
+        S.Alarm(E.Select(E.RelationRef("beer"), P.FALSE)).execute(context)
+
+    def test_alarm_aborts_when_nonempty(self, context):
+        with pytest.raises(TransactionAborted) as excinfo:
+            S.Alarm(E.RelationRef("beer"), message="all beer is bad").execute(context)
+        assert "all beer is bad" in str(excinfo.value)
+        assert "3 violating tuple(s)" in str(excinfo.value)
+
+    def test_abort_always_raises(self, context):
+        with pytest.raises(TransactionAborted):
+            S.Abort().execute(context)
+        with pytest.raises(TransactionAborted, match="custom"):
+            S.Abort("custom").execute(context)
+
+    def test_alarm_has_no_update_triggers(self):
+        assert S.Alarm(E.RelationRef("r")).update_triggers() == frozenset()
+
+
+class TestAssign:
+    def test_assign_binds_temp(self, context):
+        S.Assign("strong", E.Select(
+            E.RelationRef("beer"),
+            P.Comparison(">", P.ColRef("alcohol"), P.Const(7.0)),
+        )).execute(context)
+        temp = context.resolve("strong")
+        assert temp.schema.name == "strong"
+        assert len(temp) == 1
+
+    def test_assign_then_read_in_next_statement(self, context):
+        S.Assign("t1", E.RelationRef("beer")).execute(context)
+        S.Assign("t2", E.Select(E.RelationRef("t1"), P.TRUE)).execute(context)
+        assert len(context.resolve("t2")) == 3
+
+
+class TestProgramTriggers:
+    def test_union_over_statements(self):
+        statements = [
+            S.Insert("r", E.Literal(())),
+            S.Delete("s", E.Literal(())),
+            S.Update("t", P.TRUE, ((1, P.Const(0)),)),
+            S.Alarm(E.RelationRef("r")),
+        ]
+        assert statement_update_triggers(statements) == {
+            (INS, "r"),
+            (DEL, "s"),
+            (INS, "t"),
+            (DEL, "t"),
+        }
+
+    def test_relations_read(self):
+        statement = S.Insert("r", E.SemiJoin(E.RelationRef("a"), E.RelationRef("b"), P.TRUE))
+        assert statement.relations_read() == {"a", "b"}

@@ -1,0 +1,130 @@
+"""Static analyses: free variables, closedness, safety, ranges."""
+
+import pytest
+
+from repro.calculus import ast as C
+from repro.calculus.analysis import (
+    check_closed,
+    check_constraint,
+    check_safety,
+    free_variables,
+    quantifier_depth,
+    relation_names,
+    variable_ranges,
+)
+from repro.calculus.parser import parse_constraint
+from repro.errors import AnalysisError, UnsafeFormulaError
+
+
+class TestFreeVariables:
+    def test_closed_sentence(self):
+        formula = parse_constraint("(forall x in r)(x.a > 0)")
+        assert free_variables(formula) == set()
+
+    def test_open_formula(self):
+        formula = parse_constraint("x in r and y.a > 0")
+        assert free_variables(formula) == {"x", "y"}
+
+    def test_quantifier_binds(self):
+        formula = parse_constraint("(exists x in r)(x.a = y.b)")
+        assert free_variables(formula) == {"y"}
+
+    def test_tuple_eq_variables(self):
+        formula = parse_constraint("x = y")
+        assert free_variables(formula) == {"x", "y"}
+
+    def test_shadowing(self):
+        # Outer x is bound by the outer quantifier; inner re-binds it.
+        formula = C.Forall(
+            "x",
+            C.Implies(
+                C.Member("x", "r"),
+                C.Exists("x", C.And(C.Member("x", "s"), C.Compare(">", C.AttrSel("x", 1), C.Const(0)))),
+            ),
+        )
+        assert free_variables(formula) == set()
+
+
+class TestClosedness:
+    def test_closed_ok(self):
+        check_closed(parse_constraint("(forall x in r)(x.a > 0)"))
+
+    def test_open_rejected(self):
+        with pytest.raises(AnalysisError, match="free variable"):
+            check_closed(parse_constraint("x.a > 0"))
+
+    def test_aggregate_condition_is_closed(self):
+        check_closed(parse_constraint("CNT(r) < 100"))
+
+
+class TestSafety:
+    def test_guarded_forall_ok(self):
+        check_safety(parse_constraint("(forall x)(x in r => x.a > 0)"))
+
+    def test_guarded_exists_ok(self):
+        check_safety(parse_constraint("(exists x)(x in r and x.a > 0)"))
+
+    def test_unguarded_forall_rejected(self):
+        with pytest.raises(UnsafeFormulaError):
+            check_safety(parse_constraint("(forall x)(x.a > 0)"))
+
+    def test_unguarded_nested_rejected(self):
+        with pytest.raises(UnsafeFormulaError):
+            check_safety(
+                parse_constraint("(forall x in r)(exists y)(y.a = x.a)")
+            )
+
+    def test_membership_anywhere_in_scope_suffices(self):
+        check_safety(
+            parse_constraint("(forall x)(not x in r or x.a > 0)")
+        )
+
+    def test_shadowed_membership_does_not_leak(self):
+        formula = C.Forall(
+            "x", C.Exists("x", C.And(C.Member("x", "r"), C.Compare(">", C.AttrSel("x", 1), C.Const(0))))
+        )
+        with pytest.raises(UnsafeFormulaError):
+            check_safety(formula)
+
+    def test_check_constraint_combines_both(self):
+        with pytest.raises(AnalysisError):
+            check_constraint(parse_constraint("x.a > 0"))
+        with pytest.raises(UnsafeFormulaError):
+            check_constraint(parse_constraint("(forall x)(x.a > 0)"))
+        check_constraint(parse_constraint("(forall x in r)(x.a > 0)"))
+
+
+class TestRelationNamesAndRanges:
+    def test_relation_names_memberships(self):
+        formula = parse_constraint(
+            "(forall x in beer)(exists y in brewery)(x.brewery = y.name)"
+        )
+        assert relation_names(formula) == {"beer", "brewery"}
+
+    def test_relation_names_aggregates(self):
+        formula = parse_constraint("SUM(emp, salary) + CNT(dept) <= MLT(log)")
+        assert relation_names(formula) == {"emp", "dept", "log"}
+
+    def test_variable_ranges(self):
+        formula = parse_constraint(
+            "(forall x in beer)(exists y in brewery)(x.brewery = y.name)"
+        )
+        assert variable_ranges(formula) == {"x": {"beer"}, "y": {"brewery"}}
+
+    def test_variable_with_two_ranges(self):
+        formula = parse_constraint("(forall x)((x in r and x in s) => x.1 > 0)")
+        assert variable_ranges(formula) == {"x": {"r", "s"}}
+
+
+class TestQuantifierDepth:
+    def test_depths(self):
+        assert quantifier_depth(parse_constraint("CNT(r) > 0")) == 0
+        assert quantifier_depth(parse_constraint("(forall x in r)(x.a > 0)")) == 1
+        assert (
+            quantifier_depth(
+                parse_constraint(
+                    "(forall x in r)(exists y in s)(x.a = y.c)"
+                )
+            )
+            == 2
+        )

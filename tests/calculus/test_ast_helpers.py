@@ -1,0 +1,90 @@
+"""CL AST helper functions and structural properties."""
+
+import pytest
+
+from repro.calculus import ast as C
+from repro.calculus.parser import parse_constraint
+
+
+class TestSugarConstructors:
+    def test_forall_in_desugars_to_implication(self):
+        body = C.Compare(">", C.AttrSel("x", 1), C.Const(0))
+        formula = C.forall_in("x", "r", body)
+        assert formula == C.Forall("x", C.Implies(C.Member("x", "r"), body))
+
+    def test_exists_in_desugars_to_conjunction(self):
+        body = C.Compare(">", C.AttrSel("x", 1), C.Const(0))
+        formula = C.exists_in("x", "r", body)
+        assert formula == C.Exists("x", C.And(C.Member("x", "r"), body))
+
+    def test_conjoin_left_nested(self):
+        a, b, c = (C.Member(v, "r") for v in "abc")
+        assert C.conjoin(a, b, c) == C.And(C.And(a, b), c)
+
+    def test_conjoin_single(self):
+        atom = C.Member("x", "r")
+        assert C.conjoin(atom) is atom
+
+    def test_conjoin_empty_rejected(self):
+        with pytest.raises(ValueError):
+            C.conjoin()
+
+
+class TestIteration:
+    FORMULA = parse_constraint(
+        "(forall x in r)(exists y in s)"
+        "(x.a + 1 = y.c and SUM(r, b) <= CNT(s) * 2)"
+    )
+
+    def test_iter_subformulas_preorder(self):
+        nodes = list(C.iter_subformulas(self.FORMULA))
+        assert nodes[0] is self.FORMULA
+        kinds = {type(node).__name__ for node in nodes}
+        assert {"Forall", "Implies", "Member", "Exists", "And", "Compare"} <= kinds
+
+    def test_iter_terms_reaches_nested_arithmetic(self):
+        terms = list(C.iter_terms(self.FORMULA))
+        assert any(isinstance(term, C.AggTerm) for term in terms)
+        assert any(isinstance(term, C.CntTerm) for term in terms)
+        assert any(
+            isinstance(term, C.AttrSel) and term.var == "x" for term in terms
+        )
+
+    def test_formulas_hashable_and_comparable(self):
+        again = parse_constraint(
+            "(forall x in r)(exists y in s)"
+            "(x.a + 1 = y.c and SUM(r, b) <= CNT(s) * 2)"
+        )
+        assert again == self.FORMULA
+        assert hash(again) == hash(self.FORMULA)
+        assert len({again, self.FORMULA}) == 1
+
+
+class TestNnfAndMiniscope:
+    def test_nnf_involution_on_double_negation(self):
+        from repro.core.translation import nnf
+
+        formula = parse_constraint("(forall x in r)(x.a > 0)")
+        assert nnf(C.Not(C.Not(formula))) == nnf(formula)
+
+    def test_nnf_negation_flips_comparisons(self):
+        from repro.core.translation import nnf
+
+        formula = parse_constraint("CNT(r) <= 10")
+        assert nnf(formula, positive=False) == parse_constraint("CNT(r) > 10")
+
+    def test_miniscope_pulls_var_free_conjuncts(self):
+        from repro.core.translation import miniscope
+
+        # exists y (x in r AND y in s)  =>  x in r AND exists y (y in s)
+        inner = C.Exists("y", C.And(C.Member("x", "r"), C.Member("y", "s")))
+        result = miniscope(inner)
+        assert result == C.And(
+            C.Member("x", "r"), C.Exists("y", C.Member("y", "s"))
+        )
+
+    def test_miniscope_keeps_fully_dependent_bodies(self):
+        from repro.core.translation import miniscope
+
+        inner = C.Exists("y", C.And(C.Member("y", "s"), C.TupleEq("x", "y")))
+        assert miniscope(inner) == inner

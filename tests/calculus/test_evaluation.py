@@ -1,0 +1,203 @@
+"""The direct CL evaluator: the semantic ground truth."""
+
+import pytest
+
+from repro.algebra.evaluation import StandaloneContext
+from repro.calculus.evaluation import evaluate_constraint
+from repro.calculus.parser import parse_constraint
+from repro.engine import Relation, RelationSchema
+from repro.engine.session import DatabaseView
+from repro.engine.types import INT, NULL, STRING
+from repro.errors import EvaluationError
+
+
+@pytest.fixture
+def ctx():
+    r_schema = RelationSchema("r", [("a", INT), ("b", INT)])
+    s_schema = RelationSchema("s", [("c", INT), ("d", INT)])
+    return StandaloneContext(
+        {
+            "r": Relation(r_schema, [(1, 10), (2, 20), (3, 30)]),
+            "s": Relation(s_schema, [(1, 100), (2, 200)]),
+            "empty": Relation(r_schema.renamed("empty")),
+        }
+    )
+
+
+def check(text, ctx):
+    return evaluate_constraint(parse_constraint(text), ctx)
+
+
+class TestDomainFamily:
+    def test_satisfied(self, ctx):
+        assert check("(forall x in r)(x.a > 0)", ctx)
+
+    def test_violated(self, ctx):
+        assert not check("(forall x in r)(x.a > 1)", ctx)
+
+    def test_vacuous_on_empty(self, ctx):
+        assert check("(forall x in empty)(x.a > 999)", ctx)
+
+    def test_positional_attributes(self, ctx):
+        assert check("(forall x in r)(x.2 = x.1 * 10)", ctx)
+
+
+class TestExistentialFamily:
+    def test_witness_found(self, ctx):
+        assert check("(exists x in r)(x.b = 20)", ctx)
+
+    def test_no_witness(self, ctx):
+        assert not check("(exists x in r)(x.b = 999)", ctx)
+
+    def test_empty_relation_has_no_witness(self, ctx):
+        assert not check("(exists x in empty)(x.a = x.a)", ctx)
+
+
+class TestReferentialFamily:
+    def test_violated(self, ctx):
+        # r.a = 3 has no partner in s.c
+        assert not check(
+            "(forall x in r)(exists y in s)(x.a = y.c)", ctx
+        )
+
+    def test_satisfied_after_restriction(self, ctx):
+        assert check(
+            "(forall x in r)(x.a > 2 or (exists y in s)(x.a = y.c))", ctx
+        )
+
+
+class TestExclusionFamily:
+    def test_exclusion_violated(self, ctx):
+        # some r.a equals some s.c
+        assert not check(
+            "(forall x in r)(forall y in s)(x.a != y.c)", ctx
+        )
+
+    def test_exclusion_satisfied(self, ctx):
+        assert check(
+            "(forall x in r)(forall y in s)(x.b != y.d)", ctx
+        )
+
+
+class TestTupleEquality:
+    def test_self_join_equality(self, ctx):
+        assert check("(forall x in r)(exists y in r)(x = y)", ctx)
+
+    def test_cross_relation_never_equal(self, ctx):
+        assert check("(forall x in r)(forall y in s)(not x = y)", ctx)
+
+
+class TestAggregates:
+    def test_cnt(self, ctx):
+        assert check("CNT(r) = 3", ctx)
+        assert check("CNT(empty) = 0", ctx)
+
+    def test_sum_avg_min_max(self, ctx):
+        assert check("SUM(r, b) = 60", ctx)
+        assert check("AVG(r, b) = 20", ctx)
+        assert check("MIN(r, a) = 1 and MAX(r, a) = 3", ctx)
+
+    def test_aggregate_arithmetic(self, ctx):
+        assert check("SUM(r, b) / CNT(r) = 20", ctx)
+
+    def test_empty_aggregates(self, ctx):
+        assert check("SUM(empty, a) = 0", ctx)
+        # MIN over empty is NULL; unknown verdicts count as satisfied.
+        assert check("MIN(empty, a) = 0", ctx)
+        assert check("MIN(empty, a) != 0", ctx)
+
+    def test_mixed_aggregate_and_quantifier(self, ctx):
+        assert check("(forall x in r)(x.b <= SUM(r, b))", ctx)
+
+    def test_mlt_vs_cnt_on_bag(self, ctx):
+        schema = RelationSchema("bag", [("a", INT)])
+        ctx.bind("bag", Relation(schema, [(1,), (1,), (2,)], bag=True))
+        assert check("CNT(bag) = 3 and MLT(bag) = 2", ctx)
+
+
+class TestConnectives:
+    def test_implication_semantics(self, ctx):
+        assert check("CNT(r) = 99 => CNT(r) = 100", ctx)  # false antecedent
+        assert check("CNT(r) = 3 => CNT(s) = 2", ctx)
+        assert not check("CNT(r) = 3 => CNT(s) = 99", ctx)
+
+    def test_not(self, ctx):
+        assert check("not CNT(r) = 99", ctx)
+
+    def test_nested_connectives(self, ctx):
+        assert check(
+            "(CNT(r) = 3 and CNT(s) = 2) or CNT(empty) = 5", ctx
+        )
+
+
+class TestTransitionConstraints:
+    def test_old_state_via_database_view(self, db):
+        # Outside a transaction, R@old resolves to the current state.
+        view = DatabaseView(db)
+        assert evaluate_constraint(
+            parse_constraint("(forall x in beer@old)(x.alcohol >= 0)"), view
+        )
+
+    def test_old_state_inside_transaction(self, db):
+        from repro.engine.transaction import TransactionContext
+
+        context = TransactionContext(db)
+        context.insert_rows("beer", [("brandnew", "ale", "heineken", 9.9)])
+        # The new tuple is in beer but not in beer@old.
+        assert evaluate_constraint(
+            parse_constraint(
+                '(exists x in beer)(x.name = "brandnew")'
+            ),
+            context,
+        )
+        assert not evaluate_constraint(
+            parse_constraint(
+                '(exists x in beer@old)(x.name = "brandnew")'
+            ),
+            context,
+        )
+
+
+class TestNullHandling:
+    def test_unknown_counts_as_satisfied(self):
+        # "Satisfied unless definitely violated": NULL comparisons are
+        # unknown, and unknown never fires an alarm (module docs).
+        schema = RelationSchema("t", [("a", INT, True)])
+        ctx = StandaloneContext({"t": Relation(schema, [(NULL,)])})
+        assert evaluate_constraint(parse_constraint("(forall x in t)(x.a = x.a)"), ctx)
+        assert evaluate_constraint(parse_constraint("(exists x in t)(x.a = x.a)"), ctx)
+
+    def test_three_valued_entry_point(self):
+        from repro.calculus.evaluation import evaluate_three_valued
+
+        schema = RelationSchema("t", [("a", INT, True)])
+        ctx = StandaloneContext({"t": Relation(schema, [(NULL,)])})
+        assert evaluate_three_valued(parse_constraint("(forall x in t)(x.a = x.a)"), ctx) is None
+        assert evaluate_three_valued(parse_constraint("(forall x in t)(x.a = 1 or x.a != 1 or x.a = x.a)"), ctx) is None
+
+    def test_empty_aggregate_constraints_vacuously_satisfied(self):
+        schema = RelationSchema("t", [("a", INT)])
+        ctx = StandaloneContext({"t": Relation(schema)})
+        assert evaluate_constraint(parse_constraint("MIN(t, a) = 0"), ctx)
+        assert evaluate_constraint(parse_constraint("MIN(t, a) != 0"), ctx)
+        assert evaluate_constraint(parse_constraint("SUM(t, a) = 0"), ctx)
+        assert not evaluate_constraint(parse_constraint("SUM(t, a) = 1"), ctx)
+
+
+class TestErrors:
+    def test_attribute_out_of_range(self, ctx):
+        with pytest.raises(EvaluationError):
+            check("(forall x in r)(x.9 > 0)", ctx)
+
+    def test_division_by_zero(self, ctx):
+        with pytest.raises(EvaluationError):
+            check("(forall x in r)(x.a / 0 > 0)", ctx)
+
+    def test_validation_can_be_disabled(self, ctx):
+        from repro.calculus.parser import parse_constraint as parse
+
+        # An open formula fails validation, but validate=False skips it and
+        # the evaluator then reports the unbound variable at use time.
+        formula = parse("x.a > 0")
+        with pytest.raises(EvaluationError):
+            evaluate_constraint(formula, ctx, validate=False)

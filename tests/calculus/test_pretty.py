@@ -1,0 +1,52 @@
+"""CL rendering: ASCII round-trips and the paper's symbol form."""
+
+import pytest
+
+from repro.calculus.parser import parse_constraint
+from repro.calculus.pretty import render_constraint
+
+CONSTRAINTS = [
+    "(forall x)(x in beer => x.alcohol >= 0)",
+    "(forall x in beer)(exists y in brewery)(x.brewery = y.name)",
+    "(forall x, y)((x in emp and y in emp and x.dept = y.dept) => x.grade <= y.grade + 2)",
+    "(forall x in r)(forall y in s)(x.1 != y.2)",
+    "(exists x in r)(x.a > 10 or x.b < 0)",
+    "CNT(beer) <= 1000",
+    "SUM(emp, salary) + CNT(emp) <= 100000",
+    "MIN(r, a) != MAX(r, a) => CNT(r) >= 2",
+    "(forall x in emp)(forall o in emp@old)(x.id != o.id or x.salary >= o.salary)",
+    "(forall x in r)(not x.a = 1 and not x.b = 2)",
+    "(forall x in r)(exists y in r)(x = y)",
+    '(forall x in t)(x.name != "it\'s")',
+    "(forall x in r)((x.a + 1) * 2 > x.b / 2 - 3)",
+    "not (exists x in r)(x.a < 0)",
+]
+
+
+class TestAsciiRoundTrip:
+    @pytest.mark.parametrize("text", CONSTRAINTS)
+    def test_parse_render_parse(self, text):
+        formula = parse_constraint(text)
+        rendered = render_constraint(formula)
+        assert parse_constraint(rendered) == formula
+
+
+class TestSymbolForm:
+    def test_symbols_also_reparse(self):
+        for text in CONSTRAINTS:
+            formula = parse_constraint(text)
+            symbolic = render_constraint(formula, symbols=True)
+            assert parse_constraint(symbolic) == formula
+
+    def test_uses_paper_notation(self):
+        formula = parse_constraint("(forall x)(x in beer => x.alcohol >= 0)")
+        symbolic = render_constraint(formula, symbols=True)
+        assert "∀" in symbolic and "∈" in symbolic and "≥" in symbolic
+
+    def test_bounded_sugar_reintroduced(self):
+        formula = parse_constraint("(forall x)(x in beer => x.alcohol >= 0)")
+        assert render_constraint(formula) == "(forall x in beer)(x.alcohol >= 0)"
+
+    def test_unbounded_quantifier_rendered_plain(self):
+        formula = parse_constraint("(forall x)(not x in r or x.a > 0)")
+        assert render_constraint(formula).startswith("(forall x)(")

@@ -1,0 +1,86 @@
+"""Shared fixtures: the paper's schemas, populated databases, controllers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.subsystem import IntegrityController
+from repro.engine import Database, DatabaseSchema, RelationSchema, Session
+from repro.engine import FLOAT, INT, STRING
+from repro.workloads.beer import beer_controller, beer_database, beer_schema
+from repro.workloads.employees import (
+    employees_controller,
+    employees_database,
+)
+
+
+@pytest.fixture
+def schema() -> DatabaseSchema:
+    """The paper's beer/brewery schema."""
+    return beer_schema()
+
+
+@pytest.fixture
+def db(schema) -> Database:
+    """A small consistent beer database."""
+    database = Database(schema)
+    database.load(
+        "brewery",
+        [
+            ("heineken", "amsterdam", "nl"),
+            ("guinness", "dublin", "ie"),
+            ("grolsch", "enschede", "nl"),
+        ],
+    )
+    database.load(
+        "beer",
+        [
+            ("pils", "lager", "heineken", 5.0),
+            ("extra_stout", "stout", "guinness", 7.5),
+            ("premium", "lager", "grolsch", 5.1),
+        ],
+    )
+    return database
+
+
+@pytest.fixture
+def controller(schema) -> IntegrityController:
+    """The paper's rules R1 + R2 over the beer schema (static mode)."""
+    return beer_controller(schema)
+
+
+@pytest.fixture
+def session(db, controller) -> Session:
+    return Session(db, controller)
+
+
+@pytest.fixture
+def plain_session(db) -> Session:
+    """A session with no integrity control attached."""
+    return Session(db)
+
+
+@pytest.fixture
+def emp_db() -> Database:
+    return employees_database()
+
+
+@pytest.fixture
+def emp_controller() -> IntegrityController:
+    return employees_controller()
+
+
+@pytest.fixture
+def emp_session(emp_db, emp_controller) -> Session:
+    return Session(emp_db, emp_controller)
+
+
+@pytest.fixture
+def rs_pair() -> DatabaseSchema:
+    """Two small integer relations for translation/property tests."""
+    return DatabaseSchema(
+        [
+            RelationSchema("r", [("a", INT), ("b", INT)]),
+            RelationSchema("s", [("c", INT), ("d", INT)]),
+        ]
+    )

@@ -1,0 +1,121 @@
+"""Integrity programs and the compiled store (Def 6.3, Algs 6.1-6.2)."""
+
+import pytest
+
+from repro.algebra.parser import parse_program
+from repro.algebra.programs import Program
+from repro.calculus.parser import parse_constraint
+from repro.core.programs import IntegrityProgram, IntegrityProgramStore, get_int_p
+from repro.core.rules import IntegrityRule
+from repro.core.triggers import DEL, INS
+
+
+@pytest.fixture
+def domain_rule():
+    return IntegrityRule(parse_constraint("(forall x in r)(x.a > 0)"), name="dom")
+
+
+@pytest.fixture
+def fk_rule():
+    return IntegrityRule(
+        parse_constraint("(forall x in r)(exists y in s)(x.a = y.c)"), name="fk"
+    )
+
+
+class TestGetIntP:
+    def test_compiles_triggers_and_program(self, rs_pair, domain_rule):
+        compiled = get_int_p(domain_rule, rs_pair)
+        assert compiled.name == "dom"
+        assert compiled.triggers == {(INS, "r")}
+        assert len(compiled.program) == 1
+
+    def test_differential_variants_attached(self, rs_pair, fk_rule):
+        compiled = get_int_p(fk_rule, rs_pair, differential=True)
+        assert compiled.differentials is not None
+        assert set(compiled.differentials) == {(INS, "r"), (DEL, "s")}
+
+    def test_without_optimization(self, rs_pair, domain_rule):
+        compiled = get_int_p(domain_rule, rs_pair, optimize=False)
+        assert compiled.differentials is None
+        assert len(compiled.program) == 1
+
+
+class TestActionFor:
+    def test_full_program_without_differentials(self, rs_pair, domain_rule):
+        compiled = get_int_p(domain_rule, rs_pair)
+        assert compiled.action_for({(INS, "r")}) is compiled.program
+
+    def test_differential_selects_matched_variant(self, rs_pair, fk_rule):
+        compiled = get_int_p(fk_rule, rs_pair, differential=True)
+        ins_only = compiled.action_for({(INS, "r")})
+        assert ins_only == compiled.differentials[(INS, "r")]
+
+    def test_differential_union_of_variants(self, rs_pair, fk_rule):
+        compiled = get_int_p(fk_rule, rs_pair, differential=True)
+        both = compiled.action_for({(INS, "r"), (DEL, "s")})
+        assert len(both) == 2
+
+    def test_unexpected_trigger_falls_back_to_full(self, rs_pair, fk_rule):
+        compiled = get_int_p(fk_rule, rs_pair, differential=True)
+        assert compiled.action_for({(DEL, "r")}) is compiled.program
+
+
+class TestStore:
+    def test_add_get_remove(self, rs_pair, domain_rule):
+        store = IntegrityProgramStore()
+        compiled = get_int_p(domain_rule, rs_pair)
+        store.add(compiled)
+        assert "dom" in store
+        assert store.get("dom") is compiled
+        assert len(store) == 1
+        store.remove("dom")
+        assert "dom" not in store and len(store) == 0
+
+    def test_duplicate_name_rejected(self, rs_pair, domain_rule):
+        store = IntegrityProgramStore()
+        store.add(get_int_p(domain_rule, rs_pair))
+        with pytest.raises(KeyError):
+            store.add(get_int_p(domain_rule, rs_pair))
+
+    def test_sel_ps_matches_on_intersection(self, rs_pair, domain_rule, fk_rule):
+        store = IntegrityProgramStore()
+        store.add(get_int_p(domain_rule, rs_pair))
+        store.add(get_int_p(fk_rule, rs_pair))
+        matched = store.sel_ps(parse_program("insert(r, (1, 2))"))
+        assert [program.name for program in matched] == ["dom", "fk"]
+        matched = store.sel_ps(parse_program("delete(s, (1, 2))"))
+        assert [program.name for program in matched] == ["fk"]
+        assert store.sel_ps(parse_program("delete(r, (1, 2))")) == []
+
+    def test_trig_p_concatenates_in_insertion_order(self, rs_pair, domain_rule, fk_rule):
+        store = IntegrityProgramStore()
+        store.add(get_int_p(domain_rule, rs_pair))
+        store.add(get_int_p(fk_rule, rs_pair))
+        combined = store.trig_p(parse_program("insert(r, (1, 2))"))
+        assert len(combined) == 2
+
+    def test_trig_p_empty_for_non_triggering_program(self, rs_pair, domain_rule):
+        store = IntegrityProgramStore()
+        store.add(get_int_p(domain_rule, rs_pair))
+        quiet = Program(
+            parse_program("insert(r, (1, 2))").statements, non_triggering=True
+        )
+        assert store.trig_p(quiet).is_empty
+
+    def test_trig_p_skips_vacuous_differentials(self, rs_pair):
+        rule = IntegrityRule(
+            parse_constraint("(forall x in r)(x.a > 0)"),
+            triggers=[("INS", "r"), ("DEL", "r")],
+            name="dom2",
+        )
+        store = IntegrityProgramStore()
+        store.add(get_int_p(rule, rs_pair, differential=True))
+        # A pure delete cannot violate the domain constraint: nothing added.
+        assert store.trig_p(parse_program("delete(r, (1, 2))")).is_empty
+
+    def test_non_triggering_program_flag_stored(self, rs_pair):
+        program = Program(
+            parse_program("insert(r, (1, 2))").statements, non_triggering=True
+        )
+        compiled = IntegrityProgram("quiet", frozenset({(INS, "s")}), program)
+        assert compiled.non_triggering

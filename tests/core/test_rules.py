@@ -1,0 +1,88 @@
+"""Integrity rules (Def 4.7) and the paper's accessor functions."""
+
+import pytest
+
+from repro.algebra.parser import parse_program
+from repro.calculus.parser import parse_constraint
+from repro.core.rules import (
+    ABORT_ACTION,
+    IntegrityRule,
+    action_of,
+    condition_of,
+    triggers_of,
+)
+from repro.core.triggers import DEL, INS
+from repro.errors import AnalysisError, RuleError, UnsafeFormulaError
+
+
+DOMAIN = "(forall x in beer)(x.alcohol >= 0)"
+
+
+class TestConstruction:
+    def test_default_action_aborts(self):
+        rule = IntegrityRule(parse_constraint(DOMAIN))
+        assert rule.is_aborting and not rule.is_compensating
+        assert rule.action is ABORT_ACTION
+        assert rule.action_program().is_empty
+
+    def test_triggers_auto_generated(self):
+        rule = IntegrityRule(parse_constraint(DOMAIN))
+        assert rule.triggers == {(INS, "beer")}
+        assert rule.triggers_generated
+
+    def test_explicit_triggers(self):
+        rule = IntegrityRule(
+            parse_constraint(DOMAIN), triggers=[("INS", "beer"), ("DEL", "beer")]
+        )
+        assert rule.triggers == {(INS, "beer"), (DEL, "beer")}
+        assert not rule.triggers_generated
+
+    def test_compensating_action(self):
+        action = parse_program("delete(beer, where alcohol < 0)")
+        rule = IntegrityRule(parse_constraint(DOMAIN), action=action)
+        assert rule.is_compensating
+        assert rule.action_program() is action
+
+    def test_non_triggering_flag_applied_to_action(self):
+        action = parse_program("delete(beer, where alcohol < 0)")
+        rule = IntegrityRule(
+            parse_constraint(DOMAIN), action=action, non_triggering=True
+        )
+        assert rule.action_program().non_triggering
+
+    def test_names_unique_by_default(self):
+        first = IntegrityRule(parse_constraint(DOMAIN))
+        second = IntegrityRule(parse_constraint(DOMAIN))
+        assert first.name != second.name
+
+    def test_explicit_name(self):
+        rule = IntegrityRule(parse_constraint(DOMAIN), name="R1")
+        assert rule.name == "R1"
+        assert "R1" in repr(rule)
+
+
+class TestValidation:
+    def test_open_condition_rejected(self):
+        with pytest.raises(AnalysisError):
+            IntegrityRule(parse_constraint("x.a > 0"))
+
+    def test_unsafe_condition_rejected(self):
+        with pytest.raises(UnsafeFormulaError):
+            IntegrityRule(parse_constraint("(forall x)(x.a > 0)"))
+
+    def test_bad_action_type_rejected(self):
+        with pytest.raises(RuleError):
+            IntegrityRule(parse_constraint(DOMAIN), action="delete stuff")
+
+    def test_invalid_trigger_kind_rejected(self):
+        with pytest.raises(RuleError):
+            IntegrityRule(parse_constraint(DOMAIN), triggers=[("UPD", "beer")])
+
+
+class TestAccessors:
+    def test_paper_accessors(self):
+        condition = parse_constraint(DOMAIN)
+        rule = IntegrityRule(condition, name="R1")
+        assert triggers_of(rule) == rule.triggers
+        assert condition_of(rule) is condition
+        assert action_of(rule) is ABORT_ACTION

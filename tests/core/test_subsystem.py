@@ -1,0 +1,161 @@
+"""The IntegrityController facade."""
+
+import pytest
+
+from repro.core.subsystem import IntegrityController
+from repro.core.triggers import DEL, INS
+from repro.engine import Session
+from repro.errors import (
+    AnalysisError,
+    RuleError,
+    UnknownRelationError,
+)
+from repro.workloads.beer import BEER_RULE_DOMAIN, BEER_RULE_REFERENTIAL
+
+
+class TestRuleManagement:
+    def test_add_rule_from_text(self, schema):
+        controller = IntegrityController(schema)
+        rule = controller.add_rule(BEER_RULE_DOMAIN)
+        assert rule.name == "R1"
+        assert "R1" in controller.store
+        assert controller.rule("R1") is rule
+
+    def test_add_constraint_default_abort(self, schema):
+        controller = IntegrityController(schema)
+        rule = controller.add_constraint(
+            "alc", "(forall x in beer)(x.alcohol >= 0)"
+        )
+        assert rule.is_aborting
+        assert rule.triggers == {(INS, "beer")}
+
+    def test_add_constraint_with_program_response(self, schema):
+        controller = IntegrityController(schema)
+        rule = controller.add_constraint(
+            "alc",
+            "(forall x in beer)(x.alcohol >= 0)",
+            response="delete(beer, where alcohol < 0)",
+        )
+        assert rule.is_compensating
+
+    def test_duplicate_name_rejected(self, schema):
+        controller = IntegrityController(schema)
+        controller.add_constraint("alc", "(forall x in beer)(x.alcohol >= 0)")
+        with pytest.raises(RuleError):
+            controller.add_constraint("alc", "(forall x in beer)(x.alcohol >= 0)")
+
+    def test_remove_rule(self, schema):
+        controller = IntegrityController(schema)
+        controller.add_constraint("alc", "(forall x in beer)(x.alcohol >= 0)")
+        controller.remove_rule("alc")
+        assert controller.rules == []
+        assert "alc" not in controller.store
+        with pytest.raises(RuleError):
+            controller.rule("alc")
+
+    def test_unknown_mode_rejected(self, schema):
+        with pytest.raises(ValueError):
+            IntegrityController(schema, mode="lazy")
+
+
+class TestSchemaValidation:
+    def test_unknown_relation_rejected(self, schema):
+        controller = IntegrityController(schema)
+        with pytest.raises(UnknownRelationError):
+            controller.add_constraint("bad", "(forall x in ghost)(x.a > 0)")
+
+    def test_unknown_attribute_rejected(self, schema):
+        controller = IntegrityController(schema)
+        with pytest.raises(AnalysisError):
+            controller.add_constraint("bad", "(forall x in beer)(x.proof >= 0)")
+
+    def test_position_out_of_range_rejected(self, schema):
+        controller = IntegrityController(schema)
+        with pytest.raises(AnalysisError):
+            controller.add_constraint("bad", "(forall x in beer)(x.9 >= 0)")
+
+    def test_aggregate_attribute_checked(self, schema):
+        controller = IntegrityController(schema)
+        with pytest.raises(AnalysisError):
+            controller.add_constraint("bad", "SUM(beer, proof) >= 0")
+
+    def test_auxiliary_relations_resolve_to_base(self, schema):
+        controller = IntegrityController(schema)
+        controller.add_constraint(
+            "aux", "(forall x in beer@old)(x.alcohol >= 0)",
+            triggers=[("INS", "beer")],
+        )
+
+    def test_action_reading_unknown_relation_rejected(self, schema):
+        controller = IntegrityController(schema)
+        with pytest.raises(UnknownRelationError):
+            controller.add_constraint(
+                "bad",
+                "(forall x in beer)(x.alcohol >= 0)",
+                response="insert(beer, ghost)",
+            )
+
+    def test_action_may_read_own_temporaries(self, schema):
+        controller = IntegrityController(schema)
+        controller.add_constraint(
+            "ok",
+            "(forall x in beer)(x.alcohol >= 0)",
+            response="t := select(beer, alcohol < 0); delete(beer, t)",
+        )
+
+
+class TestEnforcementModes:
+    @pytest.mark.parametrize("mode", ["static", "dynamic"])
+    def test_both_modes_enforce(self, db, schema, mode):
+        controller = IntegrityController(schema, mode=mode)
+        controller.add_rule(BEER_RULE_DOMAIN)
+        session = Session(db, controller)
+        result = session.execute(
+            'begin insert(beer, ("bad", "ale", "heineken", -1.0)); end'
+        )
+        assert result.aborted
+        assert controller.last_stats is not None
+        assert controller.modifications == 1
+
+    def test_static_and_dynamic_produce_same_transaction(self, schema):
+        from repro.algebra.parser import parse_transaction
+
+        static = IntegrityController(schema, mode="static", differential=False)
+        dynamic = IntegrityController(schema, mode="dynamic", differential=False)
+        for controller in (static, dynamic):
+            controller.add_rule(BEER_RULE_DOMAIN)
+            controller.add_rule(BEER_RULE_REFERENTIAL)
+        txn_text = 'begin insert(beer, ("b", "ale", "heineken", 4.0)); end'
+        static_result = static.modify_transaction(parse_transaction(txn_text))
+        dynamic_result = dynamic.modify_transaction(parse_transaction(txn_text))
+        assert static_result.statements == dynamic_result.statements
+
+    def test_modify_program_inspection(self, schema):
+        from repro.algebra.parser import parse_program
+
+        controller = IntegrityController(schema)
+        controller.add_rule(BEER_RULE_DOMAIN)
+        program = parse_program('insert(beer, ("b", "ale", "h", 4.0))')
+        modified = controller.modify_program(program)
+        assert len(modified) == 2
+
+
+class TestDirectChecking:
+    def test_violated_constraints_empty_on_consistent_db(self, db, schema):
+        controller = IntegrityController(schema)
+        controller.add_rule(BEER_RULE_DOMAIN)
+        controller.add_rule(BEER_RULE_REFERENTIAL)
+        assert controller.violated_constraints(db) == []
+
+    def test_violated_constraints_reports_names(self, db, schema):
+        controller = IntegrityController(schema)
+        controller.add_rule(BEER_RULE_DOMAIN)
+        controller.add_rule(BEER_RULE_REFERENTIAL)
+        db.load("beer", [("rogue", "ale", "nowhere", -2.0)])
+        assert controller.violated_constraints(db) == ["R1", "R2"]
+
+    def test_validate_rules_returns_graph(self, schema):
+        controller = IntegrityController(schema)
+        controller.add_rule(BEER_RULE_DOMAIN)
+        graph = controller.validate_rules()
+        assert graph.is_acyclic

@@ -1,0 +1,159 @@
+"""Translation edge cases beyond the Table 1 families."""
+
+import pytest
+
+from repro.algebra import expressions as E
+from repro.algebra.evaluation import StandaloneContext
+from repro.algebra.statements import Alarm
+from repro.calculus.evaluation import evaluate_constraint
+from repro.calculus.parser import parse_constraint
+from repro.core.translation import (
+    CheckConstraint,
+    static_schema,
+    trans_c,
+)
+from repro.engine import DatabaseSchema, Relation, RelationSchema
+from repro.engine.types import INT
+from repro.errors import TranslationError
+
+
+@pytest.fixture
+def rs(rs_pair):
+    return rs_pair
+
+
+@pytest.fixture
+def ctx(rs):
+    return StandaloneContext(
+        {
+            "r": Relation(rs.relation("r"), [(1, 10), (2, 20), (3, 30)]),
+            "s": Relation(rs.relation("s"), [(1, 100), (2, 200)]),
+        }
+    )
+
+
+def verdicts_agree(text, rs, ctx):
+    program = trans_c(parse_constraint(text), rs)
+    statement = program.statements[0]
+    direct = evaluate_constraint(parse_constraint(text), ctx)
+    if isinstance(statement, Alarm):
+        fired = len(statement.expr.evaluate(ctx)) > 0
+    else:
+        from repro.errors import TransactionAborted
+
+        try:
+            statement.execute(ctx)
+            fired = False
+        except TransactionAborted:
+            fired = True
+    assert fired == (not direct)
+    return statement
+
+
+class TestGlobalConjuncts:
+    def test_variable_free_aggregate_inside_universal(self, rs, ctx):
+        # SUM(r,b)=60 and CNT(s)=2 here; the atom is variable-free.
+        statement = verdicts_agree(
+            "(forall x in r)(SUM(r, b) <= 100 or x.a > 99)", rs, ctx
+        )
+        assert isinstance(statement, Alarm)
+
+    def test_both_sides_aggregates(self, rs, ctx):
+        verdicts_agree("(forall x in r)(SUM(r, b) >= CNT(s))", rs, ctx)
+
+    def test_constant_only_comparison(self, rs, ctx):
+        verdicts_agree("(forall x in r)(1 <= 2 and x.a >= 1)", rs, ctx)
+
+    def test_aggregate_on_left_of_comparison(self, rs, ctx):
+        verdicts_agree("(forall x in r)(CNT(s) <= x.b)", rs, ctx)
+
+
+class TestDisjunctiveAnchors:
+    def test_disjunctive_range_falls_back(self, rs):
+        # Violations of (forall x)((x in r or x in s) => c) need a union of
+        # two anchors under a *conjunction* with not-c: outside the guarded
+        # fragment, so the honest fallback handles it.
+        program = trans_c(
+            parse_constraint("(forall x)((x in r or x in s) => x.a > 0)"),
+            rs,
+        )
+        assert isinstance(program.statements[0], CheckConstraint)
+
+    def test_fallback_verdict_still_correct(self, rs, ctx):
+        # Positional attributes: a variable ranging over two relations has
+        # no single schema for name resolution (per-relation typing).
+        verdicts_agree(
+            "(forall x)((x in r or x in s) => x.1 + x.2 > 0)", rs, ctx
+        )
+
+
+class TestTransitionConstraintTranslation:
+    def test_old_state_translates_to_auxiliary_scan(self, rs, ctx):
+        program = trans_c(
+            parse_constraint(
+                "(forall x in r)(forall o in r@old)"
+                "(x.a != o.a or x.b >= o.b)"
+            ),
+            rs,
+        )
+        alarm = program.statements[0]
+        assert isinstance(alarm, Alarm)
+        relations = alarm.expr.relations()
+        assert "r@old" in relations
+
+    def test_differential_relations_in_conditions(self, rs):
+        program = trans_c(
+            parse_constraint("(forall x in r@plus)(x.a > 0)"), rs
+        )
+        alarm = program.statements[0]
+        assert alarm.expr == E.Select(
+            E.RelationRef("r@plus"),
+            __import__("repro.algebra.predicates", fromlist=["Comparison"]).Comparison(
+                "<=",
+                __import__("repro.algebra.predicates", fromlist=["ColRef"]).ColRef("a"),
+                __import__("repro.algebra.predicates", fromlist=["Const"]).Const(0),
+            ),
+        )
+
+
+class TestStaticSchema:
+    def test_relation_ref(self, rs):
+        assert static_schema(E.RelationRef("r"), rs).arity == 2
+
+    def test_auxiliary_resolves_to_base(self, rs):
+        assert static_schema(E.RelationRef("r@plus"), rs).arity == 2
+
+    def test_set_operations_take_left(self, rs):
+        expr = E.Union(E.RelationRef("r"), E.RelationRef("r"))
+        assert static_schema(expr, rs).arity == 2
+
+    def test_join_concatenates(self, rs):
+        from repro.algebra import predicates as P
+
+        expr = E.Join(E.RelationRef("r"), E.RelationRef("s"), P.TRUE)
+        assert static_schema(expr, rs).arity == 4
+
+    def test_aggregates_single_column(self, rs):
+        assert static_schema(E.Count(E.RelationRef("r")), rs).arity == 1
+
+    def test_unknown_shape_rejected(self, rs):
+        with pytest.raises(TranslationError):
+            static_schema(E.Literal(((1,),)), rs)
+
+
+class TestNestedQuantifierChains:
+    CASES = [
+        # Triple chain with adjacent linking only.
+        "(forall x in r)(exists y in s)(exists z in s)"
+        "(x.a = y.c and y.d = z.d)",
+        # Negated inner existential with linking.
+        "(forall x in r)(not (exists y in s)(x.a = y.c and y.d > 150))",
+        # Mixed polarity chain.
+        "(forall x in r)(exists y in s)(x.a = y.c and "
+        "(forall z in s)(z.c != 99))",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_chains_translate_and_agree(self, text, rs, ctx):
+        statement = verdicts_agree(text, rs, ctx)
+        assert isinstance(statement, Alarm)

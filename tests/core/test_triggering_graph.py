@@ -1,0 +1,113 @@
+"""Triggering graphs: cycles and suppression (Section 6.1)."""
+
+import pytest
+
+from repro.algebra.parser import parse_program
+from repro.algebra.programs import Program
+from repro.calculus.parser import parse_constraint
+from repro.core.rules import IntegrityRule
+from repro.core.triggering_graph import TriggeringGraph
+from repro.errors import TriggerCycleError
+
+
+def compensating(name, condition, action):
+    return IntegrityRule(
+        parse_constraint(condition), action=parse_program(action), name=name
+    )
+
+
+def aborting(name, condition):
+    return IntegrityRule(parse_constraint(condition), name=name)
+
+
+@pytest.fixture
+def chain():
+    return [
+        compensating(
+            "ab", "(forall x in a)(exists y in b)(x.x = y.x)", "insert(b, diff(a, b))"
+        ),
+        compensating(
+            "bc", "(forall x in b)(exists y in c)(x.x = y.x)", "insert(c, diff(b, c))"
+        ),
+        aborting("cc", "(forall x in c)(x.x > 0)"),
+    ]
+
+
+@pytest.fixture
+def cycle():
+    return [
+        compensating(
+            "ab", "(forall x in a)(exists y in b)(x.x = y.x)", "insert(b, diff(a, b))"
+        ),
+        compensating(
+            "ba", "(forall x in b)(exists y in a)(x.x = y.x)", "insert(a, diff(b, a))"
+        ),
+    ]
+
+
+class TestGraphStructure:
+    def test_aborting_rules_have_no_out_edges(self, chain):
+        graph = TriggeringGraph(chain)
+        assert graph.successors("cc") == ()
+
+    def test_chain_edges(self, chain):
+        graph = TriggeringGraph(chain)
+        assert set(graph.edges) == {("ab", "bc"), ("bc", "cc")}
+        assert graph.vertices == ("ab", "bc", "cc")
+
+    def test_acyclic_chain(self, chain):
+        graph = TriggeringGraph(chain)
+        assert graph.is_acyclic
+        assert graph.cycles() == []
+        graph.validate()  # no raise
+        assert graph.triggering_depth() == 2
+
+    def test_self_loop_detected(self):
+        # A rule whose repair updates its own triggering relation.
+        rule = compensating(
+            "self", "(forall x in a)(x.x > 0)", "delete(a, where x <= 0); insert(a, {(1,)})"
+        )
+        graph = TriggeringGraph([rule])
+        assert not graph.is_acyclic
+        assert graph.cycles() == [["self"]]
+
+
+class TestCycles:
+    def test_two_cycle_detected(self, cycle):
+        graph = TriggeringGraph(cycle)
+        assert not graph.is_acyclic
+        assert sorted(sorted(c) for c in graph.cycles()) == [["ab", "ba"]]
+
+    def test_validate_raises_with_cycle_description(self, cycle):
+        graph = TriggeringGraph(cycle)
+        with pytest.raises(TriggerCycleError) as excinfo:
+            graph.validate()
+        assert "ab" in str(excinfo.value) and "ba" in str(excinfo.value)
+
+    def test_triggering_depth_raises_on_cycle(self, cycle):
+        with pytest.raises(TriggerCycleError):
+            TriggeringGraph(cycle).triggering_depth()
+
+    def test_non_triggering_action_removes_edges(self, cycle):
+        ab, ba = cycle
+        quiet_ba = IntegrityRule(
+            ba.condition,
+            action=Program(ba.action_program().statements, non_triggering=True),
+            name="ba",
+        )
+        graph = TriggeringGraph([ab, quiet_ba])
+        assert graph.is_acyclic
+        assert set(graph.edges) == {("ab", "ba")}
+
+    def test_suggest_non_triggering(self, cycle):
+        graph = TriggeringGraph(cycle)
+        suggestions = graph.suggest_non_triggering()
+        assert len(suggestions) == 1
+        assert suggestions[0] in ("ab", "ba")
+
+    def test_suggest_empty_for_acyclic(self, chain):
+        assert TriggeringGraph(chain).suggest_non_triggering() == []
+
+    def test_repr_mentions_cyclicity(self, cycle, chain):
+        assert "CYCLIC" in repr(TriggeringGraph(cycle))
+        assert "acyclic" in repr(TriggeringGraph(chain))

@@ -1,0 +1,96 @@
+"""Database states, snapshots, transitions (Defs 2.2-2.3)."""
+
+import pytest
+
+from repro.engine import Database, DatabaseSchema, Relation, RelationSchema
+from repro.engine.database import Transition
+from repro.engine.types import INT
+from repro.engine import naming
+from repro.errors import UnknownRelationError
+
+
+class TestDatabase:
+    def test_load_and_cardinalities(self, db):
+        assert db.cardinalities() == {"beer": 3, "brewery": 3}
+        assert db.total_tuples() == 6
+
+    def test_relation_lookup(self, db):
+        assert db.relation("beer").schema.name == "beer"
+        with pytest.raises(UnknownRelationError):
+            db.relation("ghost")
+
+    def test_contains_and_names(self, db):
+        assert "beer" in db and "ghost" not in db
+        assert db.relation_names == ("beer", "brewery")
+
+    def test_snapshot_restore(self, db):
+        snapshot = db.snapshot()
+        db.relation("beer").clear()
+        assert len(db.relation("beer")) == 0
+        db.restore(snapshot)
+        assert len(db.relation("beer")) == 3
+
+    def test_snapshot_is_independent(self, db):
+        snapshot = db.snapshot()
+        db.relation("beer").insert(("n", "ale", "heineken", 3.0))
+        assert len(snapshot["beer"]) == 3
+
+    def test_install_advances_time(self, db):
+        replacement = db.relation("beer").copy()
+        replacement.clear()
+        db.install({"beer": replacement})
+        assert db.logical_time == 1
+        assert len(db.relation("beer")) == 0
+
+    def test_install_unknown_relation(self, db):
+        with pytest.raises(UnknownRelationError):
+            db.install({"ghost": db.relation("beer").copy()})
+
+    def test_add_relation(self, db):
+        new_schema = RelationSchema("stock", [("qty", INT)])
+        db.add_relation(new_schema, [(5,)])
+        assert len(db.relation("stock")) == 1
+        assert "stock" in db.schema
+
+    def test_load_returns_inserted_count(self, db):
+        inserted = db.load("beer", [("pils", "lager", "heineken", 5.0), ("n", "ale", "heineken", 3.0)])
+        assert inserted == 1  # the first row already existed
+
+
+class TestTransition:
+    def test_single_step(self, db):
+        pre = db.snapshot()
+        db.install({"beer": db.relation("beer").copy()})
+        post = db.snapshot()
+        transition = Transition(pre, post, 0, db.logical_time)
+        assert transition.is_single_step
+        assert "t=0 -> t=1" in repr(transition)
+
+    def test_multi_step(self, db):
+        transition = Transition(db.snapshot(), db.snapshot(), 0, 5)
+        assert not transition.is_single_step
+
+
+class TestAuxiliaryNaming:
+    def test_names(self):
+        assert naming.old_name("r") == "r@old"
+        assert naming.plus_name("r") == "r@plus"
+        assert naming.minus_name("r") == "r@minus"
+
+    def test_split(self):
+        assert naming.split_auxiliary("r@old") == ("r", "old")
+        assert naming.split_auxiliary("r") == ("r", None)
+
+    def test_split_malformed(self):
+        with pytest.raises(ValueError):
+            naming.split_auxiliary("r@bogus")
+        with pytest.raises(ValueError):
+            naming.split_auxiliary("@old")
+
+    def test_base_of(self):
+        assert naming.base_of("beer@plus") == "beer"
+        assert naming.base_of("beer") == "beer"
+
+    def test_is_auxiliary(self):
+        assert naming.is_auxiliary("beer@minus")
+        assert not naming.is_auxiliary("beer")

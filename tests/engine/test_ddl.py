@@ -1,0 +1,75 @@
+"""The DDL text form for relation schemas."""
+
+import pytest
+
+from repro.ddl import parse_relation_schema, parse_schema, render_relation_schema
+from repro.engine.types import BOOL, FLOAT, INT, STRING
+from repro.errors import ParseError
+
+
+class TestParseRelation:
+    def test_basic(self):
+        schema = parse_relation_schema(
+            "relation beer(name string, type string, brewery string, alcohol float)"
+        )
+        assert schema.name == "beer"
+        assert schema.arity == 4
+        assert schema.attribute_at("alcohol").domain is FLOAT
+
+    def test_nullable_marker(self):
+        schema = parse_relation_schema(
+            "relation brewery(name string, city string null)"
+        )
+        assert not schema.attribute_at("name").nullable
+        assert schema.attribute_at("city").nullable
+
+    def test_domain_aliases(self):
+        schema = parse_relation_schema(
+            "relation t(a integer, b real, c text, d boolean)"
+        )
+        domains = [attribute.domain for attribute in schema.attributes]
+        assert domains == [INT, FLOAT, STRING, BOOL]
+
+    def test_unknown_domain(self):
+        with pytest.raises(ParseError):
+            parse_relation_schema("relation t(a decimal)")
+
+    def test_missing_keyword(self):
+        with pytest.raises(ParseError):
+            parse_relation_schema("table t(a int)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_relation_schema("relation t(a int) extra")
+
+
+class TestParseSchema:
+    def test_multiple_relations(self):
+        schema = parse_schema(
+            """
+            relation r(a int, b int);
+            relation s(c int, d string null)
+            """
+        )
+        assert schema.relation_names == ("r", "s")
+
+    def test_semicolons_optional(self):
+        schema = parse_schema("relation r(a int) relation s(b int)")
+        assert len(schema) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_schema("   ")
+
+
+class TestRoundTrip:
+    CASES = [
+        "relation beer(name string, alcohol float)",
+        "relation t(a int, b string null, c bool)",
+        "relation one(only float null)",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_render_parse(self, text):
+        schema = parse_relation_schema(text)
+        assert parse_relation_schema(render_relation_schema(schema)) == schema

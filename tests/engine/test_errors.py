@@ -1,0 +1,74 @@
+"""The exception hierarchy: catchability contracts."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        leaves = [
+            errors.SchemaError("x"),
+            errors.TypeMismatchError("x"),
+            errors.UnknownRelationError("r"),
+            errors.UnknownAttributeError("a", "r"),
+            errors.DuplicateRelationError("x"),
+            errors.LexError("bad", 0, "text"),
+            errors.ParseError("x"),
+            errors.AnalysisError("x"),
+            errors.UnsafeFormulaError("x"),
+            errors.EvaluationError("x"),
+            errors.TransactionAborted("x"),
+            errors.NoActiveTransactionError("x"),
+            errors.NestedTransactionError("x"),
+            errors.ConstraintViolation("c"),
+            errors.TriggerCycleError([["a", "b", "a"]]),
+            errors.RuleError("x"),
+            errors.TranslationError("x"),
+            errors.FragmentationError("x"),
+        ]
+        for error in leaves:
+            assert isinstance(error, errors.ReproError)
+
+    def test_language_errors_catchable_together(self):
+        for error in (
+            errors.LexError("bad", 0, "text"),
+            errors.ParseError("x"),
+            errors.AnalysisError("x"),
+            errors.UnsafeFormulaError("x"),
+        ):
+            assert isinstance(error, errors.LanguageError)
+
+    def test_integrity_errors_catchable_together(self):
+        for error in (
+            errors.ConstraintViolation("c"),
+            errors.TriggerCycleError([["a"]]),
+            errors.RuleError("x"),
+            errors.TranslationError("x"),
+        ):
+            assert isinstance(error, errors.IntegrityError)
+
+    def test_transaction_aborted_carries_reason(self):
+        error = errors.TransactionAborted("why not")
+        assert error.reason == "why not"
+        assert "why not" in str(error)
+
+    def test_unknown_relation_message(self):
+        error = errors.UnknownRelationError("ghost", "somewhere")
+        assert "ghost" in str(error) and "somewhere" in str(error)
+        assert error.name == "ghost"
+
+    def test_lex_error_snippet(self):
+        error = errors.LexError("unexpected character", 10, "0123456789X123")
+        assert "position 10" in str(error)
+        assert "X" in str(error)
+
+    def test_cycle_error_formats_cycles(self):
+        error = errors.TriggerCycleError([["a", "b", "a"], ["c", "c"]])
+        assert "a -> b -> a" in str(error)
+        assert error.cycles == [["a", "b", "a"], ["c", "c"]]
+
+    def test_constraint_violation_detail(self):
+        error = errors.ConstraintViolation("fk", "3 dangling rows")
+        assert "fk" in str(error) and "3 dangling rows" in str(error)
+        assert error.constraint_name == "fk"

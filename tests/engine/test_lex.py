@@ -1,0 +1,121 @@
+"""The shared tokenizer."""
+
+import pytest
+
+from repro.errors import LexError, ParseError
+from repro.lex import Token, TokenStream, tokenize
+
+
+def kinds(text):
+    return [(token.kind, token.value) for token in tokenize(text)[:-1]]
+
+
+class TestTokens:
+    def test_names_and_numbers(self):
+        assert kinds("beer 42 3.14") == [
+            ("NAME", "beer"),
+            ("INT", 42),
+            ("FLOAT", 3.14),
+        ]
+
+    def test_scientific_notation(self):
+        assert kinds("1e3 2.5e-2") == [("FLOAT", 1000.0), ("FLOAT", 0.025)]
+
+    def test_integer_dot_not_float_without_digit(self):
+        # "1." followed by a name is INT, OP, NAME (attribute selection).
+        assert kinds("x.1") == [("NAME", "x"), ("OP", "."), ("INT", 1)]
+
+    def test_strings_with_escapes(self):
+        tokens = kinds(r'"a\"b" ' + r"'c\nd'")
+        assert tokens == [("STRING", 'a"b'), ("STRING", "c\nd")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_operators_longest_match(self):
+        assert kinds(":= => <= >= != <") == [
+            ("OP", ":="),
+            ("OP", "=>"),
+            ("OP", "<="),
+            ("OP", ">="),
+            ("OP", "!="),
+            ("OP", "<"),
+        ]
+
+    def test_unicode_aliases(self):
+        assert kinds("∀ ∃ ∧ ∨ ¬ ⇒ ∈ ≠ ≤ ≥") == [
+            ("NAME", "forall"),
+            ("NAME", "exists"),
+            ("NAME", "and"),
+            ("NAME", "or"),
+            ("NAME", "not"),
+            ("OP", "=>"),
+            ("NAME", "in"),
+            ("OP", "!="),
+            ("OP", "<="),
+            ("OP", ">="),
+        ]
+
+    def test_auxiliary_names_single_token(self):
+        assert kinds("beer@old beer@plus beer@minus") == [
+            ("NAME", "beer@old"),
+            ("NAME", "beer@plus"),
+            ("NAME", "beer@minus"),
+        ]
+
+    def test_bad_auxiliary_suffix(self):
+        with pytest.raises(LexError):
+            tokenize("beer@new")
+
+    def test_comments_skipped(self):
+        assert kinds("a # comment\n b") == [("NAME", "a"), ("NAME", "b")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_eof_token(self):
+        assert tokenize("")[-1] == Token("EOF", None, "", 0)
+
+
+class TestTokenStream:
+    def test_accept_and_expect(self):
+        stream = TokenStream("a , b")
+        assert stream.accept("NAME").value == "a"
+        assert stream.accept("OP", ";") is None
+        stream.expect("OP", ",")
+        assert stream.expect("NAME").value == "b"
+        stream.expect_eof()
+
+    def test_keyword_matching_case_insensitive(self):
+        stream = TokenStream("FORALL")
+        assert stream.at_name("forall")
+        assert stream.accept_name("forall") is not None
+
+    def test_expect_error_message(self):
+        stream = TokenStream("a")
+        with pytest.raises(ParseError, match="expected ','"):
+            stream.expect("OP", ",")
+
+    def test_expect_eof_error(self):
+        stream = TokenStream("a b")
+        stream.advance()
+        with pytest.raises(ParseError, match="trailing input"):
+            stream.expect_eof()
+
+    def test_peek_does_not_advance(self):
+        stream = TokenStream("a b")
+        assert stream.peek().value == "b"
+        assert stream.current.value == "a"
+
+    def test_advance_stops_at_eof(self):
+        stream = TokenStream("a")
+        stream.advance()
+        assert stream.advance().kind == "EOF"
+        assert stream.advance().kind == "EOF"

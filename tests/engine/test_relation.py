@@ -1,0 +1,126 @@
+"""Relation instances: set and multiset semantics."""
+
+import pytest
+
+from repro.engine import Relation, RelationSchema
+from repro.engine.types import INT, STRING
+from repro.errors import TypeMismatchError
+
+
+@pytest.fixture
+def schema() -> RelationSchema:
+    return RelationSchema("t", [("a", INT), ("b", STRING)])
+
+
+@pytest.fixture
+def relation(schema) -> Relation:
+    return Relation(schema, [(1, "x"), (2, "y")])
+
+
+class TestSetSemantics:
+    def test_len_and_contains(self, relation):
+        assert len(relation) == 2
+        assert (1, "x") in relation
+        assert (3, "z") not in relation
+
+    def test_duplicate_insert_is_noop(self, relation):
+        assert relation.insert((1, "x")) is False
+        assert len(relation) == 2
+
+    def test_new_insert(self, relation):
+        assert relation.insert((3, "z")) is True
+        assert len(relation) == 3
+
+    def test_delete_present(self, relation):
+        assert relation.delete((1, "x")) is True
+        assert len(relation) == 1
+
+    def test_delete_absent(self, relation):
+        assert relation.delete((9, "q")) is False
+        assert len(relation) == 2
+
+    def test_insert_validates(self, relation):
+        with pytest.raises(TypeMismatchError):
+            relation.insert(("bad", "x"))
+        with pytest.raises(TypeMismatchError):
+            relation.insert((1,))
+
+    def test_insert_many_counts_changes(self, relation):
+        assert relation.insert_many([(1, "x"), (5, "v"), (6, "w")]) == 2
+
+    def test_delete_many_counts_changes(self, relation):
+        assert relation.delete_many([(1, "x"), (9, "nope")]) == 1
+
+    def test_equality_is_content_based(self, schema, relation):
+        same = Relation(schema, [(2, "y"), (1, "x")])
+        assert relation == same
+        same.insert((3, "z"))
+        assert relation != same
+
+    def test_unhashable(self, relation):
+        with pytest.raises(TypeError):
+            hash(relation)
+
+    def test_copy_independent(self, relation):
+        clone = relation.copy()
+        clone.insert((3, "z"))
+        assert len(relation) == 2
+        assert len(clone) == 3
+
+    def test_to_set_and_sorted_rows(self, relation):
+        assert relation.to_set() == frozenset({(1, "x"), (2, "y")})
+        assert relation.sorted_rows() == [(1, "x"), (2, "y")]
+
+    def test_filtered(self, relation):
+        filtered = relation.filtered(lambda row: row[0] > 1)
+        assert filtered.to_set() == frozenset({(2, "y")})
+        assert len(relation) == 2  # original untouched
+
+    def test_clear_and_replace(self, schema, relation):
+        other = Relation(schema, [(7, "seven")])
+        relation.replace_contents(other)
+        assert relation.to_set() == frozenset({(7, "seven")})
+        relation.clear()
+        assert len(relation) == 0
+        assert not relation
+
+    def test_with_schema_arity_check(self, relation):
+        narrow = RelationSchema("n", [("only", INT)])
+        with pytest.raises(TypeMismatchError):
+            relation.with_schema(narrow)
+
+
+class TestBagSemantics:
+    def test_duplicates_accumulate(self, schema):
+        bag = Relation(schema, bag=True)
+        assert bag.insert((1, "x")) is True
+        assert bag.insert((1, "x")) is True
+        assert len(bag) == 2
+        assert bag.distinct_count() == 1
+        assert bag.multiplicity((1, "x")) == 2
+
+    def test_iteration_yields_duplicates(self, schema):
+        bag = Relation(schema, [(1, "x"), (1, "x"), (2, "y")], bag=True)
+        assert sorted(bag) == [(1, "x"), (1, "x"), (2, "y")]
+
+    def test_delete_removes_one_occurrence(self, schema):
+        bag = Relation(schema, [(1, "x"), (1, "x")], bag=True)
+        assert bag.delete((1, "x")) is True
+        assert len(bag) == 1
+        assert bag.delete((1, "x")) is True
+        assert len(bag) == 0
+
+    def test_multiplicity_of_absent_row(self, schema):
+        bag = Relation(schema, bag=True)
+        assert bag.multiplicity((1, "x")) == 0
+
+    def test_set_vs_bag_equality(self, schema):
+        bag = Relation(schema, [(1, "x"), (1, "x")], bag=True)
+        flat = Relation(schema, [(1, "x")])
+        assert bag != flat
+        single_bag = Relation(schema, [(1, "x")], bag=True)
+        assert single_bag == flat
+
+    def test_rows_iterates_distinct(self, schema):
+        bag = Relation(schema, [(1, "x"), (1, "x")], bag=True)
+        assert list(bag.rows()) == [(1, "x")]

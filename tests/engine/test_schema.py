@@ -1,0 +1,132 @@
+"""Relation and database schemas (paper Defs 2.1-2.2)."""
+
+import pytest
+
+from repro.engine import Attribute, DatabaseSchema, RelationSchema
+from repro.engine.types import FLOAT, INT, STRING
+from repro.errors import (
+    DuplicateRelationError,
+    SchemaError,
+    TypeMismatchError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+
+
+@pytest.fixture
+def emp() -> RelationSchema:
+    return RelationSchema(
+        "emp", [("id", INT), ("name", STRING), ("salary", FLOAT)]
+    )
+
+
+class TestAttribute:
+    def test_domain_by_string(self):
+        attribute = Attribute("age", "int")
+        assert attribute.domain is INT
+
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("9lives", INT)
+        with pytest.raises(SchemaError):
+            Attribute("has space", INT)
+        with pytest.raises(SchemaError):
+            Attribute("", INT)
+
+    def test_as_nullable(self):
+        attribute = Attribute("a", INT)
+        nullable = attribute.as_nullable()
+        assert nullable.nullable and not attribute.nullable
+        assert nullable.as_nullable() is nullable
+
+    def test_equality_and_hash(self):
+        assert Attribute("a", INT) == Attribute("a", INT)
+        assert Attribute("a", INT) != Attribute("a", FLOAT)
+        assert hash(Attribute("a", INT)) == hash(Attribute("a", INT))
+
+
+class TestRelationSchema:
+    def test_arity_and_names(self, emp):
+        assert emp.arity == 3
+        assert emp.attribute_names == ("id", "name", "salary")
+
+    def test_position_of_by_name_and_index(self, emp):
+        assert emp.position_of("id") == 1
+        assert emp.position_of("salary") == 3
+        assert emp.position_of(2) == 2
+
+    def test_position_of_unknown(self, emp):
+        with pytest.raises(UnknownAttributeError):
+            emp.position_of("age")
+        with pytest.raises(UnknownAttributeError):
+            emp.position_of(0)
+        with pytest.raises(UnknownAttributeError):
+            emp.position_of(4)
+
+    def test_attribute_at(self, emp):
+        assert emp.attribute_at("name").domain is STRING
+        assert emp.attribute_at(1).name == "id"
+
+    def test_duplicate_attribute_names(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("t", [("a", INT), ("a", STRING)])
+
+    def test_empty_attributes(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("t", [])
+
+    def test_validate_tuple_ok(self, emp):
+        assert emp.validate_tuple((1, "ann", 100.0)) == (1, "ann", 100.0)
+
+    def test_validate_tuple_coerces_float(self, emp):
+        validated = emp.validate_tuple((1, "ann", 100))
+        assert validated[2] == 100.0
+        assert isinstance(validated[2], float)
+
+    def test_validate_tuple_wrong_arity(self, emp):
+        with pytest.raises(TypeMismatchError):
+            emp.validate_tuple((1, "ann"))
+
+    def test_validate_tuple_wrong_domain(self, emp):
+        with pytest.raises(TypeMismatchError):
+            emp.validate_tuple(("one", "ann", 100.0))
+
+    def test_union_compatibility(self, emp):
+        clone = emp.renamed("emp2")
+        assert emp.is_union_compatible(clone)
+        other = RelationSchema("t", [("x", INT)])
+        assert not emp.is_union_compatible(other)
+
+    def test_renamed_keeps_attributes(self, emp):
+        clone = emp.renamed("staff")
+        assert clone.name == "staff"
+        assert clone.attributes == emp.attributes
+
+    def test_equality(self, emp):
+        assert emp == RelationSchema(
+            "emp", [("id", INT), ("name", STRING), ("salary", FLOAT)]
+        )
+        assert emp != emp.renamed("other")
+
+
+class TestDatabaseSchema:
+    def test_add_and_lookup(self, emp):
+        db_schema = DatabaseSchema([emp])
+        assert db_schema.relation("emp") is emp
+        assert "emp" in db_schema
+        assert len(db_schema) == 1
+
+    def test_duplicate_relation(self, emp):
+        db_schema = DatabaseSchema([emp])
+        with pytest.raises(DuplicateRelationError):
+            db_schema.add(emp.renamed("emp"))
+
+    def test_unknown_relation(self):
+        with pytest.raises(UnknownRelationError):
+            DatabaseSchema([]).relation("ghost")
+
+    def test_iteration_order(self, emp):
+        other = RelationSchema("dept", [("id", INT)])
+        db_schema = DatabaseSchema([emp, other])
+        assert [schema.name for schema in db_schema] == ["emp", "dept"]
+        assert db_schema.relation_names == ("emp", "dept")

@@ -1,0 +1,106 @@
+"""The Session facade and DatabaseView resolution."""
+
+import pytest
+
+from repro.engine import Relation, Session
+from repro.engine.session import DatabaseView
+from repro.errors import UnknownRelationError
+
+
+class TestQueries:
+    def test_query_returns_relation(self, plain_session):
+        result = plain_session.query("select(beer, alcohol > 5.0)")
+        assert isinstance(result, Relation)
+        assert len(result) == 2
+
+    def test_rows_sorted_deterministically(self, plain_session):
+        rows = plain_session.rows("project(beer, [name])")
+        assert rows == sorted(rows, key=repr)
+
+    def test_query_does_not_change_state(self, db, plain_session):
+        before = db.relation("beer").to_set()
+        plain_session.query("diff(beer, beer)")
+        assert db.relation("beer").to_set() == before
+        assert db.logical_time == 0
+
+    def test_query_with_aggregate(self, plain_session):
+        assert plain_session.rows("cnt(beer)") == [(3,)]
+
+    def test_query_unknown_relation(self, plain_session):
+        with pytest.raises(UnknownRelationError):
+            plain_session.query("ghost")
+
+
+class TestTransactionHelpers:
+    def test_transaction_from_text(self, plain_session):
+        txn = plain_session.transaction("begin end")
+        assert len(txn) == 0
+
+    def test_transaction_passthrough(self, plain_session):
+        txn = plain_session.transaction("begin end")
+        assert plain_session.transaction(txn) is txn
+
+    def test_execute_without_controller_does_not_modify(self, db, plain_session):
+        result = plain_session.execute(
+            'begin insert(beer, ("n", "ale", "heineken", -1.0)); end'
+        )
+        # No controller: even a "violating" insert commits.
+        assert result.committed
+
+    def test_verify_integrity_without_controller(self, plain_session):
+        assert plain_session.verify_integrity() == []
+
+    def test_verify_integrity_with_controller(self, session, db):
+        assert session.verify_integrity() == []
+        db.load("beer", [("rogue", "ale", "nowhere", -1.0)])
+        assert set(session.verify_integrity()) == {"R1", "R2"}
+
+
+class TestDatabaseView:
+    def test_base_resolution(self, db):
+        view = DatabaseView(db)
+        assert view.resolve("beer") is db.relation("beer")
+
+    def test_old_resolves_to_current_state(self, db):
+        view = DatabaseView(db)
+        assert view.resolve("beer@old").to_set() == db.relation("beer").to_set()
+
+    def test_differentials_resolve_empty(self, db):
+        view = DatabaseView(db)
+        assert len(view.resolve("beer@plus")) == 0
+        assert len(view.resolve("beer@minus")) == 0
+
+    def test_unknown_base(self, db):
+        with pytest.raises(UnknownRelationError):
+            DatabaseView(db).resolve("ghost@plus")
+
+
+class TestCorrectTransactionPredicate:
+    """Def 3.5 via IntegrityController.is_correct_transaction."""
+
+    def test_correct_transaction(self, db, controller):
+        txn = Session(db).transaction(
+            'begin insert(beer, ("ok", "ale", "heineken", 4.0)); end'
+        )
+        assert controller.is_correct_transaction(db, txn)
+
+    def test_incorrect_transaction(self, db, controller):
+        txn = Session(db).transaction(
+            'begin insert(beer, ("bad", "ale", "heineken", -4.0)); end'
+        )
+        assert not controller.is_correct_transaction(db, txn)
+
+    def test_predicate_is_non_destructive(self, db, controller):
+        before = db.relation("beer").to_set()
+        txn = Session(db).transaction(
+            'begin insert(beer, ("bad", "ale", "heineken", -4.0)); end'
+        )
+        controller.is_correct_transaction(db, txn)
+        assert db.relation("beer").to_set() == before
+        assert db.logical_time == 0
+
+    def test_aborting_transaction_is_vacuously_correct(self, db, controller):
+        txn = Session(db).transaction(
+            'begin insert(beer, ("x", "ale", "heineken", 4.0)); abort; end'
+        )
+        assert controller.is_correct_transaction(db, txn)

@@ -1,0 +1,209 @@
+"""The transaction model: atomicity, differentials, pre-state (Def 2.5)."""
+
+import pytest
+
+from repro.algebra import parse_program, parse_transaction
+from repro.algebra.programs import bracket, debracket
+from repro.engine.transaction import (
+    Transaction,
+    TransactionContext,
+    TransactionManager,
+    TransactionStatus,
+)
+from repro.errors import (
+    NoActiveTransactionError,
+    UnknownRelationError,
+)
+
+
+class TestTransactionObject:
+    def test_statements_from_program(self):
+        txn = parse_transaction('begin insert(beer, ("a", "b", "c", 1.0)); end')
+        assert len(txn) == 1
+
+    def test_statements_from_sequence(self):
+        program = parse_program('insert(beer, ("a", "b", "c", 1.0))')
+        txn = Transaction(list(program.statements))
+        assert len(txn.statements) == 1
+
+    def test_names_unique(self):
+        first = Transaction([])
+        second = Transaction([])
+        assert first.name != second.name
+
+    def test_debracket_bracket_roundtrip(self):
+        program = parse_program('insert(beer, ("a", "b", "c", 1.0))')
+        txn = bracket(program, name="t")
+        assert debracket(txn) is program
+
+
+class TestExecution:
+    def test_commit_advances_logical_time(self, db, plain_session):
+        assert db.logical_time == 0
+        result = plain_session.execute(
+            'begin insert(beer, ("new", "ale", "heineken", 4.5)); end'
+        )
+        assert result.committed
+        assert db.logical_time == 1
+        assert result.pre_time == 0 and result.post_time == 1
+
+    def test_abort_keeps_logical_time(self, db, plain_session):
+        result = plain_session.execute(
+            'begin insert(beer, ("new", "ale", "heineken", 4.5)); abort; end'
+        )
+        assert result.aborted
+        assert db.logical_time == 0
+
+    def test_atomicity_on_abort(self, db, plain_session):
+        before = db.relation("beer").to_set()
+        result = plain_session.execute(
+            """
+            begin
+                insert(beer, ("doomed", "ale", "heineken", 4.5));
+                delete(beer, ("pils", "lager", "heineken", 5.0));
+                abort "nope";
+            end
+            """
+        )
+        assert result.aborted and result.reason == "nope"
+        assert db.relation("beer").to_set() == before
+
+    def test_intermediate_states_visible_within_transaction(self, db, plain_session):
+        # A delete inside the transaction is seen by a later alarm check.
+        result = plain_session.execute(
+            """
+            begin
+                delete(beer, where brewery = "heineken");
+                alarm(select(beer, brewery = "heineken"), "should be empty");
+            end
+            """
+        )
+        assert result.committed
+
+    def test_temporaries_dropped_at_commit(self, db, plain_session):
+        result = plain_session.execute(
+            "begin t1 := select(beer, alcohol > 5.0); end"
+        )
+        assert result.committed
+        assert "t1" not in db
+
+    def test_manager_counters(self, db, plain_session):
+        plain_session.execute("begin end")
+        plain_session.execute("begin abort; end")
+        manager = plain_session.manager
+        assert manager.executed == 2
+        assert manager.committed == 1
+        assert manager.aborted == 1
+
+    def test_result_tuple_counts(self, db, plain_session):
+        result = plain_session.execute(
+            """
+            begin
+                insert(beer, ("one", "ale", "heineken", 4.5));
+                insert(beer, ("two", "ale", "heineken", 4.6));
+                delete(beer, ("pils", "lager", "heineken", 5.0));
+            end
+            """
+        )
+        assert result.tuples_inserted == 2
+        assert result.tuples_deleted == 1
+
+    def test_no_active_context_outside_transaction(self, db, plain_session):
+        with pytest.raises(NoActiveTransactionError):
+            plain_session.manager.active_context
+
+
+class TestDifferentials:
+    def test_plus_tracks_net_inserts(self, db):
+        context = TransactionContext(db)
+        context.insert_rows("beer", [("n1", "ale", "heineken", 4.0)])
+        assert context.resolve("beer@plus").to_set() == {
+            ("n1", "ale", "heineken", 4.0)
+        }
+        assert len(context.resolve("beer@minus")) == 0
+
+    def test_insert_then_delete_nets_out(self, db):
+        context = TransactionContext(db)
+        row = ("n1", "ale", "heineken", 4.0)
+        context.insert_rows("beer", [row])
+        context.delete_rows("beer", [row])
+        assert len(context.resolve("beer@plus")) == 0
+        assert len(context.resolve("beer@minus")) == 0
+
+    def test_delete_then_reinsert_nets_out(self, db):
+        context = TransactionContext(db)
+        row = ("pils", "lager", "heineken", 5.0)
+        context.delete_rows("beer", [row])
+        assert context.resolve("beer@minus").to_set() == {row}
+        context.insert_rows("beer", [row])
+        assert len(context.resolve("beer@minus")) == 0
+        assert len(context.resolve("beer@plus")) == 0
+
+    def test_duplicate_insert_not_in_plus(self, db):
+        context = TransactionContext(db)
+        context.insert_rows("beer", [("pils", "lager", "heineken", 5.0)])
+        assert len(context.resolve("beer@plus")) == 0
+
+    def test_old_is_pre_transaction_state(self, db):
+        context = TransactionContext(db)
+        before = db.relation("beer").to_set()
+        context.insert_rows("beer", [("n1", "ale", "heineken", 4.0)])
+        assert context.resolve("beer@old").to_set() == before
+        assert ("n1", "ale", "heineken", 4.0) in context.resolve("beer")
+
+    def test_modified_relations(self, db):
+        context = TransactionContext(db)
+        context.insert_rows("beer", [("n1", "ale", "heineken", 4.0)])
+        assert context.modified_relations() == ("beer",)
+
+    def test_commit_installs_working_set(self, db):
+        context = TransactionContext(db)
+        context.insert_rows("beer", [("n1", "ale", "heineken", 4.0)])
+        context.commit()
+        assert ("n1", "ale", "heineken", 4.0) in db.relation("beer")
+
+    def test_temp_cannot_shadow_base(self, db):
+        from repro.engine import Relation
+
+        context = TransactionContext(db)
+        with pytest.raises(UnknownRelationError):
+            context.set_temp("beer", Relation(db.relation_schema("beer")))
+
+    def test_temp_cannot_be_auxiliary(self, db):
+        from repro.engine import Relation
+
+        context = TransactionContext(db)
+        with pytest.raises(UnknownRelationError):
+            context.set_temp("x@plus", Relation(db.relation_schema("beer")))
+
+    def test_resolve_unknown(self, db):
+        context = TransactionContext(db)
+        with pytest.raises(UnknownRelationError):
+            context.resolve("ghost")
+        with pytest.raises(UnknownRelationError):
+            context.resolve("ghost@plus")
+
+
+class TestModifierHook:
+    def test_modifier_applied(self, db):
+        calls = []
+
+        def modifier(txn):
+            calls.append(txn.name)
+            return txn
+
+        manager = TransactionManager(db, modifier=modifier)
+        txn = parse_transaction("begin end")
+        manager.execute(txn)
+        assert calls == [txn.name]
+
+    def test_modifier_skipped_when_disabled(self, db):
+        calls = []
+
+        def modifier(txn):
+            calls.append(txn.name)
+            return txn
+
+        manager = TransactionManager(db, modifier=modifier)
+        manager.execute(parse_transaction("begin end"), modify=False)
+        assert calls == []

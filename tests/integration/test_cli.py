@@ -1,0 +1,156 @@
+"""The interactive shell, driven through injected streams."""
+
+import io
+
+import pytest
+
+from repro.cli import Shell
+
+
+def run_shell(script: str) -> str:
+    stdin = io.StringIO(script)
+    stdout = io.StringIO()
+    shell = Shell(stdin=stdin, stdout=stdout, interactive=False)
+    shell.run()
+    return stdout.getvalue()
+
+
+BEER_SETUP = """\
+relation beer(name string, type string, brewery string, alcohol float)
+relation brewery(name string, city string null, country string null)
+load brewery ("heineken", "amsterdam", "nl")
+constraint R1 (forall x in beer)(x.alcohol >= 0)
+"""
+
+
+class TestBasics:
+    def test_ddl_and_load(self):
+        output = run_shell(BEER_SETUP + "show db\nexit\n")
+        assert "created relation beer" in output
+        assert "loaded 1 row(s) into brewery" in output
+        assert "brewery[1]" in output
+
+    def test_constraint_registration_reports_triggers(self):
+        output = run_shell(BEER_SETUP + "exit\n")
+        assert "registered R1 (aborting), WHEN INS(beer)" in output
+
+    def test_show_rules(self):
+        output = run_shell(BEER_SETUP + "show rules\nexit\n")
+        assert "IF NOT (forall x in beer)(x.alcohol >= 0)" in output
+
+    def test_show_schema(self):
+        output = run_shell(BEER_SETUP + "show schema\nexit\n")
+        assert "relation brewery(name string, city string null" in output
+
+    def test_help(self):
+        output = run_shell("help\nexit\n")
+        assert "begin ... end" in output
+
+    def test_unknown_command(self):
+        output = run_shell("frobnicate\nexit\n")
+        assert "unknown command 'frobnicate'" in output
+
+    def test_comments_and_blank_lines_ignored(self):
+        output = run_shell("# a comment\n\nexit\n")
+        assert "error" not in output
+
+
+class TestTransactions:
+    def test_commit(self):
+        script = BEER_SETUP + (
+            'begin insert(beer, ("pils", "lager", "heineken", 5.0)); end\n'
+            "query beer\nexit\n"
+        )
+        output = run_shell(script)
+        assert "committed (t=1; +1/-0 tuples)" in output
+        assert "('pils', 'lager', 'heineken', 5.0)" in output
+
+    def test_abort(self):
+        script = BEER_SETUP + (
+            'begin insert(beer, ("bad", "ale", "heineken", -1.0)); end\n'
+            "query beer\nexit\n"
+        )
+        output = run_shell(script)
+        assert "aborted: R1" in output
+        assert "(0 row(s))" in output
+
+    def test_multiline_transaction(self):
+        script = BEER_SETUP + (
+            "begin\n"
+            '    insert(beer, ("pils", "lager", "heineken", 5.0));\n'
+            '    insert(beer, ("extra", "stout", "heineken", 7.0));\n'
+            "end\n"
+            "exit\n"
+        )
+        output = run_shell(script)
+        assert "committed (t=1; +2/-0 tuples)" in output
+
+    def test_explain_shows_modified_form(self):
+        script = BEER_SETUP + (
+            'explain begin insert(beer, ("p", "l", "h", 5.0)); end\n'
+            "exit\n"
+        )
+        output = run_shell(script)
+        assert "alarm(select(beer@plus, alcohol < 0)" in output
+        assert "rules: R1" in output
+
+    def test_compensating_rule_via_shell(self):
+        script = BEER_SETUP + (
+            "rule RULE R2 IF NOT (forall x in beer)(exists y in brewery)"
+            "(x.brewery = y.name) THEN temp := diff(project(beer, [brewery]), "
+            "project(brewery, [name])); insert(brewery, project(temp, "
+            "[brewery as name, null, null]))\n"
+            'begin insert(beer, ("new", "ale", "ghost", 5.0)); end\n'
+            "query brewery\n"
+            "exit\n"
+        )
+        output = run_shell(script)
+        assert "registered R2 (compensating)" in output
+        assert "('ghost', NULL, NULL)" in output
+
+
+class TestChecksAndAudit:
+    def test_check_satisfied_and_violated(self):
+        script = BEER_SETUP + (
+            "check CNT(beer) = 0\n"
+            "check CNT(beer) = 5\n"
+            "exit\n"
+        )
+        output = run_shell(script)
+        assert "satisfied" in output
+        assert "VIOLATED" in output
+
+    def test_audit_clean(self):
+        output = run_shell(BEER_SETUP + "audit\nexit\n")
+        assert "all constraints satisfied" in output
+
+    def test_audit_detects_loaded_violations(self):
+        # 'load' bypasses integrity control; audit exposes the damage.
+        script = BEER_SETUP + (
+            'load beer ("rogue", "ale", "heineken", -9.0)\n'
+            "audit\nexit\n"
+        )
+        output = run_shell(script)
+        assert "VIOLATED: R1" in output
+
+    def test_show_graph(self):
+        output = run_shell(BEER_SETUP + "show graph\nexit\n")
+        assert "TriggeringGraph(1 rules, 0 edges, acyclic)" in output
+
+
+class TestErrors:
+    def test_parse_error_reported_not_fatal(self):
+        output = run_shell("query select(\nshow db\nexit\n")
+        assert "error:" in output
+        assert "Database(t=0" in output  # shell kept running
+
+    def test_duplicate_rule_reported(self):
+        script = BEER_SETUP + (
+            "constraint R1 (forall x in beer)(x.alcohol >= 0)\nexit\n"
+        )
+        output = run_shell(script)
+        assert "error:" in output and "already registered" in output
+
+    def test_unknown_relation_in_constraint(self):
+        output = run_shell("constraint c (forall x in ghost)(x.a > 0)\nexit\n")
+        assert "error:" in output

@@ -1,0 +1,165 @@
+"""End-to-end scenarios beyond the paper's worked example."""
+
+import pytest
+
+from repro.core.subsystem import IntegrityController
+from repro.engine import Session
+from repro.engine.types import NULL
+from repro.workloads.employees import (
+    EMP_PAYROLL_CAP,
+    EMP_SALARY_MONOTONE,
+    employees_database,
+    employees_schema,
+)
+
+
+class TestEmployeeRules:
+    def test_consistent_inserts_commit(self, emp_session, emp_db):
+        result = emp_session.execute(
+            'begin insert(emp, (100, "newbie", 0, 3000, 2)); end'
+        )
+        assert result.committed
+        assert (100, "newbie", 0, 3000, 2) in emp_db.relation("emp")
+
+    def test_dangling_department_aborts(self, emp_session, emp_db):
+        result = emp_session.execute(
+            'begin insert(emp, (100, "lost", 99, 3000, 2)); end'
+        )
+        assert result.aborted and "emp_dept_fk" in result.reason
+        assert (100, "lost", 99, 3000, 2) not in emp_db.relation("emp")
+
+    def test_nonpositive_salary_aborts(self, emp_session):
+        result = emp_session.execute(
+            'begin insert(emp, (100, "free", 0, 0, 2)); end'
+        )
+        assert result.aborted and "emp_salary_domain" in result.reason
+
+    def test_department_delete_with_orphans_aborts(self, emp_session):
+        result = emp_session.execute("begin delete(dept, where id = 0); end")
+        assert result.aborted and "emp_dept_fk" in result.reason
+
+    def test_department_delete_after_moving_staff_commits(self, emp_session):
+        result = emp_session.execute(
+            """
+            begin
+                update(emp, dept_id = 0, dept_id := 1);
+                delete(dept, where id = 0);
+            end
+            """
+        )
+        assert result.committed
+
+
+class TestTransitionConstraint:
+    """emp_salary_monotone compares emp against emp@old (Def 3.3)."""
+
+    def test_raise_commits(self, emp_session):
+        result = emp_session.execute(
+            "begin update(emp, id = 1, salary := salary + 500); end"
+        )
+        assert result.committed
+
+    def test_cut_aborts(self, emp_session, emp_db):
+        before = {row for row in emp_db.relation("emp") if row[0] == 1}
+        result = emp_session.execute(
+            "begin update(emp, id = 1, salary := salary - 500); end"
+        )
+        assert result.aborted and "emp_salary_monotone" in result.reason
+        after = {row for row in emp_db.relation("emp") if row[0] == 1}
+        assert before == after
+
+    def test_cut_then_restore_within_transaction_commits(self, emp_session):
+        # Transition constraints see only pre/post states (Section 3.2):
+        # intermediate violations are invisible.
+        result = emp_session.execute(
+            """
+            begin
+                update(emp, id = 1, salary := salary - 500);
+                update(emp, id = 1, salary := salary + 500);
+            end
+            """
+        )
+        assert result.committed
+
+
+class TestAggregateRule:
+    def test_payroll_cap_enforced(self):
+        schema = employees_schema()
+        controller = IntegrityController(schema)
+        controller.add_rule(EMP_PAYROLL_CAP)
+        db = employees_database(employees=3)
+        session = Session(db, controller)
+        result = session.execute(
+            'begin insert(emp, (900, "croesus", 0, 999999999, 9)); end'
+        )
+        assert result.aborted and "emp_payroll_cap" in result.reason
+
+    def test_cap_checked_on_delete_too(self):
+        # DEL(emp) is in the aggregate rule's trigger set; deleting cannot
+        # violate the <= cap, so the transaction commits.
+        schema = employees_schema()
+        controller = IntegrityController(schema)
+        controller.add_rule(EMP_PAYROLL_CAP)
+        db = employees_database(employees=3)
+        session = Session(db, controller)
+        result = session.execute("begin delete(emp, where id = 0); end")
+        assert result.committed
+
+
+class TestMultiStatementTransactions:
+    def test_violation_in_middle_rolls_back_everything(self, emp_session, emp_db):
+        size_before = len(emp_db.relation("emp"))
+        result = emp_session.execute(
+            """
+            begin
+                insert(emp, (200, "ok", 0, 4000, 3));
+                insert(emp, (201, "dangling", 77, 4000, 3));
+                insert(emp, (202, "never_reached", 0, 4000, 3));
+            end
+            """
+        )
+        assert result.aborted
+        assert len(emp_db.relation("emp")) == size_before
+
+    def test_cross_relation_transaction(self, emp_session, emp_db):
+        result = emp_session.execute(
+            """
+            begin
+                insert(dept, (9, "lab", "enschede"));
+                insert(emp, (300, "phd", 9, 2500, 1));
+            end
+            """
+        )
+        assert result.committed
+        assert (9, "lab", "enschede") in emp_db.relation("dept")
+
+
+class TestUnmodifiedExecutionEquivalence:
+    """Modified execution and check-after-execute agree (state rules)."""
+
+    CASES = [
+        'begin insert(emp, (400, "a", 0, 1000, 1)); end',
+        'begin insert(emp, (401, "b", 55, 1000, 1)); end',
+        'begin insert(emp, (402, "c", 0, -5, 1)); end',
+        "begin delete(dept, where id = 1); end",
+        'begin update(emp, id = 2, dept_id := 55); end',
+    ]
+
+    @pytest.mark.parametrize("txn_text", CASES)
+    def test_equivalence(self, txn_text):
+        from repro.workloads.employees import employees_controller
+
+        # Modified path.
+        db_a = employees_database()
+        controller_a = employees_controller(include_transition=False)
+        session_a = Session(db_a, controller_a)
+        modified_result = session_a.execute(txn_text)
+
+        # Baseline path: execute unmodified, audit, roll back by rebuild.
+        db_b = employees_database()
+        controller_b = employees_controller(include_transition=False)
+        session_b = Session(db_b)  # no integrity control
+        session_b.execute(txn_text)
+        baseline_ok = controller_b.violated_constraints(db_b) == []
+
+        assert modified_result.committed == baseline_ok

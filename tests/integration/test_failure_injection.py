@@ -1,0 +1,110 @@
+"""Failure injection: runtime errors must abort atomically.
+
+The paper's atomicity requirement (Section 2.2) is unconditional: *any*
+execution of T either completes fully or leaves D unchanged.  These tests
+inject runtime failures — division by zero, type mismatches, unknown
+relations, failures inside appended integrity programs — at various points
+and verify the pre-state always survives.
+"""
+
+import pytest
+
+from repro.core.subsystem import IntegrityController
+from repro.engine import Session
+from repro.workloads.beer import beer_schema
+
+
+@pytest.fixture
+def snapshot(db):
+    return {name: db.relation(name).to_set() for name in db.relation_names}
+
+
+def assert_unchanged(db, snapshot):
+    for name, rows in snapshot.items():
+        assert db.relation(name).to_set() == rows
+
+
+class TestRuntimeErrors:
+    def test_division_by_zero_aborts(self, db, plain_session, snapshot):
+        result = plain_session.execute(
+            """
+            begin
+                insert(beer, ("first", "ale", "heineken", 4.0));
+                t := project(beer, [alcohol / 0]);
+            end
+            """
+        )
+        assert result.aborted
+        assert "division by zero" in result.reason
+        assert_unchanged(db, snapshot)
+
+    def test_type_mismatch_aborts(self, db, plain_session, snapshot):
+        result = plain_session.execute(
+            'begin insert(beer, ("only", "three", "values")); end'
+        )
+        assert result.aborted
+        assert "runtime error" in result.reason
+        assert_unchanged(db, snapshot)
+
+    def test_unknown_relation_aborts(self, db, plain_session, snapshot):
+        result = plain_session.execute(
+            """
+            begin
+                insert(beer, ("first", "ale", "heineken", 4.0));
+                insert(ghost, (1,));
+            end
+            """
+        )
+        assert result.aborted
+        assert_unchanged(db, snapshot)
+
+    def test_union_arity_mismatch_aborts(self, db, plain_session, snapshot):
+        result = plain_session.execute(
+            "begin t := union(beer, brewery); end"
+        )
+        assert result.aborted
+        assert_unchanged(db, snapshot)
+
+    def test_unknown_attribute_in_update_aborts(self, db, plain_session, snapshot):
+        result = plain_session.execute(
+            "begin update(beer, true, proof := 80); end"
+        )
+        assert result.aborted
+        assert_unchanged(db, snapshot)
+
+
+class TestFailuresInsideIntegrityPrograms:
+    def test_failing_compensation_rolls_back_user_updates(self, db, snapshot):
+        # A compensating action that always fails at runtime: the user's
+        # own insert must roll back with it.
+        controller = IntegrityController(beer_schema())
+        controller.add_constraint(
+            "broken_repair",
+            "(forall x in beer)(x.alcohol >= 0)",
+            response="t := project(beer, [alcohol / 0])",
+        )
+        session = Session(db, controller)
+        result = session.execute(
+            'begin insert(beer, ("neg", "ale", "heineken", -1.0)); end'
+        )
+        assert result.aborted
+        assert_unchanged(db, snapshot)
+
+    def test_counters_track_aborts(self, db, plain_session):
+        plain_session.execute("begin t := union(beer, brewery); end")
+        plain_session.execute("begin end")
+        assert plain_session.manager.aborted == 1
+        assert plain_session.manager.committed == 1
+
+    def test_partial_statement_execution_counted(self, db, plain_session):
+        result = plain_session.execute(
+            """
+            begin
+                insert(beer, ("ok", "ale", "heineken", 4.0));
+                insert(ghost, (1,));
+                insert(beer, ("never", "ale", "heineken", 4.0));
+            end
+            """
+        )
+        assert result.aborted
+        assert result.statements_executed == 1

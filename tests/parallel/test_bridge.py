@@ -1,0 +1,182 @@
+"""Translated rule programs enforced on the fragmented system."""
+
+import pytest
+
+from repro.calculus.parser import parse_constraint
+from repro.core.optimization import differential_programs
+from repro.core.rules import IntegrityRule
+from repro.core.translation import trans_r
+from repro.core.triggers import INS
+from repro.engine import Database, DatabaseSchema, RelationSchema
+from repro.engine.types import INT
+from repro.errors import FragmentationError
+from repro.parallel import FragmentedDatabase, HashFragmentation
+from repro.parallel.bridge import ParallelRuleEnforcer
+from repro.parallel.fragmentation import FragmentedRelation
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema(
+        [
+            RelationSchema("fk", [("id", INT), ("ref", INT), ("amount", INT)]),
+            RelationSchema("pk", [("key", INT)]),
+        ]
+    )
+
+
+@pytest.fixture
+def fragmented(schema):
+    db = Database(schema)
+    db.load("pk", [(k,) for k in range(10)])
+    db.load("fk", [(i, i % 10, i * 10) for i in range(40)] + [(99, 55, -5)])
+    return FragmentedDatabase.from_database(
+        db,
+        {
+            "fk": HashFragmentation("ref", 4),
+            "pk": HashFragmentation("key", 4),
+        },
+        nodes=4,
+    )
+
+
+class TestFullPrograms:
+    def test_domain_rule(self, schema, fragmented):
+        rule = IntegrityRule(
+            parse_constraint("(forall x in fk)(x.amount >= 0)"), name="dom"
+        )
+        program = trans_r(rule, schema)
+        enforcer = ParallelRuleEnforcer(fragmented)
+        reports = enforcer.enforce_program(program)
+        assert len(reports) == 1
+        assert reports[0].check == "domain"
+        assert reports[0].violations == 1  # the (99, 55, -5) row
+
+    def test_referential_rule(self, schema, fragmented):
+        rule = IntegrityRule(
+            parse_constraint("(forall x in fk)(exists y in pk)(x.ref = y.key)"),
+            name="fk_rule",
+        )
+        program = trans_r(rule, schema)
+        [report] = ParallelRuleEnforcer(fragmented).enforce_program(program)
+        assert report.check == "referential"
+        assert report.violations == 1  # ref 55 dangles
+
+    def test_exclusion_rule(self, schema, fragmented):
+        rule = IntegrityRule(
+            parse_constraint("(forall x in fk)(forall y in pk)(x.ref != y.key)"),
+            name="excl",
+        )
+        program = trans_r(rule, schema)
+        [report] = ParallelRuleEnforcer(fragmented).enforce_program(program)
+        assert report.check == "exclusion"
+        assert report.violations == 40  # all non-dangling fk rows match
+
+
+class TestDifferentialPrograms:
+    def test_plus_differential_enforced(self, schema, fragmented):
+        rule = IntegrityRule(
+            parse_constraint("(forall x in fk)(exists y in pk)(x.ref = y.key)"),
+            name="fk_rule",
+        )
+        program = trans_r(rule, schema)
+        variants = differential_programs(rule, program)
+        plus_program = variants[(INS, "fk")]
+
+        batch = FragmentedRelation(
+            schema.relation("fk"), HashFragmentation("ref", 4)
+        )
+        batch.load([(200, 3, 10), (201, 77, 10)])  # one dangling
+        enforcer = ParallelRuleEnforcer(fragmented)
+        enforcer.bind_auxiliary("fk@plus", batch)
+        [report] = enforcer.enforce_program(plus_program)
+        assert report.violations == 1
+
+    def test_delete_path_differential(self, schema, fragmented):
+        """(fk semijoin pk@minus) antijoin pk — the DEL(pk) variant."""
+        from repro.core.triggers import DEL
+
+        rule = IntegrityRule(
+            parse_constraint("(forall x in fk)(exists y in pk)(x.ref = y.key)"),
+            name="fk_rule",
+        )
+        program = trans_r(rule, schema)
+        variants = differential_programs(rule, program)
+        del_program = variants[(DEL, "pk")]
+
+        # Simulate deleting key 3 from pk: the minus-differential holds it,
+        # and pk itself no longer contains it.
+        minus = FragmentedRelation(
+            schema.relation("pk"), HashFragmentation("key", 4)
+        )
+        minus.load([(3,)])
+        for fragment in fragmented.relation("pk").fragments:
+            fragment.delete((3,))
+        enforcer = ParallelRuleEnforcer(fragmented)
+        enforcer.bind_auxiliary("pk@minus", minus)
+        [report] = enforcer.enforce_program(del_program)
+        # fk rows referencing key 3: ids 3, 13, 23, 33 -> 4 violations.
+        assert report.violations == 4
+
+    def test_delete_path_no_affected_referers(self, schema, fragmented):
+        from repro.core.triggers import DEL
+
+        rule = IntegrityRule(
+            parse_constraint("(forall x in fk)(exists y in pk)(x.ref = y.key)"),
+            name="fk_rule",
+        )
+        variants = differential_programs(rule, trans_r(rule, schema))
+        minus = FragmentedRelation(
+            schema.relation("pk"), HashFragmentation("key", 4)
+        )
+        minus.load([(77,)])  # nothing references key 77
+        enforcer = ParallelRuleEnforcer(fragmented)
+        enforcer.bind_auxiliary("pk@minus", minus)
+        [report] = enforcer.enforce_program(variants[(DEL, "pk")])
+        assert report.violations == 0
+
+    def test_unbound_auxiliary_rejected(self, schema, fragmented):
+        rule = IntegrityRule(
+            parse_constraint("(forall x in fk)(x.amount >= 0)"), name="dom"
+        )
+        program = trans_r(rule, schema)
+        variants = differential_programs(rule, program)
+        plus_program = variants[(INS, "fk")]
+        enforcer = ParallelRuleEnforcer(fragmented)
+        with pytest.raises(FragmentationError, match="not bound"):
+            enforcer.enforce_program(plus_program)
+
+
+class TestUnsupportedShapes:
+    def test_aggregate_alarm_rejected(self, schema, fragmented):
+        rule = IntegrityRule(parse_constraint("CNT(fk) <= 100"), name="cap")
+        program = trans_r(rule, schema)
+        with pytest.raises(FragmentationError, match="unsupported alarm shape"):
+            ParallelRuleEnforcer(fragmented).enforce_program(program)
+
+    def test_non_alarm_statement_rejected(self, fragmented):
+        from repro.algebra.parser import parse_program
+
+        program = parse_program("insert(fk, (1, 2, 3))")
+        with pytest.raises(FragmentationError, match="alarm programs only"):
+            ParallelRuleEnforcer(fragmented).enforce_program(program)
+
+    def test_matches_sequential_verdict(self, schema, fragmented):
+        """Parallel enforcement of the translated program finds exactly the
+        violations the sequential engine's alarm would."""
+        from repro.algebra.evaluation import StandaloneContext
+
+        rule = IntegrityRule(
+            parse_constraint("(forall x in fk)(exists y in pk)(x.ref = y.key)"),
+            name="fk_rule",
+        )
+        program = trans_r(rule, schema)
+        [report] = ParallelRuleEnforcer(fragmented).enforce_program(program)
+        sequential_ctx = StandaloneContext(
+            {
+                "fk": fragmented.relation("fk").merged(),
+                "pk": fragmented.relation("pk").merged(),
+            }
+        )
+        sequential = program.statements[0].expr.evaluate(sequential_ctx)
+        assert report.violations == len(sequential)

@@ -1,0 +1,181 @@
+"""Hypothesis strategies for relations, databases, constraints, transactions.
+
+Everything is generated over a fixed two-relation integer schema
+``r(a, b)`` / ``s(c, d)`` so that constraints, algebra, and data compose.
+Values are drawn from a small domain to make collisions (joins, set
+operations) likely.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.calculus import ast as C
+from repro.engine import Database, DatabaseSchema, Relation, RelationSchema
+from repro.engine.types import INT
+
+VALUES = st.integers(min_value=0, max_value=5)
+ROWS_R = st.lists(st.tuples(VALUES, VALUES), max_size=8)
+ROWS_S = st.lists(st.tuples(VALUES, VALUES), max_size=8)
+
+
+def rs_schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        [
+            RelationSchema("r", [("a", INT), ("b", INT)]),
+            RelationSchema("s", [("c", INT), ("d", INT)]),
+        ]
+    )
+
+
+@st.composite
+def databases(draw) -> Database:
+    """A small random database over the r/s schema."""
+    database = Database(rs_schema())
+    database.load("r", draw(ROWS_R))
+    database.load("s", draw(ROWS_S))
+    return database
+
+
+# -- constraint formulas -----------------------------------------------------
+
+_COMPARE_OPS = st.sampled_from(["<", "<=", "=", "!=", ">=", ">"])
+_R_ATTR = st.sampled_from(["a", "b"])
+_S_ATTR = st.sampled_from(["c", "d"])
+_AGG_FUNCS = st.sampled_from(["SUM", "AVG", "MIN", "MAX"])
+
+
+@st.composite
+def _local_atom(draw, var: str, attrs) -> C.Formula:
+    """A comparison over one variable's attributes and small constants."""
+    left = C.AttrSel(var, draw(attrs))
+    choice = draw(st.integers(min_value=0, max_value=2))
+    if choice == 0:
+        right: C.Term = C.Const(draw(VALUES))
+    elif choice == 1:
+        right = C.AttrSel(var, draw(attrs))
+    else:
+        right = C.ArithTerm("+", C.AttrSel(var, draw(attrs)), C.Const(draw(VALUES)))
+    return C.Compare(draw(_COMPARE_OPS), left, right)
+
+
+@st.composite
+def _local_condition(draw, var: str, attrs) -> C.Formula:
+    """An and/or/not tree of local atoms (depth <= 2)."""
+    first = draw(_local_atom(var, attrs))
+    shape = draw(st.integers(min_value=0, max_value=3))
+    if shape == 0:
+        return first
+    second = draw(_local_atom(var, attrs))
+    if shape == 1:
+        return C.And(first, second)
+    if shape == 2:
+        return C.Or(first, second)
+    return C.Not(first)
+
+
+@st.composite
+def _link_atom(draw) -> C.Formula:
+    return C.Compare(
+        draw(_COMPARE_OPS),
+        C.AttrSel("x", draw(_R_ATTR)),
+        C.AttrSel("y", draw(_S_ATTR)),
+    )
+
+
+@st.composite
+def domain_constraints(draw) -> C.Formula:
+    """(forall x in r)(local(x)) — Table 1 row 1 family."""
+    return C.forall_in("x", "r", draw(_local_condition("x", _R_ATTR)))
+
+
+@st.composite
+def referential_constraints(draw) -> C.Formula:
+    """(forall x in r)(exists y in s)(link and local(y)) — row 2 family."""
+    body: C.Formula = draw(_link_atom())
+    if draw(st.booleans()):
+        body = C.And(body, draw(_local_atom("y", _S_ATTR)))
+    return C.forall_in("x", "r", C.exists_in("y", "s", body))
+
+
+@st.composite
+def exclusion_constraints(draw) -> C.Formula:
+    """(forall x in r)(forall y in s)(not link) — row 3 family."""
+    return C.forall_in(
+        "x", "r", C.forall_in("y", "s", C.Not(draw(_link_atom())))
+    )
+
+
+@st.composite
+def existential_constraints(draw) -> C.Formula:
+    """(exists x in r)(local(x)) — row 5 family."""
+    return C.exists_in("x", "r", draw(_local_condition("x", _R_ATTR)))
+
+
+@st.composite
+def aggregate_constraints(draw) -> C.Formula:
+    """c(AGGR(R, i)) / c(CNT(R)) — rows 6-7 family."""
+    relation = draw(st.sampled_from(["r", "s"]))
+    if draw(st.booleans()):
+        attr = draw(_R_ATTR if relation == "r" else _S_ATTR)
+        term: C.Term = C.AggTerm(draw(_AGG_FUNCS), relation, attr)
+    else:
+        term = C.CntTerm(relation)
+    bound = draw(st.integers(min_value=0, max_value=30))
+    return C.Compare(draw(_COMPARE_OPS), term, C.Const(bound))
+
+
+def constraints():
+    """Any constraint from the five Table 1 families."""
+    return st.one_of(
+        domain_constraints(),
+        referential_constraints(),
+        exclusion_constraints(),
+        existential_constraints(),
+        aggregate_constraints(),
+    )
+
+
+def abortable_constraints():
+    """Families whose SUM/AVG/MIN/MAX over empty inputs never go unknown."""
+    return st.one_of(
+        domain_constraints(),
+        referential_constraints(),
+        exclusion_constraints(),
+        existential_constraints(),
+    )
+
+
+# -- transactions --------------------------------------------------------------
+
+@st.composite
+def transactions(draw):
+    """A random multi-update transaction over the r/s schema."""
+    from repro.algebra import expressions as E
+    from repro.algebra import predicates as P
+    from repro.algebra import statements as S
+    from repro.algebra.programs import Program, bracket
+
+    statements = []
+    count = draw(st.integers(min_value=1, max_value=5))
+    for _ in range(count):
+        relation = draw(st.sampled_from(["r", "s"]))
+        kind = draw(st.integers(min_value=0, max_value=2))
+        if kind == 0:
+            rows = draw(st.lists(st.tuples(VALUES, VALUES), min_size=1, max_size=3))
+            statements.append(S.Insert(relation, E.Literal(tuple(rows))))
+        elif kind == 1:
+            rows = draw(st.lists(st.tuples(VALUES, VALUES), min_size=1, max_size=3))
+            statements.append(S.Delete(relation, E.Literal(tuple(rows))))
+        else:
+            position = draw(st.integers(min_value=1, max_value=2))
+            pivot = draw(VALUES)
+            value = draw(VALUES)
+            statements.append(
+                S.Update(
+                    relation,
+                    P.Comparison("=", P.ColRef(position), P.Const(pivot)),
+                    ((position, P.Const(value)),),
+                )
+            )
+    return bracket(Program(statements))

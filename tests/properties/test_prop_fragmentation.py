@@ -1,0 +1,127 @@
+"""Fragmentation transparency and parallel-enforcement equivalence."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import predicates as P
+from repro.engine import Database, DatabaseSchema, RelationSchema
+from repro.engine.types import INT
+from repro.parallel import (
+    FragmentedDatabase,
+    HashFragmentation,
+    ParallelEnforcer,
+    RangeFragmentation,
+    RoundRobinFragmentation,
+    Strategy,
+)
+
+SCHEMA = DatabaseSchema(
+    [
+        RelationSchema("fk", [("id", INT), ("ref", INT)]),
+        RelationSchema("pk", [("key", INT)]),
+    ]
+)
+
+FK_ROWS = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 8)), max_size=25, unique=True
+)
+PK_ROWS = st.lists(st.tuples(st.integers(0, 8)), max_size=9, unique=True)
+NODES = st.integers(min_value=1, max_value=6)
+
+
+def build(fk_rows, pk_rows, nodes, scheme_kind="hash"):
+    database = Database(SCHEMA)
+    database.load("fk", fk_rows)
+    database.load("pk", pk_rows)
+    if scheme_kind == "hash":
+        schemes = {
+            "fk": HashFragmentation("ref", nodes),
+            "pk": HashFragmentation("key", nodes),
+        }
+    else:
+        schemes = {
+            "fk": RoundRobinFragmentation(nodes),
+            "pk": HashFragmentation("key", nodes),
+        }
+    fragmented = FragmentedDatabase.from_database(database, schemes, nodes)
+    return database, fragmented
+
+
+@given(fk_rows=FK_ROWS, pk_rows=PK_ROWS, nodes=NODES)
+@settings(max_examples=150, deadline=None)
+def test_fragmentation_transparency(fk_rows, pk_rows, nodes):
+    database, fragmented = build(fk_rows, pk_rows, nodes)
+    for name in ("fk", "pk"):
+        merged = fragmented.relation(name).merged()
+        assert merged.to_set() == database.relation(name).to_set()
+        assert fragmented.relation(name).cardinality() == len(
+            database.relation(name)
+        )
+
+
+@given(fk_rows=FK_ROWS, pk_rows=PK_ROWS, nodes=NODES)
+@settings(max_examples=100, deadline=None)
+def test_every_row_in_its_designated_fragment(fk_rows, pk_rows, nodes):
+    _, fragmented = build(fk_rows, pk_rows, nodes)
+    relation = fragmented.relation("fk")
+    for index, fragment in enumerate(relation.fragments):
+        for row in fragment.rows():
+            assert relation.scheme.fragment_of(row, relation.schema) == index
+
+
+def sequential_violations(database):
+    keys = {row[0] for row in database.relation("pk").rows()}
+    return {row for row in database.relation("fk").rows() if row[1] not in keys}
+
+
+@given(fk_rows=FK_ROWS, pk_rows=PK_ROWS, nodes=NODES)
+@settings(max_examples=100, deadline=None)
+def test_local_strategy_equals_sequential(fk_rows, pk_rows, nodes):
+    database, fragmented = build(fk_rows, pk_rows, nodes)
+    enforcer = ParallelEnforcer(fragmented)
+    report = enforcer.referential_check("fk", "ref", "pk", "key", Strategy.LOCAL)
+    assert report.violations == len(sequential_violations(database))
+
+
+@given(
+    fk_rows=FK_ROWS,
+    pk_rows=PK_ROWS,
+    nodes=NODES,
+    strategy=st.sampled_from([Strategy.BROADCAST, Strategy.REPARTITION]),
+)
+@settings(max_examples=100, deadline=None)
+def test_data_movement_strategies_equal_sequential(
+    fk_rows, pk_rows, nodes, strategy
+):
+    database, fragmented = build(fk_rows, pk_rows, nodes, scheme_kind="roundrobin")
+    enforcer = ParallelEnforcer(fragmented)
+    report = enforcer.referential_check("fk", "ref", "pk", "key", strategy)
+    assert report.violations == len(sequential_violations(database))
+
+
+@given(fk_rows=FK_ROWS, nodes=NODES)
+@settings(max_examples=100, deadline=None)
+def test_domain_check_equals_sequential(fk_rows, nodes):
+    database, fragmented = build(fk_rows, [], nodes)
+    enforcer = ParallelEnforcer(fragmented)
+    predicate = P.Comparison("<", P.ColRef("ref"), P.Const(3))
+    report = enforcer.domain_check("fk", predicate)
+    expected = sum(1 for row in database.relation("fk").rows() if row[1] < 3)
+    assert report.violations == expected
+
+
+@given(fk_rows=FK_ROWS, pk_rows=PK_ROWS, nodes=NODES)
+@settings(max_examples=50, deadline=None)
+def test_range_fragmentation_partitions(fk_rows, pk_rows, nodes):
+    database = Database(SCHEMA)
+    database.load("fk", fk_rows)
+    scheme = RangeFragmentation("ref", [2, 5])
+    fragmented = FragmentedDatabase(SCHEMA, scheme.fragments)
+    fragmented.fragment_relation("fk", scheme, database.relation("fk").rows())
+    relation = fragmented.relation("fk")
+    for row in relation.fragment(0).rows():
+        assert row[1] < 2
+    for row in relation.fragment(1).rows():
+        assert 2 <= row[1] < 5
+    for row in relation.fragment(2).rows():
+        assert row[1] >= 5

@@ -1,0 +1,93 @@
+"""Mode-parity properties: static vs dynamic selectors, view consistency."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.modification import DynamicSelector, StaticSelector, mod_t
+from repro.core.programs import IntegrityProgramStore, get_int_p
+from repro.core.rules import IntegrityRule
+from repro.engine import Session
+
+from tests.properties import strategies as strat
+
+
+@given(
+    constraints=st.lists(strat.constraints(), min_size=1, max_size=4),
+    txn=strat.transactions(),
+)
+@settings(max_examples=150, deadline=None)
+def test_static_and_dynamic_modification_identical(constraints, txn):
+    """Alg 6.2 is an implementation of Alg 5.1-5.3, not a new semantics:
+    the produced transactions must be statement-for-statement equal
+    (without differential specialization, which static mode adds)."""
+    schema = strat.rs_schema()
+    rules = [
+        IntegrityRule(constraint, name=f"rule_{index}")
+        for index, constraint in enumerate(constraints)
+    ]
+    store = IntegrityProgramStore()
+    for rule in rules:
+        store.add(get_int_p(rule, schema, differential=False))
+    static = mod_t(txn, StaticSelector(store))
+    dynamic = mod_t(txn, DynamicSelector(rules, schema))
+    assert static.statements == dynamic.statements
+
+
+@given(
+    db=strat.databases(),
+    constraint=strat.abortable_constraints(),
+    txn=strat.transactions(),
+)
+@settings(max_examples=100, deadline=None)
+def test_modification_is_deterministic(db, constraint, txn):
+    from repro.core.subsystem import IntegrityController
+
+    controller = IntegrityController(db.schema)
+    controller.add_rule(IntegrityRule(constraint, name="only"))
+    first = controller.modify_transaction(txn)
+    second = controller.modify_transaction(txn)
+    assert first.statements == second.statements
+
+
+@given(db=strat.databases(), txn=strat.transactions())
+@settings(max_examples=150, deadline=None)
+def test_views_stay_consistent_under_random_transactions(db, txn):
+    """View maintenance via ModT keeps stored views equal to their
+    defining expressions after every committed transaction."""
+    from repro.core.subsystem import IntegrityController
+    from repro.views import ViewManager
+
+    controller = IntegrityController(db.schema)
+    manager = ViewManager(db, controller)
+    manager.define_view("big_r", "select(r, a >= 3)")
+    manager.define_view("r_keys", "project(r, [a])", mode="recompute")
+    session = Session(db, controller)
+    result = session.execute(txn)
+    assert result.committed  # no integrity rules: only view maintenance
+    assert manager.verify_view("big_r")
+    assert manager.verify_view("r_keys")
+
+
+@given(db=strat.databases(), txn=strat.transactions())
+@settings(max_examples=100, deadline=None)
+def test_correct_transaction_predicate_matches_outcome(db, txn):
+    """Def 3.5 classification agrees with modified execution for aborting
+    state rules on consistent databases."""
+    import copy
+
+    from repro.calculus.parser import parse_constraint
+    from repro.core.subsystem import IntegrityController
+    from repro.engine.session import DatabaseView
+    from repro.calculus.evaluation import evaluate_constraint
+
+    constraint = parse_constraint("(forall x in r)(x.a <= 4)")
+    assume(evaluate_constraint(constraint, DatabaseView(db)))
+    controller = IntegrityController(db.schema)
+    controller.add_rule(IntegrityRule(constraint, name="cap"))
+
+    classified_correct = controller.is_correct_transaction(db, txn)
+
+    runtime_db = copy.deepcopy(db)
+    session = Session(runtime_db, controller)
+    result = session.execute(txn)
+    assert result.committed == classified_correct

@@ -1,0 +1,152 @@
+"""Properties of the modification fixpoint itself.
+
+The paper's headline guarantee (Section 5.1): executing a *modified*
+transaction can never leave the database in a state violating the rules —
+either the transaction commits and the post-state is correct, or it aborts
+and the pre-state is kept (atomicity).  We also check the equivalence with
+the check-after-execute baseline and the soundness of the differential
+optimization.
+"""
+
+from hypothesis import assume, given, settings
+
+from repro.core.modification import ModificationStats, StaticSelector, mod_t
+from repro.core.programs import IntegrityProgramStore, get_int_p
+from repro.core.rules import IntegrityRule
+from repro.engine import Session
+from repro.engine.session import DatabaseView
+
+from tests.properties import strategies as strat
+
+
+def build_controller(db, constraints, differential):
+    from repro.core.subsystem import IntegrityController
+
+    controller = IntegrityController(db.schema, differential=differential)
+    for index, constraint in enumerate(constraints):
+        controller.add_rule(IntegrityRule(constraint, name=f"rule_{index}"))
+    return controller
+
+
+def consistent(db, constraints) -> bool:
+    from repro.calculus.evaluation import evaluate_constraint
+
+    view = DatabaseView(db)
+    return all(evaluate_constraint(c, view, validate=False) for c in constraints)
+
+
+@given(
+    db=strat.databases(),
+    constraints=strat.abortable_constraints(),
+    txn=strat.transactions(),
+)
+@settings(max_examples=200, deadline=None)
+def test_committed_modified_transactions_preserve_consistency(
+    db, constraints, txn
+):
+    constraints = [constraints]
+    assume(consistent(db, constraints))
+    controller = build_controller(db, constraints, differential=False)
+    session = Session(db, controller)
+    result = session.execute(txn)
+    if result.committed:
+        assert consistent(db, constraints)
+
+
+@given(
+    db=strat.databases(),
+    constraint=strat.abortable_constraints(),
+    txn=strat.transactions(),
+)
+@settings(max_examples=200, deadline=None)
+def test_abort_preserves_pre_state(db, constraint, txn):
+    constraints = [constraint]
+    assume(consistent(db, constraints))
+    before = db.snapshot()
+    controller = build_controller(db, constraints, differential=False)
+    session = Session(db, controller)
+    result = session.execute(txn)
+    if result.aborted:
+        for name, relation in before.items():
+            assert db.relation(name).to_set() == relation.to_set()
+
+
+@given(
+    db=strat.databases(),
+    constraint=strat.abortable_constraints(),
+    txn=strat.transactions(),
+)
+@settings(max_examples=200, deadline=None)
+def test_modified_execution_equals_check_after_execute(db, constraint, txn):
+    """For aborting state rules, the modified transaction commits exactly
+    when executing unmodified and auditing afterwards finds no violation."""
+    constraints = [constraint]
+    assume(consistent(db, constraints))
+
+    import copy
+
+    baseline_db = copy.deepcopy(db)
+    controller = build_controller(db, constraints, differential=False)
+    session = Session(db, controller)
+    verdict_modified = session.execute(txn).committed
+
+    baseline_session = Session(baseline_db)
+    baseline_session.execute(txn)
+    verdict_baseline = consistent(baseline_db, constraints)
+
+    assert verdict_modified == verdict_baseline
+
+
+@given(
+    db=strat.databases(),
+    constraint=strat.abortable_constraints(),
+    txn=strat.transactions(),
+)
+@settings(max_examples=200, deadline=None)
+def test_differential_and_full_enforcement_agree(db, constraint, txn):
+    """Soundness of §5.2.1: differential checks give the same verdict as
+    full-state checks, given a consistent pre-state (Def 3.5)."""
+    constraints = [constraint]
+    assume(consistent(db, constraints))
+
+    import copy
+
+    db_full = copy.deepcopy(db)
+    db_diff = copy.deepcopy(db)
+    full = Session(db_full, build_controller(db_full, constraints, differential=False))
+    diff = Session(db_diff, build_controller(db_diff, constraints, differential=True))
+
+    verdict_full = full.execute(txn).committed
+    verdict_diff = diff.execute(txn).committed
+    assert verdict_full == verdict_diff
+    if verdict_full:
+        for name in db_full.relation_names:
+            assert db_full.relation(name).to_set() == db_diff.relation(name).to_set()
+
+
+@given(db=strat.databases(), constraint=strat.abortable_constraints())
+@settings(max_examples=100, deadline=None)
+def test_modification_of_readonly_transaction_is_identity(db, constraint):
+    from repro.algebra.parser import parse_transaction
+
+    store = IntegrityProgramStore()
+    rule = IntegrityRule(constraint, name="only")
+    store.add(get_int_p(rule, db.schema))
+    txn = parse_transaction("begin t := select(r, a > 0); end")
+    assert mod_t(txn, StaticSelector(store)) is txn
+
+
+@given(
+    db=strat.databases(),
+    constraint=strat.abortable_constraints(),
+    txn=strat.transactions(),
+)
+@settings(max_examples=100, deadline=None)
+def test_modification_statistics_consistent(db, constraint, txn):
+    store = IntegrityProgramStore()
+    rule = IntegrityRule(constraint, name="only")
+    store.add(get_int_p(rule, db.schema))
+    stats = ModificationStats()
+    modified = mod_t(txn, StaticSelector(store), stats=stats)
+    assert len(modified.statements) == len(txn.statements) + stats.statements_appended
+    assert stats.rules_selected == len(stats.selected_rule_names)

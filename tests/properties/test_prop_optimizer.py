@@ -1,0 +1,126 @@
+"""Property: the algebra optimizer preserves semantics on random plans."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import expressions as E
+from repro.algebra import predicates as P
+from repro.algebra.evaluation import StandaloneContext
+from repro.algebra.optimizer import optimize_expression, simplify_predicate
+from repro.engine import Relation
+
+from tests.properties import strategies as strat
+
+_ATTRS = ("a", "b")
+
+
+@st.composite
+def predicates(draw, depth: int = 2) -> P.Predicate:
+    """Random predicates over the r(a, b) schema."""
+    if depth == 0 or draw(st.booleans()):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            return P.TruePred()
+        if kind == 1:
+            return P.FalsePred()
+        left: P.ScalarExpr = P.ColRef(draw(st.sampled_from(_ATTRS)))
+        if draw(st.booleans()):
+            right: P.ScalarExpr = P.Const(draw(strat.VALUES))
+        else:
+            right = P.ColRef(draw(st.sampled_from(_ATTRS)))
+        op = draw(st.sampled_from(["<", "<=", "=", "!=", ">=", ">"]))
+        return P.Comparison(op, left, right)
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return P.Not(draw(predicates(depth=depth - 1)))
+    ctor = P.And if kind == 1 else P.Or
+    return ctor(
+        draw(predicates(depth=depth - 1)), draw(predicates(depth=depth - 1))
+    )
+
+
+@st.composite
+def r_shaped_expressions(draw, depth: int = 3) -> E.Expression:
+    """Random read-only expressions whose output schema matches r(a, b)."""
+    if depth == 0:
+        return E.RelationRef("r")
+    kind = draw(st.integers(0, 5))
+    if kind == 0:
+        return E.RelationRef("r")
+    if kind == 1:
+        return E.Select(
+            draw(r_shaped_expressions(depth=depth - 1)), draw(predicates())
+        )
+    if kind in (2, 3):
+        ctor = {2: E.Union, 3: E.Difference}[kind]
+        return ctor(
+            draw(r_shaped_expressions(depth=depth - 1)),
+            draw(r_shaped_expressions(depth=depth - 1)),
+        )
+    if kind == 4:
+        return E.Intersection(
+            draw(r_shaped_expressions(depth=depth - 1)),
+            draw(r_shaped_expressions(depth=depth - 1)),
+        )
+    link = P.Comparison(
+        "=",
+        P.ColRef(draw(st.sampled_from(_ATTRS)), "left"),
+        P.ColRef(draw(st.sampled_from(("c", "d"))), "right"),
+    )
+    ctor = draw(st.sampled_from([E.SemiJoin, E.AntiJoin]))
+    return ctor(
+        draw(r_shaped_expressions(depth=depth - 1)), E.RelationRef("s"), link
+    )
+
+
+@given(db=strat.databases(), expr=r_shaped_expressions())
+@settings(max_examples=300, deadline=None)
+def test_optimizer_preserves_semantics(db, expr):
+    from repro.engine.session import DatabaseView
+
+    view = DatabaseView(db)
+    original = expr.evaluate(view)
+    optimized = optimize_expression(expr).evaluate(view)
+    assert original.to_set() == optimized.to_set()
+
+
+@given(db=strat.databases(), predicate=predicates(depth=3))
+@settings(max_examples=300, deadline=None)
+def test_predicate_simplification_preserves_semantics(db, predicate):
+    relation = db.relation("r")
+    original = P.compile_predicate(predicate, relation.schema)
+    simplified = P.compile_predicate(
+        simplify_predicate(predicate), relation.schema
+    )
+    for row in relation.rows():
+        assert original(row) == simplified(row)
+
+
+@given(db=strat.databases(), predicate=predicates(depth=3))
+@settings(max_examples=300, deadline=None)
+def test_negate_is_logical_complement(db, predicate):
+    relation = db.relation("r")
+    positive = P.compile_predicate(predicate, relation.schema)
+    negative = P.compile_predicate(P.negate(predicate), relation.schema)
+    for row in relation.rows():
+        value, complement = positive(row), negative(row)
+        # NULL-free data: values are crisp booleans.
+        assert value in (True, False)
+        assert complement == (not value)
+
+
+@given(expr=r_shaped_expressions())
+@settings(max_examples=200, deadline=None)
+def test_optimizer_idempotent(expr):
+    once = optimize_expression(expr)
+    twice = optimize_expression(once)
+    assert once == twice
+
+
+@given(expr=r_shaped_expressions())
+@settings(max_examples=200, deadline=None)
+def test_expression_render_parse_round_trip(expr):
+    from repro.algebra.parser import parse_expression
+    from repro.algebra.pretty import render_expression
+
+    assert parse_expression(render_expression(expr)) == expr

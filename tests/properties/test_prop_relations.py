@@ -1,0 +1,99 @@
+"""Set/bag algebra invariants on Relation, checked against Python sets."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import expressions as E
+from repro.algebra.evaluation import StandaloneContext
+from repro.engine import Relation, RelationSchema
+from repro.engine.types import INT
+
+SCHEMA_A = RelationSchema("a", [("x", INT), ("y", INT)])
+SCHEMA_B = RelationSchema("b", [("x", INT), ("y", INT)])
+
+ROWS = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=10
+)
+
+
+def make_ctx(rows_a, rows_b):
+    return StandaloneContext(
+        {
+            "a": Relation(SCHEMA_A, rows_a),
+            "b": Relation(SCHEMA_B, rows_b),
+        }
+    )
+
+
+@given(rows_a=ROWS, rows_b=ROWS)
+@settings(max_examples=200, deadline=None)
+def test_set_operators_match_python_sets(rows_a, rows_b):
+    ctx = make_ctx(rows_a, rows_b)
+    set_a, set_b = set(rows_a), set(rows_b)
+    union = E.Union(E.RelationRef("a"), E.RelationRef("b")).evaluate(ctx)
+    assert union.to_set() == frozenset(set_a | set_b)
+    difference = E.Difference(E.RelationRef("a"), E.RelationRef("b")).evaluate(ctx)
+    assert difference.to_set() == frozenset(set_a - set_b)
+    intersection = E.Intersection(E.RelationRef("a"), E.RelationRef("b")).evaluate(ctx)
+    assert intersection.to_set() == frozenset(set_a & set_b)
+
+
+@given(rows_a=ROWS, rows_b=ROWS)
+@settings(max_examples=200, deadline=None)
+def test_semijoin_antijoin_partition_left(rows_a, rows_b):
+    from repro.algebra import predicates as P
+
+    ctx = make_ctx(rows_a, rows_b)
+    predicate = P.Comparison("=", P.ColRef("x", "left"), P.ColRef("x", "right"))
+    semi = E.SemiJoin(E.RelationRef("a"), E.RelationRef("b"), predicate).evaluate(ctx)
+    anti = E.AntiJoin(E.RelationRef("a"), E.RelationRef("b"), predicate).evaluate(ctx)
+    assert semi.to_set() | anti.to_set() == frozenset(set(rows_a))
+    assert semi.to_set() & anti.to_set() == frozenset()
+    keys_b = {row[0] for row in rows_b}
+    assert semi.to_set() == frozenset(row for row in rows_a if row[0] in keys_b)
+
+
+@given(rows_a=ROWS, rows_b=ROWS)
+@settings(max_examples=200, deadline=None)
+def test_join_matches_nested_loop_semantics(rows_a, rows_b):
+    from repro.algebra import predicates as P
+
+    ctx = make_ctx(rows_a, rows_b)
+    predicate = P.Comparison("=", P.ColRef("x", "left"), P.ColRef("x", "right"))
+    joined = E.Join(E.RelationRef("a"), E.RelationRef("b"), predicate).evaluate(ctx)
+    expected = {
+        la + lb
+        for la in set(rows_a)
+        for lb in set(rows_b)
+        if la[0] == lb[0]
+    }
+    assert joined.to_set() == frozenset(expected)
+
+
+@given(rows=ROWS)
+@settings(max_examples=200, deadline=None)
+def test_bag_multiplicities_match_counter(rows):
+    bag = Relation(SCHEMA_A, rows, bag=True)
+    counter = Counter(tuple(row) for row in rows)
+    assert len(bag) == sum(counter.values())
+    assert bag.distinct_count() == len(counter)
+    for row, count in counter.items():
+        assert bag.multiplicity(row) == count
+
+
+@given(rows=ROWS, victims=ROWS)
+@settings(max_examples=200, deadline=None)
+def test_insert_delete_inverse_on_sets(rows, victims):
+    relation = Relation(SCHEMA_A, rows)
+    reference = set(rows)
+    for row in victims:
+        inserted = relation.insert(row)
+        assert inserted == (row not in reference)
+        reference.add(row)
+    for row in victims:
+        deleted = relation.delete(row)
+        assert deleted == (row in reference)
+        reference.discard(row)
+    assert relation.to_set() == frozenset(reference)

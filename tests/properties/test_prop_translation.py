@@ -1,0 +1,69 @@
+"""Property: the translated algebra agrees with the direct evaluator.
+
+For every constraint in the Table 1 families and every small database, the
+aborting program produced by ``trans_c`` fires its alarm exactly when the
+direct CL evaluator reports a violation.  This is the central correctness
+property of Section 5.2.2.
+"""
+
+from hypothesis import given, settings
+
+from repro.algebra.statements import Alarm
+from repro.calculus.evaluation import evaluate_constraint
+from repro.core.translation import trans_c
+from repro.engine.session import DatabaseView
+from repro.errors import TransactionAborted
+
+from tests.properties import strategies as strat
+
+
+def alarm_fires(program, view) -> bool:
+    statement = program.statements[0]
+    if isinstance(statement, Alarm):
+        return len(statement.expr.evaluate(view)) > 0
+    try:
+        statement.execute(view)
+        return False
+    except TransactionAborted:
+        return True
+
+
+@given(db=strat.databases(), constraint=strat.constraints())
+@settings(max_examples=300, deadline=None)
+def test_translation_agrees_with_oracle(db, constraint):
+    view = DatabaseView(db)
+    direct = evaluate_constraint(constraint, view)
+    program = trans_c(constraint, db.schema)
+    assert alarm_fires(program, view) == (not direct)
+
+
+@given(db=strat.databases(), constraint=strat.constraints())
+@settings(max_examples=150, deadline=None)
+def test_optimized_condition_agrees(db, constraint):
+    from repro.core.optimization import opt_c
+
+    view = DatabaseView(db)
+    assert evaluate_constraint(constraint, view) == evaluate_constraint(
+        opt_c(constraint), view
+    )
+
+
+@given(db=strat.databases(), constraint=strat.constraints())
+@settings(max_examples=150, deadline=None)
+def test_optimized_program_agrees(db, constraint):
+    from repro.algebra.optimizer import optimize_program
+
+    view = DatabaseView(db)
+    program = trans_c(constraint, db.schema)
+    optimized = optimize_program(program)
+    assert alarm_fires(program, view) == alarm_fires(optimized, view)
+
+
+@given(constraint=strat.constraints())
+@settings(max_examples=200, deadline=None)
+def test_constraint_render_parse_round_trip(constraint):
+    from repro.calculus.parser import parse_constraint
+    from repro.calculus.pretty import render_constraint
+
+    assert parse_constraint(render_constraint(constraint)) == constraint
+    assert parse_constraint(render_constraint(constraint, symbols=True)) == constraint

@@ -1,0 +1,135 @@
+"""Materialized views maintained via transaction modification."""
+
+import pytest
+
+from repro.core.subsystem import IntegrityController
+from repro.engine import Session
+from repro.errors import RuleError, UnknownRelationError
+from repro.views import ViewManager
+from repro.workloads.beer import beer_controller, beer_database
+
+
+@pytest.fixture
+def setup():
+    db = beer_database(beers=10, breweries=4)
+    controller = beer_controller()
+    session = Session(db, controller)
+    manager = ViewManager(db, controller)
+    return db, controller, session, manager
+
+
+class TestDefinition:
+    def test_initial_population(self, setup):
+        db, _, _, manager = setup
+        view = manager.define_view("strong", "select(beer, alcohol >= 6.0)")
+        expected = {
+            row for row in db.relation("beer").rows() if row[3] >= 6.0
+        }
+        assert db.relation("strong").to_set() == frozenset(expected)
+        assert view.mode == "differential"
+        assert view.base_relations == ("beer",)
+
+    def test_recompute_mode_for_complex_views(self, setup):
+        db, _, _, manager = setup
+        view = manager.define_view(
+            "beer_count_by_join",
+            "project(join(beer, brewery, left.brewery = right.name), [1, 5])",
+        )
+        assert view.mode == "recompute"
+
+    def test_duplicate_name_rejected(self, setup):
+        _, _, _, manager = setup
+        manager.define_view("v1", "select(beer, alcohol >= 6.0)")
+        with pytest.raises(RuleError):
+            manager.define_view("v1", "select(beer, alcohol >= 6.0)")
+
+    def test_unknown_base_rejected(self, setup):
+        _, _, _, manager = setup
+        with pytest.raises(UnknownRelationError):
+            manager.define_view("v2", "select(ghost, true)")
+
+    def test_differential_demands_selection_shape(self, setup):
+        _, _, _, manager = setup
+        with pytest.raises(RuleError):
+            manager.define_view("v3", "union(beer, beer)", mode="differential")
+
+    def test_auxiliary_base_rejected(self, setup):
+        _, _, _, manager = setup
+        with pytest.raises(RuleError):
+            manager.define_view("v4", "select(beer@plus, true)")
+
+
+class TestMaintenance:
+    def test_insert_updates_differential_view(self, setup):
+        db, _, session, manager = setup
+        manager.define_view("strong", "select(beer, alcohol >= 6.0)")
+        result = session.execute(
+            'begin insert(beer, ("mega", "quad", "brewery_1", 11.0)); end'
+        )
+        assert result.committed
+        assert ("mega", "quad", "brewery_1", 11.0) in db.relation("strong")
+        assert manager.verify_view("strong")
+
+    def test_weak_insert_not_in_view(self, setup):
+        db, _, session, manager = setup
+        manager.define_view("strong", "select(beer, alcohol >= 6.0)")
+        session.execute('begin insert(beer, ("light", "lager", "brewery_1", 2.0)); end')
+        assert ("light", "lager", "brewery_1", 2.0) not in db.relation("strong")
+        assert manager.verify_view("strong")
+
+    def test_delete_updates_view(self, setup):
+        db, _, session, manager = setup
+        manager.define_view("strong", "select(beer, alcohol >= 6.0)")
+        strong_rows = list(db.relation("strong").rows())
+        if not strong_rows:
+            pytest.skip("fixture has no strong beers")
+        victim = strong_rows[0]
+        session.execute(f'begin delete(beer, where name = "{victim[0]}"); end')
+        assert victim not in db.relation("strong")
+        assert manager.verify_view("strong")
+
+    def test_recompute_view_tracks_changes(self, setup):
+        db, _, session, manager = setup
+        manager.define_view(
+            "brewery_names", "project(beer, [brewery])", mode="recompute"
+        )
+        session.execute(
+            'begin insert(beer, ("new", "ale", "brewery_0", 5.0)); end'
+        )
+        assert manager.verify_view("brewery_names")
+
+    def test_view_maintenance_does_not_trigger_rules(self, setup):
+        db, controller, session, manager = setup
+        manager.define_view("strong", "select(beer, alcohol >= 6.0)")
+        # The maintenance program writes into "strong"; if it triggered
+        # rules, modification would loop. One round must suffice.
+        session.execute('begin insert(beer, ("x", "ale", "brewery_0", 8.0)); end')
+        assert controller.last_stats.rounds <= 2
+
+    def test_abort_leaves_view_untouched(self, setup):
+        db, _, session, manager = setup
+        manager.define_view("strong", "select(beer, alcohol >= 6.0)")
+        before = db.relation("strong").to_set()
+        result = session.execute(
+            'begin insert(beer, ("bad", "ale", "brewery_0", -3.0)); end'
+        )
+        assert result.aborted
+        assert db.relation("strong").to_set() == before
+
+    def test_update_statement_maintains_view(self, setup):
+        db, _, session, manager = setup
+        manager.define_view("strong", "select(beer, alcohol >= 6.0)")
+        session.execute(
+            "begin update(beer, alcohol >= 5.0, alcohol := alcohol + 3.0); end"
+        )
+        assert manager.verify_view("strong")
+
+
+class TestDropView:
+    def test_drop_stops_maintenance(self, setup):
+        db, controller, session, manager = setup
+        manager.define_view("strong", "select(beer, alcohol >= 6.0)")
+        manager.drop_view("strong")
+        assert "view::strong" not in controller.store
+        session.execute('begin insert(beer, ("y", "ale", "brewery_0", 9.0)); end')
+        assert ("y", "ale", "brewery_0", 9.0) not in db.relation("strong")
