@@ -86,7 +86,7 @@ def test_referential_check_wall_clock(benchmark, section7_full):
         "referential (E2)",
         "< 3 s",
         f"{simulated:.2f} s",
-        f"{benchmark.stats['mean']:.4f} s",
+        f"{report.mean_seconds(benchmark):.4f} s",
     )
 
 
@@ -112,7 +112,7 @@ def test_domain_check_wall_clock(benchmark, section7_full):
         "domain (E3)",
         "< 1 s",
         f"{simulated:.2f} s",
-        f"{benchmark.stats['mean']:.4f} s",
+        f"{report.mean_seconds(benchmark):.4f} s",
     )
     report.note(
         EXPERIMENT,
@@ -167,7 +167,7 @@ def test_full_transaction_with_modification(benchmark, section7_full):
         "full txn (modify+execute, both rules)",
         "n/a",
         "n/a",
-        f"{benchmark.stats['mean']:.4f} s",
+        f"{report.mean_seconds(benchmark):.4f} s",
     )
 
 

@@ -15,6 +15,18 @@ from typing import Dict, List, Sequence
 _REGISTRY: "OrderedDict[str, dict]" = OrderedDict()
 
 
+def mean_seconds(benchmark) -> float:
+    """Mean time of a pytest-benchmark fixture run.
+
+    Tolerates ``--benchmark-disable`` (the CI smoke mode), where the
+    fixture's ``stats`` attribute is None because nothing was timed.
+    """
+    stats = getattr(benchmark, "stats", None)
+    if stats is None:
+        return float("nan")
+    return stats["mean"]
+
+
 def experiment(identifier: str, title: str, columns: Sequence[str]) -> None:
     """Declare an experiment (id, human title, column headers)."""
     if identifier not in _REGISTRY:

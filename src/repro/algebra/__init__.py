@@ -14,6 +14,10 @@ This package provides:
   transaction (de)bracketing operators of Alg 5.1;
 * :mod:`repro.algebra.evaluation` — evaluation of expressions against a
   name-resolution context;
+* :mod:`repro.algebra.planner` — compilation of expressions into cached
+  physical query plans (the default evaluation backend);
+* :mod:`repro.algebra.physical` — the physical operator DAGs the planner
+  emits (hash joins, index-accelerated selections, estimates);
 * :mod:`repro.algebra.parser` — text forms for expressions, programs, and
   whole transactions;
 * :mod:`repro.algebra.optimizer` — algebraic rewrites;
@@ -65,6 +69,13 @@ from repro.algebra.programs import (
     debracket,
 )
 from repro.algebra.evaluation import evaluate_expression, StandaloneContext
+from repro.algebra.planner import (
+    compile_expression,
+    explain,
+    get_default_engine,
+    get_plan,
+    set_default_engine,
+)
 from repro.algebra.parser import (
     parse_expression,
     parse_predicate,
@@ -110,9 +121,14 @@ __all__ = [
     "Union",
     "Update",
     "bracket",
+    "compile_expression",
     "concat",
     "debracket",
     "evaluate_expression",
+    "explain",
+    "get_default_engine",
+    "get_plan",
+    "set_default_engine",
     "parse_expression",
     "parse_predicate",
     "parse_program",

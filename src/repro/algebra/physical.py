@@ -1,0 +1,1023 @@
+"""Physical query operators: the executable form of algebra expressions.
+
+:mod:`repro.algebra.planner` compiles an :class:`~repro.algebra.expressions.
+Expression` tree into a DAG of the operators in this module.  Compared with
+the reference tree-walk interpreter (``Expression.evaluate``), physical
+operators
+
+* split equi-join predicates into hash keys **once at plan time** instead of
+  on every evaluation;
+* cache compiled predicate/scalar closures and derived output schemas per
+  input schema (plans are reused across transactions, and base-relation
+  schemas are stable);
+* exploit the persistent hash indexes of :mod:`repro.engine.indexes`:
+  equality selections become bucket lookups, the build side of hash
+  join/semijoin/antijoin reuses a pre-built index instead of re-hashing, and
+  a semijoin/antijoin whose *probe* side is indexed is evaluated per
+  **distinct key** rather than per row (the referential-integrity fast path);
+* execute set operations directly on the underlying row-count dictionaries.
+
+Result equivalence with the naive backend is a hard contract — the property
+tests in ``tests/properties/test_prop_planner.py`` compare both backends on
+random expressions and database states, in set and bag mode.  Where the
+naive interpreter has quirky corners (e.g. the hash-join build side hashes
+*distinct* right rows), the physical operators mirror them faithfully.
+
+Every operator also carries a static cardinality/work estimate
+(:class:`PlanEstimate`) which the parallel cost model consumes in place of
+post-hoc operator traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.algebra import predicates as P
+from repro.algebra.expressions import (
+    Project,
+    _check_compatible,
+    _combined_schema,
+    _fresh_schema,
+    _strip_side,
+    _trace,
+)
+from repro.engine.relation import Relation
+from repro.engine.schema import Attribute, RelationSchema
+from repro.engine.types import ANY, INT, NULL
+from repro.errors import EvaluationError, TypeMismatchError
+
+# Default cardinality assumed for relations absent from a statistics mapping.
+DEFAULT_CARDINALITY = 1000.0
+# Classic textbook selectivities for the static estimates.
+FILTER_SELECTIVITY = 1.0 / 3.0
+EQUALITY_SELECTIVITY = 0.01
+SEMI_SELECTIVITY = 0.5
+
+
+@dataclass
+class PlanEstimate:
+    """Static cardinality and work estimate of a (sub)plan.
+
+    ``scanned``/``built``/``probed`` are cumulative tuple counts over the
+    whole subtree, in the same units the parallel cost model's per-tuple
+    weights use (:meth:`repro.parallel.cost_model.CostModel.plan_time`).
+    """
+
+    rows: float
+    scanned: float = 0.0
+    built: float = 0.0
+    probed: float = 0.0
+
+    @property
+    def work(self) -> float:
+        """Total tuple touches (scan + build + probe)."""
+        return self.scanned + self.built + self.probed
+
+    def absorb(self, child: "PlanEstimate") -> None:
+        """Accumulate a child subtree's work into this estimate."""
+        self.scanned += child.scanned
+        self.built += child.built
+        self.probed += child.probed
+
+
+def _card(cards, name: str) -> float:
+    if cards is None:
+        return DEFAULT_CARDINALITY
+    return float(cards.get(name, DEFAULT_CARDINALITY))
+
+
+class PhysicalOperator:
+    """Base class of physical operators: ``execute(context) -> Relation``."""
+
+    op_name = "?"
+
+    def execute(self, context) -> Relation:
+        raise NotImplementedError
+
+    def estimate(self, cards=None) -> PlanEstimate:
+        raise NotImplementedError
+
+    def children(self) -> tuple:
+        return ()
+
+    def describe(self) -> str:
+        """One-line description (operator-specific details)."""
+        return self.op_name
+
+    def explain(self, indent: int = 0) -> str:
+        """Render the operator subtree as an indented plan listing."""
+        lines = ["  " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()!r}>"
+
+
+class _KeySide:
+    """Key extraction for one side of an equi-join, bound lazily per schema.
+
+    ``bind(schema)`` returns ``(key_fn, positions)`` where ``key_fn`` maps a
+    row to its hash key (a bare value for single keys, a tuple otherwise —
+    the same convention :class:`repro.engine.indexes.HashIndex` uses, so the
+    two interoperate) and ``positions`` is the 0-based position tuple when
+    every key is a plain column reference, else None.
+    """
+
+    __slots__ = ("exprs", "plain", "_bound")
+
+    def __init__(self, exprs, side: str):
+        self.exprs = tuple(_strip_side(expr, side) for expr in exprs)
+        self.plain = all(isinstance(expr, P.ColRef) for expr in self.exprs)
+        self._bound: Dict[RelationSchema, tuple] = {}
+
+    @property
+    def attrs(self) -> Optional[tuple]:
+        """The attribute identifiers when all keys are plain columns."""
+        if not self.plain:
+            return None
+        return tuple(expr.attr for expr in self.exprs)
+
+    def bind(self, schema: RelationSchema) -> tuple:
+        bound = self._bound.get(schema)
+        if bound is not None:
+            return bound
+        if self.plain:
+            positions = tuple(
+                schema.position_of(expr.attr) - 1 for expr in self.exprs
+            )
+            if len(positions) == 1:
+                position = positions[0]
+
+                def key_fn(row, _p=position):
+                    return row[_p]
+
+            else:
+
+                def key_fn(row, _ps=positions):
+                    return tuple(row[p] for p in _ps)
+
+            bound = (key_fn, positions)
+        else:
+            fns = [P.compile_scalar(expr, schema) for expr in self.exprs]
+            if len(fns) == 1:
+                fn = fns[0]
+
+                def key_fn(row, _f=fn):
+                    return _f(row)
+
+            else:
+
+                def key_fn(row, _fs=fns):
+                    return tuple(f(row) for f in _fs)
+
+            bound = (key_fn, None)
+        self._bound[schema] = bound
+        return bound
+
+
+class _CombinedSchemaCache:
+    """Join/product output schemas, cached per input schema pair."""
+
+    __slots__ = ("suffix", "_cache")
+
+    def __init__(self, suffix: str):
+        self.suffix = suffix
+        self._cache: dict = {}
+
+    def get(self, left_schema, right_schema) -> RelationSchema:
+        key = (left_schema, right_schema)
+        out = self._cache.get(key)
+        if out is None:
+            out = _combined_schema(
+                left_schema, right_schema, f"{left_schema.name}{self.suffix}"
+            )
+            self._cache[key] = out
+        return out
+
+
+def _hash_buckets(relation: Relation, key_side: "_KeySide", need_rows: bool):
+    """The build side of a hash join/semijoin: key -> distinct rows.
+
+    Reuses a pre-built persistent index when the key columns carry one;
+    otherwise one hashing pass over the distinct rows.  With
+    ``need_rows=False`` a bare key set is enough (semijoin membership).
+    """
+    key_fn, positions = key_side.bind(relation.schema)
+    if positions is not None:
+        index = relation.built_index(positions)
+        if index is not None:
+            return index.buckets
+    if not need_rows:
+        return {key_fn(row) for row in relation.rows()}
+    buckets: dict = {}
+    for row in relation.rows():
+        key = key_fn(row)
+        bucket = buckets.get(key)
+        if bucket is None:
+            buckets[key] = [row]
+        else:
+            bucket.append(row)
+    return buckets
+
+
+class _PredicateCache:
+    """Compiled-closure cache for a predicate, keyed by input schema(s)."""
+
+    __slots__ = ("predicate", "_compiled")
+
+    def __init__(self, predicate: P.Predicate):
+        self.predicate = predicate
+        self._compiled: dict = {}
+
+    @property
+    def is_true(self) -> bool:
+        return isinstance(self.predicate, P.TruePred)
+
+    def bind(self, schema, right_schema=None):
+        key = (schema, right_schema)
+        fn = self._compiled.get(key)
+        if fn is None:
+            fn = P.compile_predicate(self.predicate, schema, right_schema)
+            self._compiled[key] = fn
+        return fn
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+class ScanOp(PhysicalOperator):
+    """Resolve a named (base, auxiliary, or temporary) relation."""
+
+    op_name = "scan"
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def execute(self, context) -> Relation:
+        return context.resolve(self.name)
+
+    def estimate(self, cards=None) -> PlanEstimate:
+        return PlanEstimate(rows=_card(cards, self.name))
+
+    def describe(self) -> str:
+        return f"scan({self.name})"
+
+
+class LiteralOp(PhysicalOperator):
+    """A constant relation (mirrors ``Literal.evaluate``)."""
+
+    op_name = "literal"
+
+    def __init__(self, rows: Tuple[tuple, ...]):
+        self.rows = rows
+        arity = len(rows[0]) if rows else 1
+        self._schema = RelationSchema(
+            "literal",
+            [Attribute(f"c{i}", ANY, nullable=True) for i in range(1, arity + 1)],
+        )
+
+    def execute(self, context) -> Relation:
+        return Relation(self._schema, self.rows, _validated=True)
+
+    def estimate(self, cards=None) -> PlanEstimate:
+        return PlanEstimate(rows=float(len(self.rows)))
+
+    def describe(self) -> str:
+        return f"literal({len(self.rows)} rows)"
+
+
+# ---------------------------------------------------------------------------
+# Unary operators
+# ---------------------------------------------------------------------------
+
+
+class FilterOp(PhysicalOperator):
+    """Selection by a compiled predicate."""
+
+    op_name = "select"
+
+    def __init__(self, child: PhysicalOperator, predicate: P.Predicate):
+        self.child = child
+        self._pred = _PredicateCache(predicate)
+
+    def children(self) -> tuple:
+        return (self.child,)
+
+    def execute(self, context) -> Relation:
+        source = self.child.execute(context)
+        test = self._pred.bind(source.schema)
+        result = source.filtered(lambda row: test(row) is True)
+        _trace(context, "select", len(source), len(result))
+        return result
+
+    def estimate(self, cards=None) -> PlanEstimate:
+        child = self.child.estimate(cards)
+        est = PlanEstimate(rows=child.rows * FILTER_SELECTIVITY)
+        est.absorb(child)
+        est.scanned += child.rows
+        return est
+
+    def describe(self) -> str:
+        return f"select[{self._pred.predicate!r}]"
+
+
+class IndexSelectOp(PhysicalOperator):
+    """Equality selection over a base relation, index-accelerated.
+
+    Compiled from ``σ[col = const ∧ residual](R)``.  When ``R`` resolves to
+    a relation carrying a built hash index on exactly the equality columns,
+    the matching rows come from one bucket lookup; otherwise the operator
+    degrades to the plain filter path.  NULL constants never reach this
+    operator (the planner keeps them in the residual: NULL compares unknown,
+    but an index bucket would match it by identity).
+    """
+
+    op_name = "select"
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Tuple[object, ...],
+        values: tuple,
+        residual: P.Predicate,
+        full_predicate: P.Predicate,
+    ):
+        self.name = name
+        self.attrs = attrs
+        self.values = values
+        self.key = values[0] if len(values) == 1 else values
+        self._residual = _PredicateCache(residual)
+        # The full predicate, for the no-index fallback.
+        self._full = _PredicateCache(full_predicate)
+        self._positions: Dict[RelationSchema, tuple] = {}
+
+    def _bind_positions(self, schema: RelationSchema) -> tuple:
+        positions = self._positions.get(schema)
+        if positions is None:
+            positions = tuple(
+                schema.position_of(attr) - 1 for attr in self.attrs
+            )
+            self._positions[schema] = positions
+        return positions
+
+    def execute(self, context) -> Relation:
+        source = context.resolve(self.name)
+        positions = self._bind_positions(source.schema)
+        index = source.built_index(positions)
+        if index is None:
+            test = self._full.bind(source.schema)
+            result = source.filtered(lambda row: test(row) is True)
+            _trace(context, "select", len(source), len(result))
+            return result
+        counts = source._rows
+        selected: dict = {}
+        if self._residual.is_true:
+            for row in index.lookup(self.key):
+                selected[row] = counts[row]
+        else:
+            residual = self._residual.bind(source.schema)
+            for row in index.lookup(self.key):
+                if residual(row) is True:
+                    selected[row] = counts[row]
+        result = Relation(source.schema, bag=source.bag)
+        result._rows = selected
+        _trace(context, "select", len(source), len(result))
+        return result
+
+    def estimate(self, cards=None) -> PlanEstimate:
+        rows = _card(cards, self.name)
+        out = max(1.0, rows * EQUALITY_SELECTIVITY)
+        return PlanEstimate(rows=out, probed=1.0, scanned=out)
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{attr}={value!r}" for attr, value in zip(self.attrs, self.values)
+        )
+        return f"index_select({self.name}: {keys})"
+
+
+class ProjectOp(PhysicalOperator):
+    """Generalized projection with per-schema compiled output columns."""
+
+    op_name = "project"
+
+    def __init__(self, child: PhysicalOperator, items: tuple):
+        self.child = child
+        self.items = items
+        self._bound: Dict[RelationSchema, tuple] = {}
+
+    def children(self) -> tuple:
+        return (self.child,)
+
+    def _bind(self, schema: RelationSchema) -> tuple:
+        bound = self._bound.get(schema)
+        if bound is None:
+            compiled = [P.compile_scalar(item.expr, schema) for item in self.items]
+            attributes = [
+                Project._output_attribute(item, schema) for item in self.items
+            ]
+            out_schema = _fresh_schema(f"{schema.name}_proj", attributes)
+            bound = (compiled, out_schema)
+            self._bound[schema] = bound
+        return bound
+
+    def execute(self, context) -> Relation:
+        source = self.child.execute(context)
+        compiled, out_schema = self._bind(source.schema)
+        result = Relation(out_schema, bag=source.bag)
+        insert = result.insert
+        for row in source:
+            insert(tuple(fn(row) for fn in compiled), _validated=True)
+        _trace(context, "project", len(source), len(result))
+        return result
+
+    def estimate(self, cards=None) -> PlanEstimate:
+        child = self.child.estimate(cards)
+        est = PlanEstimate(rows=child.rows)
+        est.absorb(child)
+        est.scanned += child.rows
+        return est
+
+    def describe(self) -> str:
+        return f"project[{len(self.items)} cols]"
+
+
+class RenameOp(PhysicalOperator):
+    """Rename the relation (and optionally its attributes)."""
+
+    op_name = "rename"
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        name: str,
+        attributes: Optional[Tuple[str, ...]],
+    ):
+        self.child = child
+        self.name = name
+        self.attributes = attributes
+        self._schemas: Dict[RelationSchema, RelationSchema] = {}
+
+    def children(self) -> tuple:
+        return (self.child,)
+
+    def _bind(self, schema: RelationSchema) -> RelationSchema:
+        out = self._schemas.get(schema)
+        if out is None:
+            if self.attributes is None:
+                out = schema.renamed(self.name)
+            else:
+                if len(self.attributes) != schema.arity:
+                    raise TypeMismatchError(
+                        f"rename: {len(self.attributes)} attribute names for "
+                        f"arity-{schema.arity} input"
+                    )
+                out = RelationSchema(
+                    self.name,
+                    [
+                        Attribute(new_name, attribute.domain, attribute.nullable)
+                        for new_name, attribute in zip(
+                            self.attributes, schema.attributes
+                        )
+                    ],
+                )
+            self._schemas[schema] = out
+        return out
+
+    def execute(self, context) -> Relation:
+        source = self.child.execute(context)
+        return source.with_schema(self._bind(source.schema))
+
+    def estimate(self, cards=None) -> PlanEstimate:
+        return self.child.estimate(cards)
+
+    def describe(self) -> str:
+        return f"rename({self.name})"
+
+
+class AggregateOp(PhysicalOperator):
+    """Scalar aggregate SUM/AVG/MIN/MAX -> single-tuple relation."""
+
+    op_name = "aggregate"
+
+    def __init__(self, child: PhysicalOperator, func: str, attr):
+        self.child = child
+        self.func = func
+        self.attr = attr
+
+    def children(self) -> tuple:
+        return (self.child,)
+
+    def execute(self, context) -> Relation:
+        source = self.child.execute(context)
+        position = source.schema.position_of(self.attr) - 1
+        values = [row[position] for row in source if row[position] is not NULL]
+        if self.func == "SUM":
+            value = sum(values) if values else 0
+        elif not values:
+            value = NULL
+        elif self.func == "AVG":
+            value = sum(values) / len(values)
+        elif self.func == "MIN":
+            value = min(values)
+        else:
+            value = max(values)
+        name = f"{self.func.lower()}_{source.schema.attributes[position].name}"
+        schema = RelationSchema("aggregate", [Attribute(name, ANY, nullable=True)])
+        result = Relation(schema, [(value,)], _validated=True)
+        _trace(context, "aggregate", len(source), 1)
+        return result
+
+    def estimate(self, cards=None) -> PlanEstimate:
+        child = self.child.estimate(cards)
+        est = PlanEstimate(rows=1.0)
+        est.absorb(child)
+        est.scanned += child.rows
+        return est
+
+    def describe(self) -> str:
+        return f"aggregate({self.func}, {self.attr})"
+
+
+class CountOp(PhysicalOperator):
+    """CNT(R): bag-aware tuple count."""
+
+    op_name = "count"
+
+    def __init__(self, child: PhysicalOperator):
+        self.child = child
+
+    def children(self) -> tuple:
+        return (self.child,)
+
+    def execute(self, context) -> Relation:
+        source = self.child.execute(context)
+        schema = RelationSchema("count", [Attribute("cnt", INT)])
+        result = Relation(schema, [(len(source),)], _validated=True)
+        _trace(context, "count", len(source), 1)
+        return result
+
+    def estimate(self, cards=None) -> PlanEstimate:
+        child = self.child.estimate(cards)
+        est = PlanEstimate(rows=1.0)
+        est.absorb(child)
+        return est
+
+
+class MultiplicityOp(PhysicalOperator):
+    """MLT(R): distinct-tuple count."""
+
+    op_name = "multiplicity"
+
+    def __init__(self, child: PhysicalOperator):
+        self.child = child
+
+    def children(self) -> tuple:
+        return (self.child,)
+
+    def execute(self, context) -> Relation:
+        source = self.child.execute(context)
+        schema = RelationSchema("multiplicity", [Attribute("mlt", INT)])
+        result = Relation(schema, [(source.distinct_count(),)], _validated=True)
+        _trace(context, "multiplicity", len(source), 1)
+        return result
+
+    def estimate(self, cards=None) -> PlanEstimate:
+        child = self.child.estimate(cards)
+        est = PlanEstimate(rows=1.0)
+        est.absorb(child)
+        return est
+
+
+# ---------------------------------------------------------------------------
+# Set operators (hash-based, directly on the row-count dictionaries)
+# ---------------------------------------------------------------------------
+
+
+class _BinaryOp(PhysicalOperator):
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator):
+        self.left = left
+        self.right = right
+
+    def children(self) -> tuple:
+        return (self.left, self.right)
+
+
+class UnionOp(_BinaryOp):
+    """Set/bag union (mirrors ``left.copy(); insert_many(iter(right))``)."""
+
+    op_name = "union"
+
+    def execute(self, context) -> Relation:
+        left = self.left.execute(context)
+        right = self.right.execute(context)
+        _check_compatible(left, right, "union")
+        if left.schema.is_union_compatible(right.schema):
+            result = Relation(left.schema, bag=left.bag)
+            merged = dict(left._rows)
+            if result.bag:
+                for row, count in right._rows.items():
+                    merged[row] = merged.get(row, 0) + (
+                        count if right.bag else 1
+                    )
+            else:
+                for row in right._rows:
+                    merged.setdefault(row, 1)
+            result._rows = merged
+        else:
+            # Differing domains: go through validating inserts exactly like
+            # the naive backend, so type errors surface identically.
+            result = left.copy()
+            result.insert_many(iter(right))
+        _trace(context, "union", len(left) + len(right), len(result))
+        return result
+
+    def estimate(self, cards=None) -> PlanEstimate:
+        left = self.left.estimate(cards)
+        right = self.right.estimate(cards)
+        est = PlanEstimate(rows=left.rows + right.rows)
+        est.absorb(left)
+        est.absorb(right)
+        est.scanned += left.rows + right.rows
+        return est
+
+
+class DifferenceOp(_BinaryOp):
+    """Set/bag difference (mirrors ``left.copy(); delete_many(iter(right))``)."""
+
+    op_name = "difference"
+
+    def execute(self, context) -> Relation:
+        left = self.left.execute(context)
+        right = self.right.execute(context)
+        _check_compatible(left, right, "difference")
+        result = Relation(left.schema, bag=left.bag)
+        remaining = dict(left._rows)
+        if result.bag:
+            for row, count in right._rows.items():
+                mine = remaining.get(row)
+                if mine is None:
+                    continue
+                removed = count if right.bag else 1
+                if mine > removed:
+                    remaining[row] = mine - removed
+                else:
+                    del remaining[row]
+        else:
+            for row in right._rows:
+                remaining.pop(row, None)
+        result._rows = remaining
+        _trace(context, "difference", len(left) + len(right), len(result))
+        return result
+
+    def estimate(self, cards=None) -> PlanEstimate:
+        left = self.left.estimate(cards)
+        right = self.right.estimate(cards)
+        est = PlanEstimate(rows=max(left.rows - right.rows, 1.0))
+        est.absorb(left)
+        est.absorb(right)
+        est.scanned += left.rows + right.rows
+        return est
+
+
+class IntersectOp(_BinaryOp):
+    """Set/bag intersection (keeps left multiplicities, like the naive op)."""
+
+    op_name = "intersection"
+
+    def execute(self, context) -> Relation:
+        left = self.left.execute(context)
+        right = self.right.execute(context)
+        _check_compatible(left, right, "intersection")
+        result = Relation(left.schema, bag=left.bag)
+        right_rows = right._rows
+        result._rows = {
+            row: count
+            for row, count in left._rows.items()
+            if row in right_rows
+        }
+        _trace(context, "intersection", len(left) + len(right), len(result))
+        return result
+
+    def estimate(self, cards=None) -> PlanEstimate:
+        left = self.left.estimate(cards)
+        right = self.right.estimate(cards)
+        est = PlanEstimate(rows=min(left.rows, right.rows) * SEMI_SELECTIVITY)
+        est.absorb(left)
+        est.absorb(right)
+        est.scanned += left.rows + right.rows
+        return est
+
+
+class ProductOp(_BinaryOp):
+    """Cartesian product."""
+
+    op_name = "product"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator):
+        super().__init__(left, right)
+        self._schemas = _CombinedSchemaCache("_x")
+
+    def execute(self, context) -> Relation:
+        left = self.left.execute(context)
+        right = self.right.execute(context)
+        result = Relation(
+            self._schemas.get(left.schema, right.schema),
+            bag=left.bag or right.bag,
+        )
+        insert = result.insert
+        for lrow in left:
+            for rrow in right:
+                insert(lrow + rrow, _validated=True)
+        _trace(context, "product", len(left) + len(right), len(result))
+        return result
+
+    def estimate(self, cards=None) -> PlanEstimate:
+        left = self.left.estimate(cards)
+        right = self.right.estimate(cards)
+        est = PlanEstimate(rows=left.rows * right.rows)
+        est.absorb(left)
+        est.absorb(right)
+        est.scanned += left.rows * right.rows
+        return est
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+
+
+class HashJoinOp(_BinaryOp):
+    """Equi-join executed as build(right) + probe(left).
+
+    The build side hashes *distinct* right rows (the naive backend's
+    convention); a pre-built persistent index on the right relation is
+    reused when its key columns match.
+    """
+
+    op_name = "join"
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_keys,
+        right_keys,
+        residual: P.Predicate,
+    ):
+        super().__init__(left, right)
+        self.left_keys = _KeySide(left_keys, "left")
+        self.right_keys = _KeySide(right_keys, "right")
+        self._residual = _PredicateCache(residual)
+        self._schemas = _CombinedSchemaCache("_join")
+
+    def execute(self, context) -> Relation:
+        left = self.left.execute(context)
+        right = self.right.execute(context)
+        result = Relation(
+            self._schemas.get(left.schema, right.schema),
+            bag=left.bag or right.bag,
+        )
+        buckets = _hash_buckets(right, self.right_keys, need_rows=True)
+        left_key, _ = self.left_keys.bind(left.schema)
+        insert = result.insert
+        get_bucket = buckets.get
+        if self._residual.is_true:
+            for lrow in left:
+                bucket = get_bucket(left_key(lrow))
+                if bucket:
+                    for rrow in bucket:
+                        insert(lrow + rrow, _validated=True)
+        else:
+            residual = self._residual.bind(left.schema, right.schema)
+            for lrow in left:
+                bucket = get_bucket(left_key(lrow))
+                if bucket:
+                    for rrow in bucket:
+                        if residual(lrow, rrow) is True:
+                            insert(lrow + rrow, _validated=True)
+        _trace(context, "join", len(left) + len(right), len(result))
+        return result
+
+    def estimate(self, cards=None) -> PlanEstimate:
+        left = self.left.estimate(cards)
+        right = self.right.estimate(cards)
+        est = PlanEstimate(rows=max(left.rows, right.rows))
+        est.absorb(left)
+        est.absorb(right)
+        est.built += right.rows
+        est.probed += left.rows
+        return est
+
+    def describe(self) -> str:
+        return f"hash_join[{self.left_keys.attrs or self.left_keys.exprs}]"
+
+
+class NestedLoopJoinOp(_BinaryOp):
+    """Theta-join fallback for predicates without hashable equalities."""
+
+    op_name = "join"
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        predicate: P.Predicate,
+    ):
+        super().__init__(left, right)
+        self._pred = _PredicateCache(predicate)
+        self._schemas = _CombinedSchemaCache("_join")
+
+    def execute(self, context) -> Relation:
+        left = self.left.execute(context)
+        right = self.right.execute(context)
+        result = Relation(
+            self._schemas.get(left.schema, right.schema),
+            bag=left.bag or right.bag,
+        )
+        test = self._pred.bind(left.schema, right.schema)
+        insert = result.insert
+        for lrow in left:
+            for rrow in right:
+                if test(lrow, rrow) is True:
+                    insert(lrow + rrow, _validated=True)
+        _trace(context, "join", len(left) + len(right), len(result))
+        return result
+
+    def estimate(self, cards=None) -> PlanEstimate:
+        left = self.left.estimate(cards)
+        right = self.right.estimate(cards)
+        est = PlanEstimate(rows=left.rows * right.rows * FILTER_SELECTIVITY)
+        est.absorb(left)
+        est.absorb(right)
+        est.scanned += left.rows * right.rows
+        return est
+
+    def describe(self) -> str:
+        return f"nl_join[{self._pred.predicate!r}]"
+
+
+def _key_has_null(key) -> bool:
+    if key is NULL:
+        return True
+    if type(key) is tuple:
+        return any(value is NULL for value in key)
+    return False
+
+
+class HashSemiJoinOp(_BinaryOp):
+    """Semijoin/antijoin on equality keys, hash- and index-accelerated.
+
+    Execution regimes, fastest applicable wins:
+
+    1. no residual, both sides indexed on the key columns — probe per
+       *distinct key* of the left index and emit whole buckets;
+    2. no residual — probe per distinct left row against the right key set
+       (pre-built index or one ephemeral hash pass);
+    3. residual predicate — hash-partition by the equality keys and test
+       the residual only within the matching bucket (the naive backend
+       degrades to a full nested loop here).  Probe keys containing NULL
+       never match, mirroring the predicate path where ``NULL = NULL`` is
+       *unknown* — while regime 2 mirrors the naive hash path, which
+       matches NULL keys by identity.
+    """
+
+    op_name = "semijoin"
+    keep_matching = True
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_keys,
+        right_keys,
+        residual: P.Predicate = P.TRUE,
+    ):
+        super().__init__(left, right)
+        self.left_keys = _KeySide(left_keys, "left")
+        self.right_keys = _KeySide(right_keys, "right")
+        self._residual = _PredicateCache(residual)
+
+    def execute(self, context) -> Relation:
+        left = self.left.execute(context)
+        right = self.right.execute(context)
+        keep = self.keep_matching
+        left_key, positions = self.left_keys.bind(left.schema)
+        if not self._residual.is_true:
+            buckets = _hash_buckets(right, self.right_keys, need_rows=True)
+            residual = self._residual.bind(left.schema, right.schema)
+            get_bucket = buckets.get
+
+            def has_match(lrow: tuple) -> bool:
+                key = left_key(lrow)
+                if _key_has_null(key):
+                    return False
+                bucket = get_bucket(key)
+                if not bucket:
+                    return False
+                return any(residual(lrow, rrow) is True for rrow in bucket)
+
+            if keep:
+                result = left.filtered(has_match)
+            else:
+                result = left.filtered(lambda row: not has_match(row))
+            _trace(context, self.op_name, len(left) + len(right), len(result))
+            return result
+        right_keys = _hash_buckets(right, self.right_keys, need_rows=False)
+        left_index = (
+            left.built_index(positions) if positions is not None else None
+        )
+        if left_index is not None:
+            # Distinct-key probing: one membership test per key, whole
+            # buckets emitted.  This is what makes repeated referential
+            # checks over a large indexed relation near-instant.
+            counts = left._rows
+            selected: dict = {}
+            for key, bucket in left_index.buckets.items():
+                if (key in right_keys) == keep:
+                    for row in bucket:
+                        selected[row] = counts[row]
+            result = Relation(left.schema, bag=left.bag)
+            result._rows = selected
+        elif keep:
+            result = left.filtered(lambda row: left_key(row) in right_keys)
+        else:
+            result = left.filtered(lambda row: left_key(row) not in right_keys)
+        _trace(context, self.op_name, len(left) + len(right), len(result))
+        return result
+
+    def estimate(self, cards=None) -> PlanEstimate:
+        left = self.left.estimate(cards)
+        right = self.right.estimate(cards)
+        est = PlanEstimate(rows=left.rows * SEMI_SELECTIVITY)
+        est.absorb(left)
+        est.absorb(right)
+        est.built += right.rows
+        est.probed += left.rows
+        return est
+
+    def describe(self) -> str:
+        keys = self.left_keys.attrs or self.left_keys.exprs
+        suffix = "" if self._residual.is_true else "+residual"
+        return f"hash_{self.op_name}[{keys}]{suffix}"
+
+
+class HashAntiJoinOp(HashSemiJoinOp):
+    """Antijoin: left rows with no key match in right (Table 1 row 2)."""
+
+    op_name = "antijoin"
+    keep_matching = False
+
+
+class NestedLoopSemiOp(_BinaryOp):
+    """Semijoin/antijoin fallback for general predicates."""
+
+    op_name = "semijoin"
+    keep_matching = True
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        predicate: P.Predicate,
+    ):
+        super().__init__(left, right)
+        self._pred = _PredicateCache(predicate)
+
+    def execute(self, context) -> Relation:
+        left = self.left.execute(context)
+        right = self.right.execute(context)
+        test = self._pred.bind(left.schema, right.schema)
+        right_rows = list(right.rows())
+
+        def has_match(row: tuple) -> bool:
+            return any(test(row, other) is True for other in right_rows)
+
+        if self.keep_matching:
+            result = left.filtered(has_match)
+        else:
+            result = left.filtered(lambda row: not has_match(row))
+        _trace(context, self.op_name, len(left) + len(right), len(result))
+        return result
+
+    def estimate(self, cards=None) -> PlanEstimate:
+        left = self.left.estimate(cards)
+        right = self.right.estimate(cards)
+        est = PlanEstimate(rows=left.rows * SEMI_SELECTIVITY)
+        est.absorb(left)
+        est.absorb(right)
+        est.scanned += left.rows * right.rows
+        return est
+
+    def describe(self) -> str:
+        return f"nl_{self.op_name}[{self._pred.predicate!r}]"
+
+
+class NestedLoopAntiOp(NestedLoopSemiOp):
+    op_name = "antijoin"
+    keep_matching = False

@@ -1,0 +1,323 @@
+"""Compile algebra expressions into cached physical query plans.
+
+This module is the bridge between the declarative layer (expression trees
+produced by parsing or by the calculus-to-algebra translation of Section
+5.2.2) and the physical operators of :mod:`repro.algebra.physical`:
+
+* :func:`compile_expression` lowers an expression — after running the
+  always-safe rewrites of :mod:`repro.algebra.optimizer` — into a physical
+  operator DAG, splitting join predicates into hash keys and recognizing
+  index-accelerable shapes once, at plan time;
+* :func:`get_plan` adds a **structural plan cache**: expression nodes are
+  frozen dataclasses with structural equality, so every occurrence of the
+  same expression (a static-mode integrity rule appended to thousands of
+  transactions, the selection an ``update`` statement re-creates on every
+  execution) shares one compiled plan;
+* :func:`evaluate` is the engine switch: ``engine="planned"`` (the default)
+  executes the compiled plan, ``engine="naive"`` runs the reference
+  tree-walk interpreter — keeping the two differentially testable;
+* :func:`estimate_expression` exposes the planner's static cardinality/work
+  estimates, which the parallel cost model consumes;
+* :func:`index_hints` reports which base-relation hash indexes would
+  accelerate a plan (the integrity controller turns these into real indexes
+  via :meth:`~repro.core.subsystem.IntegrityController.install_indexes`).
+
+Engine resolution order for :func:`evaluate`: the explicit ``engine``
+argument, then the evaluation context's ``engine`` attribute, then the
+module default (:func:`set_default_engine`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.algebra import expressions as E
+from repro.algebra import physical as X
+from repro.algebra import predicates as P
+from repro.algebra.expressions import _split_equi_predicate
+from repro.algebra.optimizer import optimize_expression
+from repro.engine.relation import Relation
+from repro.errors import EvaluationError
+
+ENGINES = ("naive", "planned")
+
+_default_engine = "planned"
+
+# Structural plan cache: Expression -> PhysicalOperator.  Bounded FIFO —
+# integrity programs and statement shapes are few; unbounded literal-heavy
+# workloads must not grow it without limit.
+_PLAN_CACHE: dict = {}
+_PLAN_CACHE_LIMIT = 1024
+_plan_cache_hits = 0
+_plan_cache_misses = 0
+
+
+def set_default_engine(engine: str) -> None:
+    """Set the process-wide default evaluation backend."""
+    global _default_engine
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}")
+    _default_engine = engine
+
+
+def get_default_engine() -> str:
+    return _default_engine
+
+
+def resolve_engine(context=None, engine: Optional[str] = None) -> str:
+    """The backend to use: explicit arg, context attribute, then default."""
+    if engine is None:
+        engine = getattr(context, "engine", None)
+    if engine is None:
+        return _default_engine
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}")
+    return engine
+
+
+# ---------------------------------------------------------------------------
+# Lowering
+# ---------------------------------------------------------------------------
+
+
+def _const_equalities(predicate: P.Predicate):
+    """Split a unary predicate into column=constant keys and a residual.
+
+    Returns ``(attrs, values, residual)``; NULL constants stay in the
+    residual (NULL compares *unknown*, an index bucket would match it).
+    """
+    from repro.engine.types import NULL
+
+    attrs: list = []
+    values: list = []
+    residual: list = []
+
+    def visit(node: P.Predicate) -> None:
+        if isinstance(node, P.And):
+            visit(node.left)
+            visit(node.right)
+            return
+        if isinstance(node, P.Comparison) and node.op == "=":
+            left, right = node.left, node.right
+            if isinstance(right, P.ColRef) and isinstance(left, P.Const):
+                left, right = right, left
+            if (
+                isinstance(left, P.ColRef)
+                and left.side in (None, "left")
+                and isinstance(right, P.Const)
+                and right.value is not NULL
+                and left.attr not in attrs
+            ):
+                attrs.append(left.attr)
+                values.append(right.value)
+                return
+        residual.append(node)
+
+    visit(predicate)
+    residual_pred = P.conjoin(*residual) if residual else P.TRUE
+    return tuple(attrs), tuple(values), residual_pred
+
+
+def compile_expression(
+    expression: E.Expression, optimize: bool = True
+) -> X.PhysicalOperator:
+    """Lower an expression tree into a physical operator DAG."""
+    if optimize:
+        expression = optimize_expression(expression)
+    return _lower(expression)
+
+
+def _lower(expr: E.Expression) -> X.PhysicalOperator:
+    if isinstance(expr, E.RelationRef):
+        return X.ScanOp(expr.name)
+    if isinstance(expr, E.Literal):
+        return X.LiteralOp(expr.rows)
+    if isinstance(expr, E.Select):
+        child = _lower(expr.input)
+        if isinstance(child, X.ScanOp):
+            attrs, values, residual = _const_equalities(expr.predicate)
+            if attrs:
+                return X.IndexSelectOp(
+                    child.name, attrs, values, residual, expr.predicate
+                )
+        return X.FilterOp(child, expr.predicate)
+    if isinstance(expr, E.Project):
+        return X.ProjectOp(_lower(expr.input), expr.items)
+    if isinstance(expr, E.Union):
+        return X.UnionOp(_lower(expr.left), _lower(expr.right))
+    if isinstance(expr, E.Difference):
+        return X.DifferenceOp(_lower(expr.left), _lower(expr.right))
+    if isinstance(expr, E.Intersection):
+        return X.IntersectOp(_lower(expr.left), _lower(expr.right))
+    if isinstance(expr, E.Product):
+        return X.ProductOp(_lower(expr.left), _lower(expr.right))
+    if isinstance(expr, E.Join):
+        left_keys, right_keys, residual = _split_equi_predicate(expr.predicate)
+        left = _lower(expr.left)
+        right = _lower(expr.right)
+        if left_keys:
+            return X.HashJoinOp(left, right, left_keys, right_keys, residual)
+        return X.NestedLoopJoinOp(left, right, expr.predicate)
+    if isinstance(expr, (E.SemiJoin, E.AntiJoin)):
+        anti = isinstance(expr, E.AntiJoin)
+        left_keys, right_keys, residual = _split_equi_predicate(expr.predicate)
+        left = _lower(expr.left)
+        right = _lower(expr.right)
+        if left_keys:
+            # Unlike the naive backend, a residual does not force nested
+            # loops: the residual is tested within hash buckets only.
+            ctor = X.HashAntiJoinOp if anti else X.HashSemiJoinOp
+            return ctor(left, right, left_keys, right_keys, residual)
+        ctor = X.NestedLoopAntiOp if anti else X.NestedLoopSemiOp
+        return ctor(left, right, expr.predicate)
+    if isinstance(expr, E.Rename):
+        return X.RenameOp(_lower(expr.input), expr.name, expr.attributes)
+    if isinstance(expr, E.Aggregate):
+        return X.AggregateOp(_lower(expr.input), expr.func, expr.attr)
+    if isinstance(expr, E.Count):
+        return X.CountOp(_lower(expr.input))
+    if isinstance(expr, E.Multiplicity):
+        return X.MultiplicityOp(_lower(expr.input))
+    raise EvaluationError(f"cannot lower expression node {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# The plan cache
+# ---------------------------------------------------------------------------
+
+
+def _is_cache_exempt(expression: E.Expression) -> bool:
+    """Trivial plans that would churn the cache rather than benefit from it.
+
+    Bare leaves, and the ``Rename(leaf)`` shape every ``Assign`` statement
+    wraps around its value — distinct literal insert/assign batches must not
+    FIFO-evict the integrity rules' precompiled plans.
+    """
+    if isinstance(expression, (E.RelationRef, E.Literal)):
+        return True
+    return isinstance(expression, E.Rename) and isinstance(
+        expression.input, (E.RelationRef, E.Literal)
+    )
+
+
+def get_plan(expression: E.Expression) -> X.PhysicalOperator:
+    """The cached physical plan of ``expression`` (compiling on miss)."""
+    global _plan_cache_hits, _plan_cache_misses
+    if _is_cache_exempt(expression):
+        return _lower(expression)
+    plan = _PLAN_CACHE.get(expression)
+    if plan is not None:
+        _plan_cache_hits += 1
+        return plan
+    _plan_cache_misses += 1
+    plan = compile_expression(expression)
+    if len(_PLAN_CACHE) >= _PLAN_CACHE_LIMIT:
+        _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+    _PLAN_CACHE[expression] = plan
+    return plan
+
+
+def clear_plan_cache() -> None:
+    global _plan_cache_hits, _plan_cache_misses
+    _PLAN_CACHE.clear()
+    _plan_cache_hits = 0
+    _plan_cache_misses = 0
+
+
+def plan_cache_info() -> dict:
+    return {
+        "size": len(_PLAN_CACHE),
+        "hits": _plan_cache_hits,
+        "misses": _plan_cache_misses,
+        "limit": _PLAN_CACHE_LIMIT,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Evaluation entry point (the engine switch)
+# ---------------------------------------------------------------------------
+
+
+def evaluate(
+    expression: E.Expression, context, engine: Optional[str] = None
+) -> Relation:
+    """Evaluate ``expression`` with the selected backend."""
+    if resolve_engine(context, engine) == "naive":
+        return expression.evaluate(context)
+    return get_plan(expression).execute(context)
+
+
+def explain(expression: E.Expression) -> str:
+    """The compiled physical plan of an expression, as indented text."""
+    return get_plan(expression).explain()
+
+
+# ---------------------------------------------------------------------------
+# Program-level helpers (definition-time compilation, index advice)
+# ---------------------------------------------------------------------------
+
+
+def statement_expressions(statement) -> Iterator[E.Expression]:
+    """The relation-valued expressions a statement will evaluate."""
+    expr = getattr(statement, "expr", None)
+    if isinstance(expr, E.Expression):
+        yield expr
+
+
+def precompile_program(program) -> int:
+    """Warm the plan cache for every expression of a program.
+
+    Called at rule-definition time (static mode, §6.2) so constraint
+    enforcement never pays lowering costs inside a transaction.  Returns
+    the number of plans compiled or refreshed.
+    """
+    count = 0
+    for statement in program:
+        for expression in statement_expressions(statement):
+            get_plan(expression)
+            count += 1
+    return count
+
+
+def index_hints(expression: E.Expression) -> set:
+    """(relation, attrs) pairs whose hash indexes would speed this plan up.
+
+    Reported for the probe and build sides of hash semi/antijoins, the
+    build side of hash joins, and equality selections — whenever that side
+    is a direct scan of a named relation and the keys are plain columns.
+    Auxiliary differentials (``R@plus``/``R@minus``) are skipped: they are
+    rebuilt per transaction, so a persistent index can never exist.
+    """
+    hints: set = set()
+    _collect_hints(get_plan(expression), hints)
+    return {(name, attrs) for name, attrs in hints if "@" not in name}
+
+
+def _collect_hints(op: X.PhysicalOperator, hints: set) -> None:
+    if isinstance(op, X.HashSemiJoinOp):  # covers HashAntiJoinOp too
+        left_attrs = op.left_keys.attrs
+        right_attrs = op.right_keys.attrs
+        if isinstance(op.left, X.ScanOp) and left_attrs:
+            hints.add((op.left.name, left_attrs))
+        if isinstance(op.right, X.ScanOp) and right_attrs:
+            hints.add((op.right.name, right_attrs))
+    elif isinstance(op, X.HashJoinOp):
+        right_attrs = op.right_keys.attrs
+        if isinstance(op.right, X.ScanOp) and right_attrs:
+            hints.add((op.right.name, right_attrs))
+    elif isinstance(op, X.IndexSelectOp):
+        hints.add((op.name, tuple(op.attrs)))
+    for child in op.children():
+        _collect_hints(child, hints)
+
+
+def estimate_expression(
+    expression: E.Expression, cardinalities=None
+) -> X.PlanEstimate:
+    """The planner's static estimate for evaluating ``expression``.
+
+    ``cardinalities`` maps relation names to tuple counts (e.g. from
+    :meth:`repro.engine.database.Database.cardinalities`); absent names
+    assume :data:`repro.algebra.physical.DEFAULT_CARDINALITY`.
+    """
+    return get_plan(expression).estimate(cardinalities)

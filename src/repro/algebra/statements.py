@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple, Union as TypingUnion
 
 from repro.algebra import predicates as P
+from repro.algebra.evaluation import evaluate_expression
 from repro.algebra.expressions import Expression, Select, RelationRef
 from repro.errors import TransactionAborted
 
@@ -58,7 +59,7 @@ class Assign(Statement):
     def execute(self, context) -> None:
         from repro.algebra.expressions import Rename
 
-        value = Rename(self.expr, self.name).evaluate(context)
+        value = evaluate_expression(Rename(self.expr, self.name), context)
         context.set_temp(self.name, value)
 
     def relations_read(self) -> set:
@@ -73,7 +74,7 @@ class Insert(Statement):
     expr: Expression
 
     def execute(self, context) -> None:
-        rows = list(self.expr.evaluate(context))
+        rows = list(evaluate_expression(self.expr, context))
         context.insert_rows(self.relation, rows)
 
     def update_triggers(self) -> frozenset:
@@ -91,7 +92,7 @@ class Delete(Statement):
     expr: Expression
 
     def execute(self, context) -> None:
-        rows = list(self.expr.evaluate(context))
+        rows = list(evaluate_expression(self.expr, context))
         context.delete_rows(self.relation, rows)
 
     def update_triggers(self) -> frozenset:
@@ -118,7 +119,9 @@ class Update(Statement):
         source = context.resolve(self.relation)
         schema = source.schema
         matching = list(
-            Select(RelationRef(self.relation), self.predicate).evaluate(context)
+            evaluate_expression(
+                Select(RelationRef(self.relation), self.predicate), context
+            )
         )
         positions = [
             schema.position_of(attr) - 1 for attr, _ in self.assignments
@@ -154,7 +157,7 @@ class Alarm(Statement):
     message: Optional[str] = None
 
     def execute(self, context) -> None:
-        result = self.expr.evaluate(context)
+        result = evaluate_expression(self.expr, context)
         if len(result) > 0:
             reason = self.message or "integrity alarm"
             sample = result.sorted_rows()[:3]

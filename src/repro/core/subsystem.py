@@ -28,8 +28,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Union
 
+from repro.algebra import planner
 from repro.algebra.parser import parse_program
 from repro.algebra.programs import Program
+from repro.algebra.statements import Alarm
 from repro.calculus import ast as C
 from repro.calculus.analysis import relation_names, variable_ranges
 from repro.calculus.evaluation import evaluate_constraint
@@ -64,6 +66,7 @@ class IntegrityController:
         optimize: bool = True,
         differential: bool = True,
         allow_fallback: bool = True,
+        engine: Optional[str] = None,
     ):
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}")
@@ -72,10 +75,17 @@ class IntegrityController:
         self.optimize = optimize
         self.differential = differential
         self.allow_fallback = allow_fallback
+        # Evaluation backend for enforcement/audits: "planned" (compiled
+        # physical plans, the default), "naive" (reference interpreter), or
+        # None to follow the planner's process-wide default.
+        self.engine = engine
         self.rules: List[IntegrityRule] = []
         self.store = IntegrityProgramStore()
         self.last_stats: Optional[ModificationStats] = None
         self.modifications = 0
+
+    def _engine(self) -> str:
+        return planner.resolve_engine(engine=self.engine)
 
     # -- rule management ---------------------------------------------------------
 
@@ -90,7 +100,7 @@ class IntegrityController:
         self._check_condition_schema(rule.condition)
         self._check_action_schema(rule)
         self.rules.append(rule)
-        self.store.add(
+        integrity_program = self.store.add(
             get_int_p(
                 rule,
                 self.schema,
@@ -99,6 +109,14 @@ class IntegrityController:
                 allow_fallback=self.allow_fallback,
             )
         )
+        if self._engine() == "planned":
+            # Section 6.2 taken one layer further: static-mode rules compile
+            # not just to algebra programs but to physical plans, once, at
+            # definition time.  The structural plan cache makes this shared
+            # with every later enforcement of the same expressions.
+            planner.precompile_program(integrity_program.program)
+            for piece in (integrity_program.differentials or {}).values():
+                planner.precompile_program(piece)
         return rule
 
     def add_constraint(
@@ -233,19 +251,65 @@ class IntegrityController:
 
     # -- direct checking (the audit/baseline path) ---------------------------------------
 
-    def violated_constraints(self, database: Database) -> List[str]:
+    def violated_constraints(
+        self, database: Database, engine: Optional[str] = None
+    ) -> List[str]:
         """Names of rules whose conditions fail on the current state.
 
         This bypasses transaction modification entirely — it is the direct
         evaluation oracle used for audits, tests, and the check-after-write
         baseline in the benchmarks.
+
+        With the planned engine (the default), aborting rules whose stored
+        integrity program is in pure alarm form are audited through their
+        compiled physical plans — which exploit any hash indexes on the
+        database — instead of the calculus model checker; rules outside
+        that shape (compensating actions, translation fallbacks) always use
+        the calculus evaluator.
         """
-        view = DatabaseView(database)
+        engine = planner.resolve_engine(engine=engine or self.engine)
+        view = DatabaseView(database, engine=engine)
         return [
-            rule.name
-            for rule in self.rules
-            if not evaluate_constraint(rule.condition, view, validate=False)
+            rule.name for rule in self.rules if self._is_violated(rule, view, engine)
         ]
+
+    def _is_violated(self, rule: IntegrityRule, view: DatabaseView, engine: str) -> bool:
+        if engine == "planned" and rule.is_aborting and rule.name in self.store:
+            statements = self.store.get(rule.name).program.statements
+            if statements and all(
+                isinstance(statement, Alarm) for statement in statements
+            ):
+                return any(
+                    len(planner.evaluate(statement.expr, view, engine="planned"))
+                    for statement in statements
+                )
+        return not evaluate_constraint(rule.condition, view, validate=False)
+
+    def install_indexes(self, database: Database) -> List[tuple]:
+        """Create the hash indexes the compiled plans would benefit from.
+
+        Walks every stored integrity program (full and differential
+        variants), collects the planner's index hints, and creates the
+        corresponding persistent hash indexes on ``database``.  Returns the
+        ``(relation, attrs)`` pairs actually installed.  Indexes are
+        maintained incrementally from then on, so repeated enforcement and
+        audits of equality-keyed constraints (referential integrity above
+        all) probe per distinct key instead of re-hashing per evaluation.
+        """
+        hints: set = set()
+        for integrity_program in self.store:
+            pieces = [integrity_program.program]
+            pieces.extend((integrity_program.differentials or {}).values())
+            for piece in pieces:
+                for statement in piece:
+                    for expression in planner.statement_expressions(statement):
+                        hints |= planner.index_hints(expression)
+        installed = []
+        for name, attrs in sorted(hints, key=repr):
+            if name in database:
+                database.create_index(name, attrs)
+                installed.append((name, attrs))
+        return installed
 
     def is_correct_transaction(self, database: Database, transaction) -> bool:
         """Def 3.5: is ``transaction`` correct w.r.t. ``database`` and the

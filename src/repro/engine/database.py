@@ -13,7 +13,7 @@ temporary and auxiliary relations live in the
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping
+from typing import Iterable, Iterator, Mapping, Optional
 
 from repro.engine.relation import Relation
 from repro.engine.schema import DatabaseSchema, RelationSchema
@@ -105,18 +105,58 @@ class Database:
         for name, relation in snapshot.items():
             self._relations[name] = relation.copy()
 
-    def install(self, relations: Mapping, advance_time: bool = True) -> None:
+    def install(
+        self,
+        relations: Mapping,
+        advance_time: bool = True,
+        differentials: Optional[Mapping] = None,
+    ) -> None:
         """Install new relation states (transaction commit).
 
         Only the names present in ``relations`` are replaced; logical time
         advances by one step unless ``advance_time`` is false.
+
+        ``differentials`` optionally maps a replaced name to its net
+        ``(plus, minus)`` relations; when given, hash indexes built on the
+        replaced relation are migrated to its successor incrementally
+        (O(|delta|)) instead of being discarded — this is what keeps
+        index-accelerated enforcement fast across committed transactions.
         """
+        from repro.engine.indexes import migrate_indexes
+
         for name, relation in relations.items():
             if name not in self._relations:
                 raise UnknownRelationError(name)
+            old = self._relations[name]
+            delta = differentials.get(name) if differentials else None
+            if delta is not None:
+                migrate_indexes(old, relation, plus=delta[0], minus=delta[1])
+            else:
+                migrate_indexes(old, relation)
             self._relations[name] = relation
         if advance_time:
             self.logical_time += 1
+
+    # -- hash indexes ----------------------------------------------------------
+
+    def create_index(self, relation_name: str, attributes) -> None:
+        """Create (and build) a hash index on a base relation.
+
+        ``attributes`` is a sequence of attribute names or 1-based positions.
+        The index is maintained incrementally by inserts/deletes and migrated
+        across transaction commits; the physical plan layer uses it for
+        equality selections and as a pre-built side of hash semi/anti-joins.
+        """
+        relation = self.relation(relation_name)
+        positions = tuple(
+            relation.schema.position_of(attribute) - 1 for attribute in attributes
+        )
+        relation.index_on(positions)
+
+    def indexed_positions(self, relation_name: str) -> tuple:
+        """The declared index position-tuples of a base relation."""
+        indexes = self.relation(relation_name).indexes
+        return indexes.specs() if indexes is not None else ()
 
     # -- statistics ---------------------------------------------------------------
 

@@ -1,0 +1,226 @@
+"""Per-relation hash indexes with incremental maintenance.
+
+The physical query-plan layer (:mod:`repro.algebra.physical`) accelerates
+equality selections and the equi-join family (hash join, semijoin, antijoin)
+with hash indexes over base relations.  An index maps a *key* — the tuple of
+values at a fixed sequence of attribute positions — to the set of distinct
+rows carrying that key.
+
+Design points:
+
+* **Distinct-row granularity.**  Buckets hold distinct rows only; bag-mode
+  multiplicities stay in :attr:`Relation._rows` and are re-attached by the
+  physical operators when they materialize results.  Membership-style
+  operators (semijoin, antijoin, equality selection) only ever need the
+  distinct level.
+
+* **Declared vs built.**  An index can be *declared* (its key positions are
+  registered, e.g. carried over from a committed predecessor relation)
+  without being *built*.  Building is lazy — the first operator that wants
+  the index pays one pass over the current rows — and from then on the
+  relation maintains it incrementally on every insert and delete.
+
+* **Incremental maintenance across commits.**  A committed transaction
+  installs fresh relation objects, which would discard any built index.
+  :meth:`Database.install` therefore migrates built indexes from the
+  replaced relation to its successor by replaying the transaction's net
+  differential (``R@plus`` / ``R@minus``) — O(|delta|), not O(|R|).
+
+Single-attribute keys (by far the common case: foreign keys, key lookups)
+are stored unwrapped (``row[i]`` instead of ``(row[i],)``), which roughly
+halves probe cost under CPython.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+
+class HashIndex:
+    """A hash index over one relation, keyed by a tuple of 0-based positions."""
+
+    __slots__ = ("positions", "buckets", "built")
+
+    def __init__(self, positions: Tuple[int, ...]):
+        self.positions = tuple(positions)
+        # key -> {row: None} (an ordered set of distinct rows)
+        self.buckets: Dict[object, dict] = {}
+        self.built = False
+
+    # -- key extraction -------------------------------------------------------
+
+    def key_of(self, row: tuple):
+        """The index key of ``row`` (unwrapped for single-attribute keys)."""
+        positions = self.positions
+        if len(positions) == 1:
+            return row[positions[0]]
+        return tuple(row[position] for position in positions)
+
+    # -- construction and maintenance ----------------------------------------
+
+    def build(self, rows: Iterable[tuple]) -> "HashIndex":
+        """(Re)build the index from scratch over ``rows`` (distinct rows)."""
+        self.buckets = {}
+        add = self.add
+        for row in rows:
+            add(row)
+        self.built = True
+        return self
+
+    def add(self, row: tuple) -> None:
+        key = self.key_of(row)
+        bucket = self.buckets.get(key)
+        if bucket is None:
+            self.buckets[key] = {row: None}
+        else:
+            bucket[row] = None
+
+    def remove(self, row: tuple) -> None:
+        key = self.key_of(row)
+        bucket = self.buckets.get(key)
+        if bucket is None:
+            return
+        bucket.pop(row, None)
+        if not bucket:
+            del self.buckets[key]
+
+    # -- probing --------------------------------------------------------------
+
+    def __contains__(self, key) -> bool:
+        return key in self.buckets
+
+    def lookup(self, key) -> tuple:
+        """The distinct rows with this key (empty tuple when absent)."""
+        bucket = self.buckets.get(key)
+        return tuple(bucket) if bucket else ()
+
+    def keys(self) -> Iterator:
+        return iter(self.buckets)
+
+    @property
+    def distinct_keys(self) -> int:
+        return len(self.buckets)
+
+    def __repr__(self) -> str:
+        state = "built" if self.built else "declared"
+        return (
+            f"HashIndex(positions={self.positions}, {state}, "
+            f"{len(self.buckets)} keys)"
+        )
+
+
+class IndexSet:
+    """The indexes attached to one relation, keyed by position tuple."""
+
+    __slots__ = ("_indexes",)
+
+    def __init__(self):
+        self._indexes: Dict[Tuple[int, ...], HashIndex] = {}
+
+    def declare(self, positions: Tuple[int, ...]) -> HashIndex:
+        """Register an index spec without building it."""
+        positions = tuple(positions)
+        index = self._indexes.get(positions)
+        if index is None:
+            index = HashIndex(positions)
+            self._indexes[positions] = index
+        return index
+
+    def get(self, positions: Tuple[int, ...]) -> Optional[HashIndex]:
+        return self._indexes.get(tuple(positions))
+
+    def get_built(self, positions: Tuple[int, ...]) -> Optional[HashIndex]:
+        """The built index on ``positions``, or None."""
+        index = self._indexes.get(tuple(positions))
+        if index is not None and index.built:
+            return index
+        return None
+
+    def ensure_built(
+        self, positions: Tuple[int, ...], rows: Iterable[tuple]
+    ) -> HashIndex:
+        """Declare-and-build (idempotent; an already-built index is kept)."""
+        index = self.declare(positions)
+        if not index.built:
+            index.build(rows)
+        return index
+
+    # -- maintenance hooks (called by Relation) -------------------------------
+
+    def row_added(self, row: tuple) -> None:
+        """A row became present (newly distinct) in the relation."""
+        for index in self._indexes.values():
+            if index.built:
+                index.add(row)
+
+    def row_removed(self, row: tuple) -> None:
+        """A row fully left the relation (last occurrence deleted)."""
+        for index in self._indexes.values():
+            if index.built:
+                index.remove(row)
+
+    def invalidate(self) -> None:
+        """Drop built contents but keep declarations (wholesale row change)."""
+        for index in self._indexes.values():
+            index.buckets = {}
+            index.built = False
+
+    def specs(self) -> tuple:
+        """The declared position tuples."""
+        return tuple(self._indexes)
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def __iter__(self) -> Iterator[HashIndex]:
+        return iter(self._indexes.values())
+
+    def __repr__(self) -> str:
+        return f"IndexSet({list(self._indexes)})"
+
+
+def migrate_indexes(
+    old_relation,
+    new_relation,
+    plus=None,
+    minus=None,
+) -> None:
+    """Move ``old_relation``'s indexes onto ``new_relation`` incrementally.
+
+    ``new_relation`` is assumed to be ``old ∪ plus − minus`` (the commit
+    contract of :meth:`TransactionContext.commit`).  Built indexes are
+    replayed with the differential in O(|plus| + |minus|); when no
+    differential is supplied the built contents are dropped and only the
+    declarations survive (they rebuild lazily on next use).
+
+    Bag-mode subtlety: a row in ``minus`` may still be present in the new
+    relation (a duplicate occurrence was deleted); removal therefore checks
+    membership in the new relation, and additions are idempotent at the
+    distinct level by construction.
+    """
+    old_indexes = getattr(old_relation, "_indexes", None)
+    if old_indexes is None or old_relation is new_relation:
+        return
+    if new_relation._indexes is None:
+        new_relation._indexes = old_indexes
+    else:
+        # Merge: keep the destination's own declarations too.
+        for index in old_indexes:
+            existing = new_relation._indexes.get(index.positions)
+            if existing is None or not existing.built:
+                new_relation._indexes._indexes[index.positions] = index
+        old_indexes = new_relation._indexes
+    old_relation._indexes = None
+    if plus is None and minus is None:
+        old_indexes.invalidate()
+        return
+    for index in old_indexes:
+        if not index.built:
+            continue
+        if minus is not None:
+            for row in minus.rows():
+                if row not in new_relation:
+                    index.remove(row)
+        if plus is not None:
+            for row in plus.rows():
+                index.add(row)

@@ -23,7 +23,7 @@ from repro.errors import TypeMismatchError
 class Relation:
     """A relation state: a (multi)set of typed tuples over a schema."""
 
-    __slots__ = ("schema", "bag", "_rows")
+    __slots__ = ("schema", "bag", "_rows", "_indexes")
 
     def __init__(
         self,
@@ -35,6 +35,7 @@ class Relation:
         self.schema = schema
         self.bag = bag
         self._rows: dict = {}
+        self._indexes = None  # lazily an engine.indexes.IndexSet
         for row in rows:
             self.insert(row, _validated=_validated)
 
@@ -115,11 +116,16 @@ class Relation:
         """
         row = tuple(row) if _validated else self.schema.validate_tuple(tuple(row))
         if self.bag:
-            self._rows[row] = self._rows.get(row, 0) + 1
+            count = self._rows.get(row, 0)
+            self._rows[row] = count + 1
+            if count == 0 and self._indexes is not None:
+                self._indexes.row_added(row)
             return True
         if row in self._rows:
             return False
         self._rows[row] = 1
+        if self._indexes is not None:
+            self._indexes.row_added(row)
         return True
 
     def delete(self, row: tuple) -> bool:
@@ -135,6 +141,8 @@ class Relation:
             self._rows[row] = count - 1
         else:
             del self._rows[row]
+            if self._indexes is not None:
+                self._indexes.row_removed(row)
         return True
 
     def insert_many(self, rows: Iterable[tuple]) -> int:
@@ -147,17 +155,63 @@ class Relation:
 
     def clear(self) -> None:
         self._rows.clear()
+        if self._indexes is not None:
+            self._indexes.invalidate()
 
     def replace_contents(self, other: "Relation") -> None:
         """Overwrite this relation's rows with those of ``other``."""
         self._rows = dict(other._rows)
+        if self._indexes is not None:
+            self._indexes.invalidate()
+
+    # -- hash indexes ---------------------------------------------------------
+
+    @property
+    def indexes(self):
+        """The attached :class:`~repro.engine.indexes.IndexSet`, or None."""
+        return self._indexes
+
+    def declare_index(self, positions) -> None:
+        """Register an index on 0-based ``positions`` without building it."""
+        from repro.engine.indexes import IndexSet
+
+        if self._indexes is None:
+            self._indexes = IndexSet()
+        self._indexes.declare(tuple(positions))
+
+    def index_on(self, positions):
+        """The built hash index on 0-based ``positions`` (building lazily).
+
+        Once built, the index is maintained incrementally by
+        :meth:`insert` / :meth:`delete`.
+        """
+        from repro.engine.indexes import IndexSet
+
+        if self._indexes is None:
+            self._indexes = IndexSet()
+        return self._indexes.ensure_built(tuple(positions), self._rows)
+
+    def built_index(self, positions):
+        """The built index on ``positions`` if one exists, else None."""
+        if self._indexes is None:
+            return None
+        return self._indexes.get_built(tuple(positions))
 
     # -- value-like derivation ------------------------------------------------
 
     def copy(self) -> "Relation":
-        """An independent copy (tuples are immutable, so this is cheap)."""
+        """An independent copy (tuples are immutable, so this is cheap).
+
+        Index *declarations* carry over (so a transaction's working copy
+        remembers which indexes its base relation had and can rebuild them
+        lazily); built index contents do not — cloning them would make
+        copy-on-write O(index size).
+        """
         clone = Relation(self.schema, bag=self.bag)
         clone._rows = dict(self._rows)
+        if self._indexes is not None and len(self._indexes):
+            for positions in self._indexes.specs():
+                clone.declare_index(positions)
         return clone
 
     def with_schema(self, schema: RelationSchema) -> "Relation":

@@ -25,11 +25,17 @@ from repro.engine.transaction import (
 class Session:
     """Execute textual or pre-built transactions against a database."""
 
-    def __init__(self, database: Database, controller=None):
+    def __init__(
+        self,
+        database: Database,
+        controller=None,
+        engine: Optional[str] = None,
+    ):
         self.database = database
         self.controller = controller
+        self.engine = engine
         modifier = controller.modify_transaction if controller is not None else None
-        self.manager = TransactionManager(database, modifier=modifier)
+        self.manager = TransactionManager(database, modifier=modifier, engine=engine)
 
     # -- transactions -----------------------------------------------------------
 
@@ -57,7 +63,9 @@ class Session:
         from repro.algebra.parser import parse_expression
 
         expression = parse_expression(expression_text)
-        return evaluate_expression(expression, DatabaseView(self.database))
+        return evaluate_expression(
+            expression, DatabaseView(self.database, engine=self.engine)
+        )
 
     def rows(self, expression_text: str) -> list:
         """Evaluate a query and return deterministically sorted rows."""
@@ -85,8 +93,9 @@ class DatabaseView:
     auxiliaries be evaluated between transactions as well.
     """
 
-    def __init__(self, database: Database):
+    def __init__(self, database: Database, engine: Optional[str] = None):
         self.database = database
+        self.engine = engine
 
     def resolve(self, name: str) -> Relation:
         from repro.engine import naming

@@ -132,8 +132,9 @@ class TransactionContext:
     maintenance.
     """
 
-    def __init__(self, database: Database):
+    def __init__(self, database: Database, engine: Optional[str] = None):
         self.database = database
+        self.engine = engine  # evaluation backend ("naive"/"planned"/None)
         self.working: dict = {}
         self.temps: dict = {}
         self._plus: dict = {}
@@ -226,8 +227,17 @@ class TransactionContext:
     # -- lifecycle ------------------------------------------------------------------
 
     def commit(self) -> None:
-        """Install the working set as ``D^{t+1}`` (temporaries dropped)."""
-        self.database.install(self.working)
+        """Install the working set as ``D^{t+1}`` (temporaries dropped).
+
+        The net differentials ride along so that hash indexes built on the
+        replaced relations can be maintained incrementally instead of being
+        discarded with the old relation objects.
+        """
+        differentials = {
+            base: (self._plus.get(base), self._minus.get(base))
+            for base in self.working
+        }
+        self.database.install(self.working, differentials=differentials)
 
     def modified_relations(self) -> tuple:
         """Names of base relations with a non-empty net differential."""
@@ -252,9 +262,11 @@ class TransactionManager:
         self,
         database: Database,
         modifier: Optional[Callable[[Transaction], Transaction]] = None,
+        engine: Optional[str] = None,
     ):
         self.database = database
         self.modifier = modifier
+        self.engine = engine  # evaluation backend for statement expressions
         self._active: Optional[TransactionContext] = None
         self.executed = 0
         self.committed = 0
@@ -272,7 +284,7 @@ class TransactionManager:
         """
         if self.modifier is not None and modify:
             transaction = self.modifier(transaction)
-        context = TransactionContext(self.database)
+        context = TransactionContext(self.database, engine=self.engine)
         self._active = context
         pre_time = self.database.logical_time
         self.executed += 1

@@ -82,6 +82,22 @@ class CostModel:
         )
         return cpu + comm
 
+    def plan_time(self, estimate, nodes: int = 1) -> float:
+        """Predicted time of a physical plan from the planner's estimate.
+
+        ``estimate`` is a :class:`repro.algebra.physical.PlanEstimate`
+        (tuple counts by work kind); the work is assumed perfectly
+        partitioned over ``nodes`` — the same idealization Section 7's
+        calibration uses.  Unlike :meth:`weighted_node_time` this needs no
+        post-hoc operator trace: it prices a plan *before* running it.
+        """
+        cpu = (
+            estimate.scanned * self.scan_per_tuple
+            + estimate.built * self.build_per_tuple
+            + estimate.probed * self.probe_per_tuple
+        )
+        return self.startup + cpu / max(nodes, 1)
+
 
 # Calibrated to Section 7 (see module docstring).  scan 1.28 ms; hash build
 # 2.4 ms; hash probe 1.6 ms; transfer 0.2 ms/tuple; message latency 5 ms.
@@ -93,6 +109,26 @@ POOMA_1992 = CostModel(
     message_latency=5e-3,
     startup=0.05,
 )
+
+def predict_enforcement_time(
+    expression,
+    cardinalities=None,
+    model: "CostModel" = POOMA_1992,
+    nodes: int = 1,
+) -> float:
+    """Price an enforcement expression from planner estimates alone.
+
+    Compiles (or fetches the cached plan of) the algebra ``expression``,
+    asks the planner for its static cardinality/work estimate under the
+    given relation ``cardinalities``, and converts it to seconds with
+    ``model``.  This replaces the old trace-then-price loop for what-if
+    questions ("would this constraint be enforceable at 1M tuples on 8
+    nodes?") — no data or execution needed.
+    """
+    from repro.algebra.planner import estimate_expression
+
+    return model.plan_time(estimate_expression(expression, cardinalities), nodes)
+
 
 # A contemporary in-memory machine, for the EXPERIMENTS.md comparison runs.
 MODERN_2026 = CostModel(

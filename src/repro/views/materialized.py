@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Union
 
 from repro.algebra import expressions as E
 from repro.algebra import statements as S
+from repro.algebra.evaluation import evaluate_expression
 from repro.algebra.parser import parse_expression
 from repro.algebra.programs import Program
 from repro.core.programs import IntegrityProgram
@@ -88,7 +89,7 @@ class ViewManager:
                 raise UnknownRelationError(relation, f"view {name!r}")
 
         # Materialize the initial contents and derive the stored schema.
-        initial = expression.evaluate(DatabaseView(self.database))
+        initial = evaluate_expression(expression, DatabaseView(self.database))
         stored_schema = RelationSchema(
             name,
             [
@@ -166,6 +167,6 @@ class ViewManager:
     def verify_view(self, name: str) -> bool:
         """Audit: stored contents equal the recomputed expression."""
         view = self.views[name]
-        current = view.expression.evaluate(DatabaseView(self.database))
+        current = evaluate_expression(view.expression, DatabaseView(self.database))
         stored = self.database.relation(name)
         return stored.to_set() == current.to_set()

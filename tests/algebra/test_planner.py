@@ -1,0 +1,224 @@
+"""The physical planner: lowering, caching, engine switch, estimates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import expressions as E
+from repro.algebra import physical as X
+from repro.algebra import planner
+from repro.algebra import predicates as P
+from repro.algebra.evaluation import StandaloneContext, TracingContext, evaluate_expression
+from repro.engine import Database, DatabaseSchema, Relation, RelationSchema
+from repro.engine.types import INT
+from repro.parallel.cost_model import MODERN_2026, predict_enforcement_time
+
+
+@pytest.fixture
+def db() -> Database:
+    schema = DatabaseSchema(
+        [
+            RelationSchema("pk", [("key", INT), ("v", INT)]),
+            RelationSchema("fk", [("id", INT), ("ref", INT)]),
+        ]
+    )
+    database = Database(schema)
+    database.load("pk", [(k, k * 10) for k in range(10)])
+    database.load("fk", [(i, i % 12) for i in range(30)])  # refs 10, 11 dangle
+    return database
+
+
+@pytest.fixture
+def ctx(db) -> StandaloneContext:
+    return StandaloneContext(
+        {"pk": db.relation("pk"), "fk": db.relation("fk")}
+    )
+
+
+REFERENTIAL = E.AntiJoin(
+    E.RelationRef("fk"),
+    E.RelationRef("pk"),
+    P.Comparison("=", P.ColRef("ref", "left"), P.ColRef("key", "right")),
+)
+
+
+class TestLowering:
+    def test_equi_antijoin_lowers_to_hash_op(self):
+        plan = planner.compile_expression(REFERENTIAL)
+        assert isinstance(plan, X.HashAntiJoinOp)
+        assert isinstance(plan.left, X.ScanOp)
+        assert plan.left_keys.attrs == ("ref",)
+        assert plan.right_keys.attrs == ("key",)
+
+    def test_non_equi_join_falls_back_to_nested_loop(self):
+        expr = E.Join(
+            E.RelationRef("fk"),
+            E.RelationRef("pk"),
+            P.Comparison("<", P.ColRef("ref", "left"), P.ColRef("key", "right")),
+        )
+        assert isinstance(planner.compile_expression(expr), X.NestedLoopJoinOp)
+
+    def test_semijoin_with_residual_hashes_by_equality_keys(self):
+        expr = E.SemiJoin(
+            E.RelationRef("fk"),
+            E.RelationRef("pk"),
+            P.And(
+                P.Comparison("=", P.ColRef("ref", "left"), P.ColRef("key", "right")),
+                P.Comparison("<", P.ColRef("id", "left"), P.ColRef("v", "right")),
+            ),
+        )
+        plan = planner.compile_expression(expr)
+        assert isinstance(plan, X.HashSemiJoinOp)
+        assert "+residual" in plan.describe()
+
+    def test_semijoin_without_equality_uses_nested_loop(self):
+        expr = E.SemiJoin(
+            E.RelationRef("fk"),
+            E.RelationRef("pk"),
+            P.Comparison("<", P.ColRef("ref", "left"), P.ColRef("key", "right")),
+        )
+        assert isinstance(planner.compile_expression(expr), X.NestedLoopSemiOp)
+
+    def test_semijoin_residual_matches_naive(self, ctx):
+        expr = E.SemiJoin(
+            E.RelationRef("fk"),
+            E.RelationRef("pk"),
+            P.And(
+                P.Comparison("=", P.ColRef("ref", "left"), P.ColRef("key", "right")),
+                P.Comparison("<", P.ColRef("id", "left"), P.ColRef("v", "right")),
+            ),
+        )
+        naive = expr.evaluate(ctx)
+        planned = planner.get_plan(expr).execute(ctx)
+        assert naive == planned
+
+    def test_const_equality_select_lowers_to_index_select(self):
+        expr = E.Select(
+            E.RelationRef("fk"), P.Comparison("=", P.ColRef("ref"), P.Const(3))
+        )
+        plan = planner.compile_expression(expr)
+        assert isinstance(plan, X.IndexSelectOp)
+        assert plan.attrs == ("ref",)
+        assert plan.key == 3
+
+    def test_null_equality_stays_in_filter(self):
+        from repro.engine.types import NULL
+
+        expr = E.Select(
+            E.RelationRef("fk"), P.Comparison("=", P.ColRef("ref"), P.Const(NULL))
+        )
+        assert isinstance(planner.compile_expression(expr), X.FilterOp)
+
+    def test_explain_renders_tree(self):
+        text = planner.explain(REFERENTIAL)
+        assert "hash_antijoin" in text
+        assert "scan(fk)" in text
+
+
+class TestExecution:
+    def test_planned_matches_naive_referential(self, ctx):
+        naive = REFERENTIAL.evaluate(ctx)
+        planned = planner.get_plan(REFERENTIAL).execute(ctx)
+        assert planned == naive
+        assert {row[1] for row in planned} == {10, 11}
+
+    def test_index_select_uses_bucket(self, db, ctx):
+        db.create_index("fk", ["ref"])
+        expr = E.Select(
+            E.RelationRef("fk"), P.Comparison("=", P.ColRef("ref"), P.Const(3))
+        )
+        planned = planner.get_plan(expr).execute(ctx)
+        naive = expr.evaluate(ctx)
+        assert planned == naive
+        assert all(row[1] == 3 for row in planned)
+
+    def test_antijoin_with_both_sides_indexed(self, db, ctx):
+        db.create_index("fk", ["ref"])
+        db.create_index("pk", ["key"])
+        planned = planner.get_plan(REFERENTIAL).execute(ctx)
+        assert {row[1] for row in planned} == {10, 11}
+
+    def test_planned_ops_trace_like_naive(self, ctx):
+        tracing = TracingContext(ctx)
+        evaluate_expression(REFERENTIAL, tracing, engine="planned")
+        summary = tracing.tracer.by_operator()
+        assert "antijoin" in summary
+        calls, tuples_in, tuples_out = summary["antijoin"]
+        assert calls == 1 and tuples_in == 40 and tuples_out == 4
+
+
+class TestEngineSwitch:
+    def test_default_engine_is_planned(self):
+        assert planner.get_default_engine() == "planned"
+
+    def test_context_engine_wins_over_default(self, db):
+        ctx = StandaloneContext({"fk": db.relation("fk")}, engine="naive")
+        assert planner.resolve_engine(ctx) == "naive"
+
+    def test_explicit_engine_wins_over_context(self, db):
+        ctx = StandaloneContext({"fk": db.relation("fk")}, engine="naive")
+        assert planner.resolve_engine(ctx, "planned") == "planned"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            planner.resolve_engine(None, "quantum")
+        with pytest.raises(ValueError):
+            planner.set_default_engine("quantum")
+
+    def test_both_engines_produce_equal_results(self, ctx):
+        naive = evaluate_expression(REFERENTIAL, ctx, engine="naive")
+        planned = evaluate_expression(REFERENTIAL, ctx, engine="planned")
+        assert naive == planned
+
+
+class TestPlanCache:
+    def test_structurally_equal_expressions_share_plans(self):
+        planner.clear_plan_cache()
+        first = planner.get_plan(REFERENTIAL)
+        again = planner.get_plan(
+            E.AntiJoin(
+                E.RelationRef("fk"),
+                E.RelationRef("pk"),
+                P.Comparison("=", P.ColRef("ref", "left"), P.ColRef("key", "right")),
+            )
+        )
+        assert first is again
+        info = planner.plan_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_leaf_expressions_are_not_cached(self):
+        planner.clear_plan_cache()
+        planner.get_plan(E.RelationRef("fk"))
+        planner.get_plan(E.Literal(((1, 2),)))
+        assert planner.plan_cache_info()["size"] == 0
+
+
+class TestEstimates:
+    def test_scan_uses_cardinalities(self):
+        est = planner.estimate_expression(REFERENTIAL, {"fk": 100_000, "pk": 1000})
+        assert est.built == 1000
+        assert est.probed == 100_000
+
+    def test_cost_model_prices_plan(self):
+        seconds = predict_enforcement_time(
+            REFERENTIAL, {"fk": 100_000, "pk": 1000}, model=MODERN_2026, nodes=8
+        )
+        assert seconds > 0
+        # 8 nodes must beat 1 node.
+        assert seconds < predict_enforcement_time(
+            REFERENTIAL, {"fk": 100_000, "pk": 1000}, model=MODERN_2026, nodes=1
+        )
+
+    def test_index_hints_cover_both_antijoin_sides(self):
+        hints = planner.index_hints(REFERENTIAL)
+        assert ("fk", ("ref",)) in hints
+        assert ("pk", ("key",)) in hints
+
+    def test_index_hints_skip_auxiliaries(self):
+        expr = E.AntiJoin(
+            E.RelationRef("fk@plus"),
+            E.RelationRef("pk"),
+            P.Comparison("=", P.ColRef("ref", "left"), P.ColRef("key", "right")),
+        )
+        hints = planner.index_hints(expr)
+        assert hints == {("pk", ("key",))}

@@ -146,6 +146,143 @@ def abortable_constraints():
     )
 
 
+# -- algebra expressions (planner differential testing) -------------------------
+#
+# Random relation-valued expressions over the r/s schema, built so that every
+# non-aggregate node has arity 2 (joins and products are wrapped in a
+# projection back to two columns).  This keeps union/difference/intersection
+# applicable at any position while still exercising the whole operator set.
+
+_POSITIONS = st.integers(min_value=1, max_value=2)
+
+
+@st.composite
+def _scalar_operands(draw):
+    from repro.algebra import predicates as P
+
+    choice = draw(st.integers(min_value=0, max_value=2))
+    if choice == 0:
+        return P.Const(draw(VALUES))
+    if choice == 1:
+        return P.ColRef(draw(_POSITIONS))
+    return P.Arith("+", P.ColRef(draw(_POSITIONS)), P.Const(draw(VALUES)))
+
+
+@st.composite
+def unary_predicates(draw):
+    """A small predicate tree over an arity-2 input (positional refs)."""
+    from repro.algebra import predicates as P
+
+    def atom():
+        return P.Comparison(
+            draw(_COMPARE_OPS), P.ColRef(draw(_POSITIONS)), draw(_scalar_operands())
+        )
+
+    first = atom()
+    shape = draw(st.integers(min_value=0, max_value=3))
+    if shape == 0:
+        return first
+    second = atom()
+    if shape == 1:
+        return P.And(first, second)
+    if shape == 2:
+        return P.Or(first, second)
+    return P.Not(first)
+
+
+@st.composite
+def join_predicates(draw):
+    """Join predicates: equi (hash path), equi+residual, or non-equi (NL)."""
+    from repro.algebra import predicates as P
+
+    left_ref: object = P.ColRef(draw(_POSITIONS), "left")
+    if draw(st.booleans()):
+        left_ref = P.Arith("+", left_ref, P.Const(draw(VALUES)))
+    equality = P.Comparison("=", left_ref, P.ColRef(draw(_POSITIONS), "right"))
+    shape = draw(st.integers(min_value=0, max_value=2))
+    extra = P.Comparison(
+        draw(_COMPARE_OPS),
+        P.ColRef(draw(_POSITIONS), "left"),
+        P.ColRef(draw(_POSITIONS), "right"),
+    )
+    if shape == 0:
+        return equality
+    if shape == 1:
+        return P.And(equality, extra)
+    return extra
+
+
+@st.composite
+def algebra_expressions(draw, depth: int = 3):
+    """A random arity-2 relation-valued expression over r/s."""
+    from repro.algebra import expressions as E
+    from repro.algebra import predicates as P
+
+    if depth <= 0 or draw(st.integers(min_value=0, max_value=3)) == 0:
+        if draw(st.integers(min_value=0, max_value=4)) == 0:
+            rows = draw(st.lists(st.tuples(VALUES, VALUES), max_size=4))
+            return E.Literal(tuple(rows))
+        return E.RelationRef(draw(st.sampled_from(["r", "s"])))
+
+    def sub():
+        return draw(algebra_expressions(depth=depth - 1))
+
+    def two_of_four():
+        return tuple(
+            E.ProjectItem(P.ColRef(draw(st.integers(min_value=1, max_value=4))))
+            for _ in range(2)
+        )
+
+    kind = draw(st.integers(min_value=0, max_value=7))
+    if kind == 0:
+        return E.Select(sub(), draw(unary_predicates()))
+    if kind == 1:
+        # Equality-on-constant selection directly over a base relation —
+        # the shape the planner lowers to an index-accelerated lookup.
+        predicate: object = P.Comparison(
+            "=", P.ColRef(draw(_POSITIONS)), P.Const(draw(VALUES))
+        )
+        if draw(st.booleans()):
+            predicate = P.And(
+                predicate,
+                P.Comparison(
+                    draw(_COMPARE_OPS), P.ColRef(draw(_POSITIONS)), P.Const(draw(VALUES))
+                ),
+            )
+        return E.Select(E.RelationRef(draw(st.sampled_from(["r", "s"]))), predicate)
+    if kind == 2:
+        items = tuple(E.ProjectItem(P.ColRef(draw(_POSITIONS))) for _ in range(2))
+        return E.Project(sub(), items)
+    if kind == 3:
+        ctor = draw(st.sampled_from([E.Union, E.Difference, E.Intersection]))
+        return ctor(sub(), sub())
+    if kind == 4:
+        joined = E.Join(sub(), sub(), draw(join_predicates()))
+        return E.Project(joined, two_of_four())
+    if kind == 5:
+        ctor = draw(st.sampled_from([E.SemiJoin, E.AntiJoin]))
+        return ctor(sub(), sub(), draw(join_predicates()))
+    if kind == 6:
+        return E.Project(E.Product(sub(), sub()), two_of_four())
+    return E.Rename(sub(), draw(st.sampled_from(["t", "u"])))
+
+
+@st.composite
+def algebra_queries(draw):
+    """An expression, possibly capped by an aggregate/counting operator."""
+    from repro.algebra import expressions as E
+
+    expression = draw(algebra_expressions())
+    top = draw(st.integers(min_value=0, max_value=4))
+    if top == 0:
+        return E.Count(expression)
+    if top == 1:
+        return E.Multiplicity(expression)
+    if top == 2:
+        return E.Aggregate(expression, draw(_AGG_FUNCS), draw(_POSITIONS))
+    return expression
+
+
 # -- transactions --------------------------------------------------------------
 
 @st.composite

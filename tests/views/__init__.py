@@ -1,0 +1,1 @@
+"""Test subpackage (unique module names for pytest collection)."""
