@@ -87,6 +87,21 @@ def _card(cards, name: str) -> float:
     return float(cards.get(name, DEFAULT_CARDINALITY))
 
 
+def _distinct_keys(cards, name: str, attrs) -> Optional[float]:
+    """Distinct-key count from a statistics snapshot, if it carries one.
+
+    ``cards`` may be a plain ``{name: cardinality}`` mapping (no distinct
+    information) or a :class:`repro.algebra.statistics.RuntimeStatistics`.
+    """
+    getter = getattr(cards, "distinct_keys", None)
+    if getter is None or attrs is None:
+        return None
+    distinct = getter(name, attrs)
+    if not distinct:
+        return None
+    return float(distinct)
+
+
 class PhysicalOperator:
     """Base class of physical operators: ``execute(context) -> Relation``."""
 
@@ -201,14 +216,17 @@ class _CombinedSchemaCache:
 def _hash_buckets(relation: Relation, key_side: "_KeySide", need_rows: bool):
     """The build side of a hash join/semijoin: key -> distinct rows.
 
-    Reuses a pre-built persistent index when the key columns carry one;
+    Reuses a pre-built persistent index when the key columns carry one; a
+    *declared* index is built on the spot (the build is exactly the hashing
+    pass this function would otherwise do ephemerally, and it persists);
     otherwise one hashing pass over the distinct rows.  With
     ``need_rows=False`` a bare key set is enough (semijoin membership).
     """
     key_fn, positions = key_side.bind(relation.schema)
     if positions is not None:
-        index = relation.built_index(positions)
+        index = relation.amortized_index(positions)
         if index is not None:
+            index.touch()
             return index.buckets
     if not need_rows:
         return {key_fn(row) for row in relation.rows()}
@@ -368,7 +386,11 @@ class IndexSelectOp(PhysicalOperator):
     def execute(self, context) -> Relation:
         source = context.resolve(self.name)
         positions = self._bind_positions(source.schema)
-        index = source.built_index(positions)
+        # The no-index fallback pays a full scan; account that as forgone
+        # work so a declared index gets built once repetition amortizes it.
+        index = source.amortized_index(
+            positions, forgone_work=source.distinct_count()
+        )
         if index is None:
             test = self._full.bind(source.schema)
             result = source.filtered(lambda row: test(row) is True)
@@ -391,7 +413,12 @@ class IndexSelectOp(PhysicalOperator):
 
     def estimate(self, cards=None) -> PlanEstimate:
         rows = _card(cards, self.name)
-        out = max(1.0, rows * EQUALITY_SELECTIVITY)
+        distinct = _distinct_keys(cards, self.name, tuple(self.attrs))
+        if distinct is not None:
+            # The classic |R| / V(R, a) estimate from observed distinct keys.
+            out = max(1.0, rows / distinct)
+        else:
+            out = max(1.0, rows * EQUALITY_SELECTIVITY)
         return PlanEstimate(rows=out, probed=1.0, scanned=out)
 
     def describe(self) -> str:
@@ -807,7 +834,22 @@ class HashJoinOp(_BinaryOp):
     def estimate(self, cards=None) -> PlanEstimate:
         left = self.left.estimate(cards)
         right = self.right.estimate(cards)
-        est = PlanEstimate(rows=max(left.rows, right.rows))
+        rows = max(left.rows, right.rows)
+        distinct = [
+            _distinct_keys(cards, side.name, keys.attrs)
+            for side, keys in (
+                (self.left, self.left_keys),
+                (self.right, self.right_keys),
+            )
+            if isinstance(side, ScanOp)
+        ]
+        distinct = [value for value in distinct if value is not None]
+        if distinct:
+            # |L ⋈ R| ≈ |L| · |R| / max(V(L, a), V(R, b)) from observed
+            # distinct-key counts (falls back to the containment-free
+            # max(|L|, |R|) guess without statistics).
+            rows = left.rows * right.rows / max(distinct)
+        est = PlanEstimate(rows=max(rows, 1.0))
         est.absorb(left)
         est.absorb(right)
         est.built += right.rows
@@ -929,13 +971,20 @@ class HashSemiJoinOp(_BinaryOp):
             _trace(context, self.op_name, len(left) + len(right), len(result))
             return result
         right_keys = _hash_buckets(right, self.right_keys, need_rows=False)
+        # Row-wise probing forgoes one key computation + membership test per
+        # distinct left row; charge that against a declared left index so a
+        # hot probe side (e.g. a big working copy inside a write
+        # transaction) gets its index built instead of probing row-wise.
         left_index = (
-            left.built_index(positions) if positions is not None else None
+            left.amortized_index(positions, forgone_work=left.distinct_count())
+            if positions is not None
+            else None
         )
         if left_index is not None:
             # Distinct-key probing: one membership test per key, whole
             # buckets emitted.  This is what makes repeated referential
             # checks over a large indexed relation near-instant.
+            left_index.touch()
             counts = left._rows
             selected: dict = {}
             for key, bucket in left_index.buckets.items():

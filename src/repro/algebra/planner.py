@@ -18,6 +18,11 @@ produced by parsing or by the calculus-to-algebra translation of Section
   tree-walk interpreter — keeping the two differentially testable;
 * :func:`estimate_expression` exposes the planner's static cardinality/work
   estimates, which the parallel cost model consumes;
+* :func:`plan_estimate` upgrades those estimates with *runtime statistics*
+  captured from a live database (observed cardinalities and index
+  distinct-key counts, :mod:`repro.algebra.statistics`), caching the result
+  per expression and invalidating it when the observed cardinalities drift
+  past a threshold factor;
 * :func:`index_hints` reports which base-relation hash indexes would
   accelerate a plan (the integrity controller turns these into real indexes
   via :meth:`~repro.core.subsystem.IntegrityController.install_indexes`).
@@ -29,6 +34,7 @@ module default (:func:`set_default_engine`).
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterator, Optional
 
 from repro.algebra import expressions as E
@@ -220,6 +226,7 @@ def get_plan(expression: E.Expression) -> X.PhysicalOperator:
 def clear_plan_cache() -> None:
     global _plan_cache_hits, _plan_cache_misses
     _PLAN_CACHE.clear()
+    _ESTIMATE_CACHE.clear()
     _plan_cache_hits = 0
     _plan_cache_misses = 0
 
@@ -230,6 +237,7 @@ def plan_cache_info() -> dict:
         "hits": _plan_cache_hits,
         "misses": _plan_cache_misses,
         "limit": _PLAN_CACHE_LIMIT,
+        "estimates": sum(len(per) for per in _ESTIMATE_CACHE.values()),
     }
 
 
@@ -317,7 +325,50 @@ def estimate_expression(
     """The planner's static estimate for evaluating ``expression``.
 
     ``cardinalities`` maps relation names to tuple counts (e.g. from
-    :meth:`repro.engine.database.Database.cardinalities`); absent names
-    assume :data:`repro.algebra.physical.DEFAULT_CARDINALITY`.
+    :meth:`repro.engine.database.Database.cardinalities`) or is a
+    :class:`~repro.algebra.statistics.RuntimeStatistics` snapshot, whose
+    distinct-key counts additionally sharpen equality/join selectivities;
+    absent names assume :data:`repro.algebra.physical.DEFAULT_CARDINALITY`.
     """
     return get_plan(expression).estimate(cardinalities)
+
+
+# Estimate cache, held weakly per Database instance (estimates computed
+# under one database's statistics must never answer for another):
+# Database -> {Expression: (RuntimeStatistics snapshot, PlanEstimate)}.
+# Entries are reused until the observed statistics drift past the
+# threshold factor, then recomputed under a fresh snapshot.
+_ESTIMATE_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_ESTIMATE_CACHE_LIMIT = 1024
+
+
+def plan_estimate(
+    expression: E.Expression, database, drift_threshold: Optional[float] = None
+) -> X.PlanEstimate:
+    """Estimate ``expression`` under the database's *observed* statistics.
+
+    Captures a :class:`~repro.algebra.statistics.RuntimeStatistics` snapshot
+    (cardinalities + built-index distinct keys), and caches the resulting
+    estimate per (database, expression).  The cached estimate is served
+    until the observed statistics drift past ``drift_threshold`` (default
+    :data:`repro.algebra.statistics.DRIFT_THRESHOLD`), at which point it is
+    recomputed — the runtime-statistics feedback loop the fixed textbook
+    selectivities of PR 1 lacked.
+    """
+    from repro.algebra.statistics import DRIFT_THRESHOLD, RuntimeStatistics
+
+    if drift_threshold is None:
+        drift_threshold = DRIFT_THRESHOLD
+    stats = RuntimeStatistics.capture(database)
+    per_database = _ESTIMATE_CACHE.get(database)
+    if per_database is None:
+        per_database = {}
+        _ESTIMATE_CACHE[database] = per_database
+    cached = per_database.get(expression)
+    if cached is not None and not cached[0].drifted(stats, drift_threshold):
+        return cached[1]
+    estimate = get_plan(expression).estimate(stats)
+    if len(per_database) >= _ESTIMATE_CACHE_LIMIT:
+        per_database.pop(next(iter(per_database)))
+    per_database[expression] = (stats, estimate)
+    return estimate

@@ -14,8 +14,11 @@ Submodules:
 * :mod:`repro.calculus.analysis` — free variables, closedness, safety
   (range restriction), variable typing;
 * :mod:`repro.calculus.evaluation` — the direct evaluator: the ground-truth
-  integrity checker used as the test oracle and the check-after-execute
-  baseline;
+  integrity checker kept as the *test oracle* and the evaluator of last
+  resort for untranslatable residue;
+* :mod:`repro.calculus.planned` — the plan-backed evaluator: compiles any
+  range-restricted sentence through TransC/CalcToAlg into cached physical
+  plans — the single runtime evaluation path;
 * :mod:`repro.calculus.pretty` — rendering back to CL text.
 """
 
@@ -45,6 +48,11 @@ from repro.calculus.analysis import (
     variable_ranges,
 )
 from repro.calculus.evaluation import evaluate_constraint
+from repro.calculus.planned import (
+    CompiledConstraint,
+    compile_constraint,
+    evaluate_constraint_planned,
+)
 from repro.calculus.pretty import render_constraint
 
 __all__ = [
@@ -63,9 +71,12 @@ __all__ = [
     "Not",
     "Or",
     "TupleEq",
+    "CompiledConstraint",
     "check_closed",
     "check_safety",
+    "compile_constraint",
     "evaluate_constraint",
+    "evaluate_constraint_planned",
     "free_variables",
     "parse_constraint",
     "relation_names",

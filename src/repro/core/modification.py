@@ -52,6 +52,13 @@ class ModificationStats:
     rules_selected: int = 0
     statements_appended: int = 0
     selected_rule_names: List[str] = field(default_factory=list)
+    # Translation-fallback visibility: appended CheckConstraint statements,
+    # and the subset whose formula has genuinely untranslatable residue —
+    # i.e. will partially evaluate through the naive model checker even
+    # under the planned engine (see repro.calculus.planned).
+    fallback_statements: int = 0
+    naive_fallback_statements: int = 0
+    fallback_rule_names: List[str] = field(default_factory=list)
 
 
 class DynamicSelector:
@@ -134,10 +141,25 @@ def mod_p(
         appended = concat(*[piece for _, piece in pieces])
         result = result.concat(appended)
         if stats is not None:
+            from repro.core.translation import CheckConstraint
+
             stats.rounds = rounds
             stats.rules_selected += len(pieces)
             stats.statements_appended += len(appended)
             stats.selected_rule_names.extend(name for name, _ in pieces)
+            for name, piece in pieces:
+                fallbacks = [
+                    statement
+                    for statement in piece
+                    if isinstance(statement, CheckConstraint)
+                ]
+                if fallbacks:
+                    stats.fallback_statements += len(fallbacks)
+                    stats.naive_fallback_statements += sum(
+                        1 for statement in fallbacks if statement.naive_residue
+                    )
+                    if name not in stats.fallback_rule_names:
+                        stats.fallback_rule_names.append(name)
         # The next round reacts to the updates of the appended pieces only,
         # respecting each piece's own non-triggering flag.
         performed = frozenset().union(

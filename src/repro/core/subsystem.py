@@ -31,11 +31,12 @@ from typing import Dict, List, Optional, Union
 from repro.algebra import planner
 from repro.algebra.parser import parse_program
 from repro.algebra.programs import Program
-from repro.algebra.statements import Alarm
+from repro.algebra.statements import Alarm, Assign
 from repro.calculus import ast as C
 from repro.calculus.analysis import relation_names, variable_ranges
 from repro.calculus.evaluation import evaluate_constraint
 from repro.calculus.parser import parse_constraint
+from repro.calculus.planned import compile_constraint
 from repro.core.modification import (
     DynamicSelector,
     ModificationStats,
@@ -45,15 +46,56 @@ from repro.core.modification import (
 from repro.core.programs import IntegrityProgramStore, get_int_p
 from repro.core.rule_language import parse_rule
 from repro.core.rules import ABORT_ACTION, IntegrityRule
+from repro.core.translation import CheckConstraint
 from repro.core.triggering_graph import TriggeringGraph
 from repro.engine import naming
 from repro.engine.database import Database
 from repro.engine.schema import DatabaseSchema
 from repro.engine.session import DatabaseView
 from repro.engine.transaction import Transaction, TransactionManager
-from repro.errors import AnalysisError, RuleError, UnknownRelationError
+from repro.errors import (
+    AnalysisError,
+    RuleError,
+    TransactionAborted,
+    UnknownRelationError,
+)
 
 MODES = ("static", "dynamic")
+
+# Statement types that are side-effect-free and therefore usable to *audit*
+# a database state by executing the stored integrity program directly:
+# temporaries, alarms, and direct constraint checks — but no base-relation
+# updates.  This is the program-shape analysis behind the planned audit
+# path: pure-alarm programs, ``Assign``+``Alarm`` programs, and translation
+# fallbacks all qualify.
+AUDITABLE_STATEMENTS = (Alarm, Assign, CheckConstraint)
+
+
+class _AuditContext:
+    """Execution context for auditing a stored integrity program.
+
+    Resolves names against a read-only database view, gives ``Assign``
+    statements a scratch temporary namespace, and pins the planned engine —
+    so executing an auditable program is exactly the constraint check its
+    rule translation encodes, at physical-plan speed, with zero effect on
+    the database.
+    """
+
+    __slots__ = ("view", "database", "engine", "temps")
+
+    def __init__(self, view: DatabaseView):
+        self.view = view
+        self.database = view.database
+        self.engine = "planned"
+        self.temps: Dict[str, object] = {}
+
+    def resolve(self, name: str):
+        if name in self.temps:
+            return self.temps[name]
+        return self.view.resolve(name)
+
+    def set_temp(self, name: str, relation) -> None:
+        self.temps[name] = relation
 
 
 class IntegrityController:
@@ -257,15 +299,19 @@ class IntegrityController:
         """Names of rules whose conditions fail on the current state.
 
         This bypasses transaction modification entirely — it is the direct
-        evaluation oracle used for audits, tests, and the check-after-write
-        baseline in the benchmarks.
+        audit path used for post-hoc checks, tests, and the
+        check-after-write baseline in the benchmarks.
 
-        With the planned engine (the default), aborting rules whose stored
-        integrity program is in pure alarm form are audited through their
-        compiled physical plans — which exploit any hash indexes on the
-        database — instead of the calculus model checker; rules outside
-        that shape (compensating actions, translation fallbacks) always use
-        the calculus evaluator.
+        With the planned engine (the default), *every* rule is audited
+        through compiled physical plans — which exploit any hash indexes on
+        the database.  Aborting rules whose stored integrity program is
+        side-effect-free (pure alarms, ``Assign``+``Alarm`` shapes,
+        translation fallbacks) execute that program directly against an
+        audit context; everything else (compensating-action rules above
+        all) compiles its *condition* through the plan-backed calculus
+        evaluator.  Only genuinely untranslatable residue reaches the naive
+        model checker, which otherwise survives purely as the test oracle
+        (``engine="naive"``).
         """
         engine = planner.resolve_engine(engine=engine or self.engine)
         view = DatabaseView(database, engine=engine)
@@ -273,19 +319,50 @@ class IntegrityController:
             rule.name for rule in self.rules if self._is_violated(rule, view, engine)
         ]
 
-    def _is_violated(self, rule: IntegrityRule, view: DatabaseView, engine: str) -> bool:
-        if engine == "planned" and rule.is_aborting and rule.name in self.store:
-            statements = self.store.get(rule.name).program.statements
-            if statements and all(
-                isinstance(statement, Alarm) for statement in statements
-            ):
-                return any(
-                    len(planner.evaluate(statement.expr, view, engine="planned"))
-                    for statement in statements
-                )
-        return not evaluate_constraint(rule.condition, view, validate=False)
+    def _audit_program(self, rule: IntegrityRule) -> Optional[Program]:
+        """The stored program of ``rule`` if executing it *is* an audit.
 
-    def install_indexes(self, database: Database) -> List[tuple]:
+        Program-shape analysis: aborting rules translate to programs whose
+        statements merely compute and test (never update), so running them
+        against a read-only context yields the rule's verdict.  Returns
+        None for compensating rules (their program is a repair action, not
+        a check) and for any non-auditable statement shape.
+        """
+        if not rule.is_aborting or rule.name not in self.store:
+            return None
+        program = self.store.get(rule.name).program
+        statements = program.statements
+        if statements and all(
+            isinstance(statement, AUDITABLE_STATEMENTS)
+            for statement in statements
+        ):
+            return program
+        return None
+
+    @staticmethod
+    def _program_violated(program: Program, view: DatabaseView) -> bool:
+        """Run an auditable program against a scratch context; an alarm (or
+        failed check) raising the abort signal is the violation verdict."""
+        context = _AuditContext(view)
+        try:
+            for statement in program:
+                statement.execute(context)
+        except TransactionAborted:
+            return True
+        return False
+
+    def _is_violated(self, rule: IntegrityRule, view: DatabaseView, engine: str) -> bool:
+        if engine != "planned":
+            return not evaluate_constraint(rule.condition, view, validate=False)
+        program = self._audit_program(rule)
+        if program is not None:
+            return self._program_violated(program, view)
+        compiled = compile_constraint(rule.condition, self.schema)
+        return compiled.violated(view)
+
+    def install_indexes(
+        self, database: Database, min_benefit: float = 0.0
+    ) -> List[tuple]:
         """Create the hash indexes the compiled plans would benefit from.
 
         Walks every stored integrity program (full and differential
@@ -295,21 +372,71 @@ class IntegrityController:
         maintained incrementally from then on, so repeated enforcement and
         audits of equality-keyed constraints (referential integrity above
         all) probe per distinct key instead of re-hashing per evaluation.
+
+        ``min_benefit`` is the advisor's cost threshold, in tuples of
+        estimated per-enforcement work saved: each plan that would otherwise
+        re-hash relation ``R`` forgoes ``|R|`` tuple-hashes, so a hint's
+        benefit is ``uses × |R|`` under the database's current
+        cardinalities.  Hints below the threshold are skipped — building and
+        incrementally maintaining an index on a tiny or rarely-referenced
+        relation costs more than it saves.  The default of 0 installs every
+        hint (the PR 1 behaviour).
         """
-        hints: set = set()
+        hints: Dict[tuple, int] = {}
         for integrity_program in self.store:
             pieces = [integrity_program.program]
             pieces.extend((integrity_program.differentials or {}).values())
             for piece in pieces:
                 for statement in piece:
-                    for expression in planner.statement_expressions(statement):
-                        hints |= planner.index_hints(expression)
+                    expressions = list(planner.statement_expressions(statement))
+                    if not expressions and isinstance(statement, CheckConstraint):
+                        # Fallback statements evaluate through compiled
+                        # sub-plans (repro.calculus.planned); those plans'
+                        # hints are just as real as an alarm's.
+                        expressions = list(
+                            compile_constraint(
+                                statement.formula, self.schema
+                            ).plan_expressions()
+                        )
+                    for expression in expressions:
+                        for hint in planner.index_hints(expression):
+                            hints[hint] = hints.get(hint, 0) + 1
+        cardinalities = database.cardinalities()
         installed = []
-        for name, attrs in sorted(hints, key=repr):
-            if name in database:
-                database.create_index(name, attrs)
-                installed.append((name, attrs))
+        for (name, attrs), uses in sorted(hints.items(), key=repr):
+            if name not in database:
+                continue
+            benefit = uses * cardinalities.get(name, 0)
+            if benefit < min_benefit:
+                continue
+            database.create_index(name, attrs)
+            installed.append((name, attrs))
         return installed
+
+    def drop_unused(self, database: Database, min_probes: int = 1) -> List[tuple]:
+        """Maintenance entry point: drop built indexes that saw no use.
+
+        An index probed fewer than ``min_probes`` times since it was built
+        (or last inspected) is dropped — declaration and contents — so the
+        engine stops paying incremental maintenance for it on every write.
+        Returns the dropped ``(relation, positions)`` pairs.  Probe counts
+        of surviving indexes are reset, making repeated calls a rolling
+        usage window.
+        """
+        dropped = []
+        for name in database.relation_names:
+            indexes = database.relation(name).indexes
+            if indexes is None:
+                continue
+            for index in list(indexes):
+                if not index.built:
+                    continue
+                if index.probes < min_probes:
+                    indexes.drop(index.positions)
+                    dropped.append((name, index.positions))
+                else:
+                    index.probes = 0
+        return dropped
 
     def is_correct_transaction(self, database: Database, transaction) -> bool:
         """Def 3.5: is ``transaction`` correct w.r.t. ``database`` and the

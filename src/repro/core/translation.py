@@ -22,9 +22,12 @@ body is a conjunction of membership anchors, local atoms, (negated)
 existential subformulas — producing selections, semijoins, antijoins, set
 differences and intersections — and aggregate comparisons (producing
 semijoins against single-row aggregate relations).  Formulas outside the
-fragment fall back to a :class:`CheckConstraint` statement that runs the
-direct evaluator inside the transaction (an honest engineering fallback,
-flagged so callers can forbid it).
+fragment fall back to a :class:`CheckConstraint` statement (an honest
+engineering fallback, flagged so callers can forbid it); under the planned
+engine even that fallback decomposes the formula via
+:mod:`repro.calculus.planned` and evaluates the translatable subformulas
+through compiled plans, so the direct evaluator only ever sees the
+genuinely untranslatable residue.
 
 The produced forms coincide with the paper's Table 1 on all seven construct
 families; ``table1_form`` additionally emits the *verbatim* table shapes
@@ -505,19 +508,40 @@ def _apply_exists(
 class CheckConstraint(Statement):
     """Fallback statement: evaluate a CL constraint directly in-transaction.
 
-    Used only when a condition falls outside the translatable fragment (the
-    paper's translation algorithm is also partial: "a complete translation
-    algorithm is not presented here").  Aborts like ``alarm`` on violation.
+    Used only when a condition falls outside the *monolithic* translatable
+    fragment (the paper's translation algorithm is also partial: "a complete
+    translation algorithm is not presented here").  Aborts like ``alarm`` on
+    violation.
+
+    Execution is not necessarily naive, though: under the planned engine the
+    formula is handed to :mod:`repro.calculus.planned`, which decomposes the
+    boolean structure and runs every translatable subformula through its
+    compiled physical plan — the model checker evaluates only the genuinely
+    untranslatable residue.  ``naive_residue`` records (at translation time)
+    whether such residue exists; transaction modification surfaces it in
+    :class:`~repro.core.modification.ModificationStats`.
     """
 
     formula: C.Formula
     message: Optional[str] = None
+    naive_residue: bool = True
 
     def execute(self, context) -> None:
         from repro.errors import TransactionAborted
 
-        if not evaluate_constraint(self.formula, context, validate=False):
+        if not self.holds(context):
             raise TransactionAborted(self.message or "constraint check failed")
+
+    def holds(self, context) -> bool:
+        """Evaluate the formula with the fastest applicable backend."""
+        from repro.algebra.planner import resolve_engine
+
+        schema = getattr(getattr(context, "database", None), "schema", None)
+        if schema is not None and resolve_engine(context) == "planned":
+            from repro.calculus.planned import evaluate_constraint_planned
+
+            return evaluate_constraint_planned(self.formula, context, schema)
+        return evaluate_constraint(self.formula, context, validate=False)
 
     def relations_read(self) -> set:
         from repro.calculus.analysis import relation_names
@@ -537,7 +561,12 @@ def trans_c(
     except TranslationError:
         if not allow_fallback:
             raise
-        statement = CheckConstraint(condition, message=name)
+        from repro.calculus.planned import compile_constraint
+
+        compiled = compile_constraint(condition, db)
+        statement = CheckConstraint(
+            condition, message=name, naive_residue=not compiled.fully_planned
+        )
     return Program([statement])
 
 

@@ -20,6 +20,17 @@ Design points:
   the index pays one pass over the current rows — and from then on the
   relation maintains it incrementally on every insert and delete.
 
+* **Amortized on-demand building.**  A declared-but-unbuilt index tracks the
+  scan/hash work operators *forgo* by probing row-wise without it
+  (:attr:`HashIndex.deferred_cost`).  Once the accumulated forgone work
+  amortizes a build pass (:data:`BUILD_AMORTIZE_HURDLE` times the relation
+  size), the next request builds the index.  Working copies inside write
+  transactions inherit "heat" from their base relation's built indexes
+  (:meth:`~repro.engine.relation.Relation.heat_index`), so the first
+  full-state check inside a large transaction builds the working copy's
+  index instead of probing row-wise — and the built index survives the
+  commit via :func:`migrate_indexes`.
+
 * **Incremental maintenance across commits.**  A committed transaction
   installs fresh relation objects, which would discard any built index.
   :meth:`Database.install` therefore migrates built indexes from the
@@ -35,17 +46,26 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Optional, Tuple
 
+# A declared index is built once the forgone row-wise work accumulated in
+# ``deferred_cost`` reaches this multiple of a build pass over the relation.
+BUILD_AMORTIZE_HURDLE = 2.0
+
 
 class HashIndex:
     """A hash index over one relation, keyed by a tuple of 0-based positions."""
 
-    __slots__ = ("positions", "buckets", "built")
+    __slots__ = ("positions", "buckets", "built", "deferred_cost", "probes")
 
     def __init__(self, positions: Tuple[int, ...]):
         self.positions = tuple(positions)
         # key -> {row: None} (an ordered set of distinct rows)
         self.buckets: Dict[object, dict] = {}
         self.built = False
+        # Row-wise work forgone while declared-but-unbuilt (see module docs).
+        self.deferred_cost = 0.0
+        # Approximate usage marker: bumped by lookup() and touch(); consumed
+        # by the index advisor's drop-unused maintenance.
+        self.probes = 0
 
     # -- key extraction -------------------------------------------------------
 
@@ -91,8 +111,13 @@ class HashIndex:
 
     def lookup(self, key) -> tuple:
         """The distinct rows with this key (empty tuple when absent)."""
+        self.probes += 1
         bucket = self.buckets.get(key)
         return tuple(bucket) if bucket else ()
+
+    def touch(self) -> None:
+        """Mark a bulk use (an operator consuming ``buckets`` wholesale)."""
+        self.probes += 1
 
     def keys(self) -> Iterator:
         return iter(self.buckets)
@@ -144,6 +169,10 @@ class IndexSet:
         if not index.built:
             index.build(rows)
         return index
+
+    def drop(self, positions: Tuple[int, ...]) -> Optional[HashIndex]:
+        """Remove an index (declaration and contents); returns it or None."""
+        return self._indexes.pop(tuple(positions), None)
 
     # -- maintenance hooks (called by Relation) -------------------------------
 

@@ -177,6 +177,10 @@ class DatabaseSchema:
 
     def __init__(self, relations: Iterable[RelationSchema] = ()):
         self._relations: dict = {}
+        # Monotonic DDL counter: bumped on every add().  Caches keyed on a
+        # schema (e.g. the plan-backed constraint cache) compare versions to
+        # detect that compiled artifacts predate a schema change.
+        self.version = 0
         for schema in relations:
             self.add(schema)
 
@@ -187,6 +191,7 @@ class DatabaseSchema:
                 f"relation {schema.name!r} already in database schema"
             )
         self._relations[schema.name] = schema
+        self.version += 1
         return schema
 
     def relation(self, name: str) -> RelationSchema:

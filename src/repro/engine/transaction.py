@@ -178,7 +178,20 @@ class TransactionContext:
     def _working_copy(self, base: str) -> Relation:
         relation = self.working.get(base)
         if relation is None:
-            relation = self.database.relation(base).copy()
+            source = self.database.relation(base)
+            relation = source.copy()
+            # Copy-on-write drops built index *contents* (cloning them would
+            # make the first write O(index)), but a built base index proves
+            # the probe volume amortizes a build.  Heat the copy's declared
+            # counterpart so the first full-state check inside this
+            # transaction builds it instead of probing row-wise; the built
+            # index then survives the commit via the index migration in
+            # Database.install.
+            indexes = source.indexes
+            if indexes is not None:
+                for index in indexes:
+                    if index.built:
+                        relation.heat_index(index.positions)
             self.working[base] = relation
         return relation
 

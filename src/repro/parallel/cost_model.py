@@ -115,6 +115,7 @@ def predict_enforcement_time(
     cardinalities=None,
     model: "CostModel" = POOMA_1992,
     nodes: int = 1,
+    database=None,
 ) -> float:
     """Price an enforcement expression from planner estimates alone.
 
@@ -124,10 +125,58 @@ def predict_enforcement_time(
     ``model``.  This replaces the old trace-then-price loop for what-if
     questions ("would this constraint be enforceable at 1M tuples on 8
     nodes?") — no data or execution needed.
-    """
-    from repro.algebra.planner import estimate_expression
 
-    return model.plan_time(estimate_expression(expression, cardinalities), nodes)
+    Passing ``database`` instead of ``cardinalities`` prices the plan under
+    *runtime statistics* (observed cardinalities plus index distinct-key
+    counts, drift-cached by :func:`repro.algebra.planner.plan_estimate`) —
+    sharper selectivities for the index-accelerated plan shapes.
+    """
+    from repro.algebra.planner import estimate_expression, plan_estimate
+
+    if database is not None:
+        estimate = plan_estimate(expression, database)
+    else:
+        estimate = estimate_expression(expression, cardinalities)
+    return model.plan_time(estimate, nodes)
+
+
+def predict_audit_time(
+    program,
+    cardinalities=None,
+    model: "CostModel" = POOMA_1992,
+    nodes: int = 1,
+    database=None,
+) -> float:
+    """Price a full audit of an integrity program's check expressions.
+
+    Sums the planner estimates of every relation-valued expression the
+    program's statements evaluate — the alarm arguments, any temporary
+    assignments feeding them, and the compiled sub-plans of
+    ``CheckConstraint`` fallback statements (resolved through
+    :mod:`repro.calculus.planned` when a ``database`` supplies the schema) —
+    i.e. the plan shapes the unified audit path of
+    :meth:`repro.core.subsystem.IntegrityController.violated_constraints`
+    executes, charging the model's startup once.
+    """
+    from repro.algebra import planner
+
+    seconds = model.startup
+    for statement in program:
+        expressions = list(planner.statement_expressions(statement))
+        formula = getattr(statement, "formula", None)
+        if not expressions and formula is not None and database is not None:
+            from repro.calculus.planned import compile_constraint
+
+            expressions = list(
+                compile_constraint(formula, database.schema).plan_expressions()
+            )
+        for expression in expressions:
+            if database is not None:
+                estimate = planner.plan_estimate(expression, database)
+            else:
+                estimate = planner.estimate_expression(expression, cardinalities)
+            seconds += model.plan_time(estimate, nodes) - model.startup
+    return seconds
 
 
 # A contemporary in-memory machine, for the EXPERIMENTS.md comparison runs.

@@ -1,0 +1,168 @@
+"""Runtime statistics: capture, drift, and stats-aware plan estimates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import expressions as E
+from repro.algebra import planner
+from repro.algebra import predicates as P
+from repro.algebra.statistics import RuntimeStatistics
+from repro.engine import Database, DatabaseSchema, RelationSchema
+from repro.engine.types import INT
+
+
+@pytest.fixture(autouse=True)
+def _fresh_planner():
+    planner.clear_plan_cache()
+    yield
+    planner.clear_plan_cache()
+
+
+def _database(n_r: int = 100, n_s: int = 10) -> Database:
+    database = Database(
+        DatabaseSchema(
+            [
+                RelationSchema("r", [("a", INT), ("b", INT)]),
+                RelationSchema("s", [("c", INT), ("d", INT)]),
+            ]
+        )
+    )
+    database.load("r", [(i % 20, i) for i in range(n_r)])
+    database.load("s", [(i, i) for i in range(n_s)])
+    return database
+
+
+def test_capture_reads_cardinalities_and_distinct_keys():
+    database = _database()
+    database.create_index("r", ["a"])
+    stats = RuntimeStatistics.capture(database)
+    assert stats.get("r") == 100.0
+    assert stats.get("s") == 10.0
+    assert stats.distinct_keys("r", ("a",)) == 20
+    assert stats.distinct_keys("r", ("b",)) is None
+    assert stats.distinct_keys("missing", ("a",)) is None
+
+
+def test_drift_is_symmetric_and_thresholded():
+    old = RuntimeStatistics({"r": 100.0})
+    same = RuntimeStatistics({"r": 110.0})
+    grown = RuntimeStatistics({"r": 1000.0})
+    assert not old.drifted(same)
+    assert old.drifted(grown)
+    assert grown.drifted(old)
+
+
+def test_equality_selection_estimate_uses_distinct_keys():
+    database = _database()
+    database.create_index("r", ["a"])
+    expression = E.Select(
+        E.RelationRef("r"), P.Comparison("=", P.ColRef("a"), P.Const(3))
+    )
+    stats_estimate = planner.estimate_expression(
+        expression, RuntimeStatistics.capture(database)
+    )
+    # |r| / V(r, a) = 100 / 20
+    assert stats_estimate.rows == pytest.approx(5.0)
+    textbook = planner.estimate_expression(expression, {"r": 100})
+    assert textbook.rows != stats_estimate.rows
+
+
+def test_join_estimate_uses_distinct_keys():
+    database = _database()
+    database.create_index("r", ["a"])
+    join = E.Join(
+        E.RelationRef("r"),
+        E.RelationRef("s"),
+        P.Comparison("=", P.ColRef("a", "left"), P.ColRef("c", "right")),
+    )
+    stats = RuntimeStatistics.capture(database)
+    estimate = planner.estimate_expression(join, stats)
+    # |r| * |s| / max(V) = 100 * 10 / 20
+    assert estimate.rows == pytest.approx(50.0)
+
+
+def test_index_creation_counts_as_drift():
+    # An index appearing (or vanishing) changes what the estimator can
+    # know, not just how much data there is: the cache must invalidate.
+    database = _database()
+    expression = E.Select(
+        E.RelationRef("r"), P.Comparison("=", P.ColRef("a"), P.Const(3))
+    )
+    before = planner.plan_estimate(expression, database)
+    database.create_index("r", ["a"])
+    after = planner.plan_estimate(expression, database)
+    assert after is not before
+    assert after.rows == pytest.approx(5.0)  # |r| / V(r, a)
+
+
+def test_estimate_cache_is_per_database():
+    expression = E.Select(
+        E.RelationRef("r"), P.Comparison(">", P.ColRef("b"), P.Const(1))
+    )
+    small = _database(n_r=100)
+    large = _database(n_r=160)  # within the drift threshold of `small`
+    first = planner.plan_estimate(expression, small)
+    second = planner.plan_estimate(expression, large)
+    assert second is not first
+    assert second.rows > first.rows
+
+
+def test_plan_estimate_cached_until_drift():
+    database = _database()
+    expression = E.Select(
+        E.RelationRef("r"), P.Comparison(">", P.ColRef("b"), P.Const(1))
+    )
+    first = planner.plan_estimate(expression, database)
+    second = planner.plan_estimate(expression, database)
+    assert first is second  # served from the estimate cache
+    database.load("r", [(0, i) for i in range(1000)])  # 11x growth
+    third = planner.plan_estimate(expression, database)
+    assert third is not first
+    assert third.rows > first.rows
+
+
+def test_predict_enforcement_time_accepts_a_database():
+    from repro.parallel.cost_model import MODERN_2026, predict_enforcement_time
+
+    database = _database()
+    expression = E.SemiJoin(
+        E.RelationRef("r"),
+        E.RelationRef("s"),
+        P.Comparison("=", P.ColRef("a", "left"), P.ColRef("c", "right")),
+    )
+    seconds = predict_enforcement_time(
+        expression, model=MODERN_2026, database=database
+    )
+    assert seconds > 0
+
+
+def test_predict_audit_time_prices_program_statements():
+    from repro.algebra.parser import parse_program
+    from repro.parallel.cost_model import MODERN_2026, predict_audit_time
+
+    database = _database()
+    program = parse_program(
+        "t := select(r, a > 0); alarm(semijoin(t, s, left.a = right.c))"
+    )
+    seconds = predict_audit_time(program, model=MODERN_2026, database=database)
+    assert seconds > MODERN_2026.startup
+
+
+def test_predict_audit_time_prices_fallback_sub_plans():
+    from repro.calculus.parser import parse_constraint
+    from repro.core.translation import CheckConstraint
+    from repro.algebra.programs import Program
+    from repro.parallel.cost_model import MODERN_2026, predict_audit_time
+
+    database = _database()
+    # A conjunction of universals: stored as a CheckConstraint fallback,
+    # evaluated through two compiled sub-plans — which must be priced,
+    # not treated as free.
+    formula = parse_constraint(
+        "(forall x)(x in r => x.b >= 0) and "
+        "(forall x)(x in r => (exists y)(y in s and x.a = y.c))"
+    )
+    program = Program([CheckConstraint(formula)])
+    seconds = predict_audit_time(program, model=MODERN_2026, database=database)
+    assert seconds > MODERN_2026.startup

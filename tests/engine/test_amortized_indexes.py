@@ -1,0 +1,108 @@
+"""On-demand (amortized) index building: relation, transaction, advisor."""
+
+from __future__ import annotations
+
+from repro.algebra.parser import parse_transaction
+from repro.engine import Database, DatabaseSchema, RelationSchema
+from repro.engine.indexes import BUILD_AMORTIZE_HURDLE
+from repro.engine.transaction import TransactionManager
+from repro.engine.types import INT
+
+
+def _schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        [
+            RelationSchema("r", [("a", INT), ("b", INT)]),
+            RelationSchema("s", [("c", INT), ("d", INT)]),
+        ]
+    )
+
+
+def _relation(n: int = 10):
+    database = Database(_schema())
+    database.load("r", [(i, i % 3) for i in range(n)])
+    return database.relation("r")
+
+
+def test_amortized_index_accumulates_to_the_hurdle():
+    relation = _relation(10)
+    relation.declare_index((0,))
+    # Each probe forgoes one scan of the relation; the hurdle is 2 passes.
+    assert relation.amortized_index((0,), forgone_work=10) is None
+    index = relation.amortized_index((0,), forgone_work=10)
+    assert index is not None and index.built
+    assert index.lookup(3) == ((3, 0),)
+    assert BUILD_AMORTIZE_HURDLE == 2.0
+
+
+def test_amortized_index_requires_a_declaration():
+    relation = _relation(10)
+    assert relation.amortized_index((0,), forgone_work=1e9) is None
+    assert relation.amortized_index((0,)) is None
+
+
+def test_build_side_request_builds_declared_immediately():
+    # forgone_work=None: the caller pays a hashing pass anyway.
+    relation = _relation(10)
+    relation.declare_index((1,))
+    index = relation.amortized_index((1,))
+    assert index is not None and index.built
+
+
+def test_heat_index_builds_on_first_probe():
+    relation = _relation(10)
+    relation.heat_index((0,))
+    index = relation.amortized_index((0,), forgone_work=1)
+    assert index is not None and index.built
+
+
+def test_working_copy_inherits_heat_and_commit_keeps_the_index():
+    database = Database(_schema())
+    database.load("r", [(i, 0) for i in range(50)])
+    database.load("s", [(i % 5, 1) for i in range(50)])
+    database.create_index("r", ["a"])  # built on the base relation
+    manager = TransactionManager(database)
+    transaction = parse_transaction(
+        "begin insert(r, (99, 99)); "
+        "t := semijoin(r, s, left.a = right.c); end"
+    )
+    result = manager.execute(transaction)
+    assert result.committed
+    # The working copy probed r on attribute a; heat inherited from the
+    # built base index means it built its own, which survived the commit.
+    index = database.relation("r").built_index((0,))
+    assert index is not None
+    assert index.lookup(99) == ((99, 99),)
+
+
+def test_drop_unused_removes_cold_indexes():
+    from repro.core.subsystem import IntegrityController
+
+    database = Database(_schema())
+    database.load("r", [(i, 0) for i in range(20)])
+    database.create_index("r", ["a"])
+    database.create_index("r", ["b"])
+    controller = IntegrityController(database.schema)
+    # Probe only the index on a.
+    database.relation("r").built_index((0,)).lookup(3)
+    dropped = controller.drop_unused(database)
+    assert dropped == [("r", (1,))]
+    assert database.relation("r").built_index((0,)) is not None
+    assert database.relation("r").built_index((1,)) is None
+
+
+def test_install_indexes_threshold_skips_small_relations():
+    from repro.core.subsystem import IntegrityController
+
+    database = Database(_schema())
+    database.load("r", [(i, 0) for i in range(5)])
+    database.load("s", [(i, 0) for i in range(5)])
+    controller = IntegrityController(database.schema)
+    controller.add_constraint(
+        "ref", "(forall x)(x in r => (exists y)(y in s and x.a = y.c))"
+    )
+    # 5-tuple relations: one use x 5 tuples of benefit, below a 100 floor.
+    assert controller.install_indexes(database, min_benefit=100) == []
+    # The default threshold installs every hint.
+    installed = controller.install_indexes(database)
+    assert installed, "default threshold must keep the PR 1 behaviour"
