@@ -1,0 +1,133 @@
+"""E8 — incremental audits: delta plans vs full-plan re-evaluation.
+
+The delta-plan layer's payoff claim: enforcement touches only what the
+transaction changed.  This bench commits a small transaction (100 new
+foreign-key tuples, 20 deleted key-relation tuples' worth of churn) against
+a large steady state (100k foreign keys / 1k keys), then audits the result
+two ways:
+
+* **full** — ``violated_constraints``: re-evaluate every rule's compiled
+  plan against the whole post state;
+* **delta** — ``violated_constraints_incremental``: run only the matched
+  triggers' differential programs against the committed net delta
+  (O(|Δ|) work; vacuous triggers cost nothing).
+
+Gated on the >= 10x floor from the delta-plan issue, in both the un-indexed
+and hash-indexed configurations, and the verdicts must agree.  The measured
+numbers are additionally emitted as ``benchmarks/bench_incremental.json``
+for the CI build artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks import report
+from repro.core.subsystem import IntegrityController
+from repro.engine import Session
+from repro.workloads.section7 import (
+    section7_controller,
+    section7_database,
+    section7_insert_batch,
+    section7_transaction_text,
+)
+
+EXPERIMENT = "E8 / incremental audit"
+PK_SIZE = 1000
+FK_SIZE = 100_000
+DELTA_SIZE = 100
+FULL_ROUNDS = 5
+DELTA_ROUNDS = 50
+SPEEDUP_FLOOR = 10.0
+JSON_PATH = Path(__file__).resolve().parent / "bench_incremental.json"
+
+
+def _committed_delta(db) -> "object":
+    """Commit the 100-tuple insert batch without integrity modification and
+    return the TransactionResult carrying the net differentials."""
+    rows = section7_insert_batch(
+        batch_size=DELTA_SIZE, pk_size=PK_SIZE, start_id=FK_SIZE
+    )
+    result = Session(db).execute(section7_transaction_text(rows))
+    assert result.committed
+    return result
+
+
+def _time(fn, rounds: int) -> float:
+    started = time.perf_counter()
+    for _ in range(rounds):
+        fn()
+    return (time.perf_counter() - started) / rounds
+
+
+@pytest.mark.benchmark(group="incremental")
+def test_incremental_audit_speedup(benchmark):
+    report.experiment(
+        EXPERIMENT,
+        f"{DELTA_SIZE}-tuple delta against pk={PK_SIZE}/fk={FK_SIZE:,}: "
+        "full-plan re-evaluation vs per-trigger delta plans",
+        ["variant", "full (ms)", "delta (ms)", "speedup"],
+    )
+
+    def run():
+        results = {}
+        for variant in ("un-indexed", "indexed"):
+            db = section7_database(pk_size=PK_SIZE, fk_size=FK_SIZE)
+            controller: IntegrityController = section7_controller()
+            if variant == "indexed":
+                controller.install_indexes(db)
+            result = _committed_delta(db)
+            full_verdict = controller.violated_constraints(db)
+            delta_verdict = controller.violated_constraints_incremental(
+                db, result
+            )
+            assert full_verdict == delta_verdict == []
+            full = _time(
+                lambda: controller.violated_constraints(db), FULL_ROUNDS
+            )
+            delta = _time(
+                lambda: controller.violated_constraints_incremental(db, result),
+                DELTA_ROUNDS,
+            )
+            results[variant] = (full, delta)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    payload = {
+        "experiment": EXPERIMENT,
+        "pk_size": PK_SIZE,
+        "fk_size": FK_SIZE,
+        "delta_size": DELTA_SIZE,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "variants": {},
+    }
+    speedups = {}
+    for variant, (full, delta) in results.items():
+        speedups[variant] = full / delta
+        payload["variants"][variant] = {
+            "full_seconds": full,
+            "delta_seconds": delta,
+            "speedup": speedups[variant],
+        }
+        report.record(
+            EXPERIMENT,
+            variant,
+            f"{full * 1000:.2f}",
+            f"{delta * 1000:.4f}",
+            f"{speedups[variant]:.0f}x",
+        )
+    report.note(
+        EXPERIMENT,
+        "delta audits run the matched triggers' differential programs "
+        "against the committed net delta; full audits re-evaluate every "
+        "compiled plan over the whole state",
+    )
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    assert min(speedups.values()) >= SPEEDUP_FLOOR, (
+        f"incremental audit speedup {min(speedups.values()):.1f}x below the "
+        f"{SPEEDUP_FLOOR}x floor"
+    )

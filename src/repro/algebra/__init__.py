@@ -40,6 +40,7 @@ from repro.algebra.expressions import (
     Aggregate,
     AntiJoin,
     Count,
+    Delta,
     Difference,
     Intersection,
     Join,
@@ -98,6 +99,7 @@ __all__ = [
     "Const",
     "Count",
     "Delete",
+    "Delta",
     "Difference",
     "EMPTY_PROGRAM",
     "FalsePred",

@@ -84,6 +84,50 @@ class RelationRef(Expression):
         return context.resolve(self.name)
 
 
+DELTA_PLUS = "plus"
+DELTA_MINUS = "minus"
+DELTA_KINDS = (DELTA_PLUS, DELTA_MINUS)
+
+
+@dataclass(frozen=True)
+class Delta(Expression):
+    """First-class differential reference ``ΔR``: the *net* tuples inserted
+    into (``kind="plus"``) or deleted from (``kind="minus"``) a base relation
+    by the transaction whose context evaluates the expression.
+
+    This is the leaf the delta-rewrite transform of
+    :mod:`repro.algebra.delta` bottoms out in.  Resolution is by the
+    auxiliary naming convention (``R@plus`` / ``R@minus``), so one plan binds
+    to whatever supplies the differentials: a running
+    :class:`~repro.engine.transaction.TransactionContext`, a post-commit
+    :class:`~repro.engine.session.DeltaView`, or an explicit binding in a
+    standalone context.  Unlike a bare ``RelationRef("R@plus")``, the node
+    keeps the base relation and update kind structurally available, which the
+    planner uses to price the scan from |Δ| instead of |R|.
+    """
+
+    relation: str
+    kind: str
+
+    def __post_init__(self):
+        if self.kind not in DELTA_KINDS:
+            raise EvaluationError(
+                f"delta kind must be one of {DELTA_KINDS}, got {self.kind!r}"
+            )
+        if "@" in self.relation:
+            raise EvaluationError(
+                f"delta of auxiliary relation {self.relation!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        """The auxiliary relation name this delta resolves through."""
+        return f"{self.relation}@{self.kind}"
+
+    def evaluate(self, context) -> Relation:
+        return context.resolve(self.name)
+
+
 @dataclass(frozen=True)
 class Literal(Expression):
     """A constant relation given as a tuple of rows.
@@ -553,6 +597,8 @@ class Multiplicity(Expression):
 
 def _collect_relations(expr: Expression, found: set) -> None:
     if isinstance(expr, RelationRef):
+        found.add(expr.name)
+    elif isinstance(expr, Delta):
         found.add(expr.name)
     elif isinstance(expr, Literal):
         pass

@@ -49,6 +49,11 @@ from repro.errors import EvaluationError, TypeMismatchError
 
 # Default cardinality assumed for relations absent from a statistics mapping.
 DEFAULT_CARDINALITY = 1000.0
+# Default cardinality assumed for a transaction's net differential: deltas
+# are small by premise (that is the entire point of differential
+# enforcement), so delta scans price orders of magnitude under base scans
+# unless a statistics mapping supplies the actual |Δ|.
+DEFAULT_DELTA_CARDINALITY = 16.0
 # Classic textbook selectivities for the static estimates.
 FILTER_SELECTIVITY = 1.0 / 3.0
 EQUALITY_SELECTIVITY = 0.01
@@ -226,7 +231,7 @@ def _hash_buckets(relation: Relation, key_side: "_KeySide", need_rows: bool):
     if positions is not None:
         index = relation.amortized_index(positions)
         if index is not None:
-            index.touch()
+            index.touch("build")
             return index.buckets
     if not need_rows:
         return {key_fn(row) for row in relation.rows()}
@@ -284,6 +289,39 @@ class ScanOp(PhysicalOperator):
 
     def describe(self) -> str:
         return f"scan({self.name})"
+
+
+class DeltaScanOp(PhysicalOperator):
+    """Scan a transaction's net differential (``R@plus`` / ``R@minus``).
+
+    Resolution is by auxiliary name, so the same compiled plan binds to
+    whatever supplies the differentials at execution time: a running
+    :class:`~repro.engine.transaction.TransactionContext`'s live deltas, a
+    post-commit :class:`~repro.engine.session.DeltaView`, or an explicit
+    standalone binding.  The estimate prices from |Δ| — the differential's
+    own cardinality when the statistics mapping carries it under the
+    auxiliary name, else :data:`DEFAULT_DELTA_CARDINALITY` — never from the
+    base relation's |R|.  This is what lets the cost model prefer delta
+    plans over full plans without executing either.
+    """
+
+    op_name = "delta_scan"
+
+    def __init__(self, relation: str, kind: str):
+        self.relation = relation
+        self.kind = kind
+        self.name = f"{relation}@{kind}"
+
+    def execute(self, context) -> Relation:
+        return context.resolve(self.name)
+
+    def estimate(self, cards=None) -> PlanEstimate:
+        if cards is not None and self.name in cards:
+            return PlanEstimate(rows=float(cards.get(self.name)))
+        return PlanEstimate(rows=DEFAULT_DELTA_CARDINALITY)
+
+    def describe(self) -> str:
+        return f"delta_scan({self.name})"
 
 
 class LiteralOp(PhysicalOperator):
@@ -984,7 +1022,7 @@ class HashSemiJoinOp(_BinaryOp):
             # Distinct-key probing: one membership test per key, whole
             # buckets emitted.  This is what makes repeated referential
             # checks over a large indexed relation near-instant.
-            left_index.touch()
+            left_index.touch("probe")
             counts = left._rows
             selected: dict = {}
             for key, bucket in left_index.buckets.items():

@@ -136,6 +136,8 @@ def compile_expression(
 def _lower(expr: E.Expression) -> X.PhysicalOperator:
     if isinstance(expr, E.RelationRef):
         return X.ScanOp(expr.name)
+    if isinstance(expr, E.Delta):
+        return X.DeltaScanOp(expr.relation, expr.kind)
     if isinstance(expr, E.Literal):
         return X.LiteralOp(expr.rows)
     if isinstance(expr, E.Select):
@@ -199,10 +201,10 @@ def _is_cache_exempt(expression: E.Expression) -> bool:
     wraps around its value — distinct literal insert/assign batches must not
     FIFO-evict the integrity rules' precompiled plans.
     """
-    if isinstance(expression, (E.RelationRef, E.Literal)):
+    if isinstance(expression, (E.RelationRef, E.Delta, E.Literal)):
         return True
     return isinstance(expression, E.Rename) and isinstance(
-        expression.input, (E.RelationRef, E.Literal)
+        expression.input, (E.RelationRef, E.Delta, E.Literal)
     )
 
 

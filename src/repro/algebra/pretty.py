@@ -73,6 +73,10 @@ def render_expression(expr: E.Expression) -> str:
     """Functional (parseable) rendering of an expression."""
     if isinstance(expr, E.RelationRef):
         return expr.name
+    if isinstance(expr, E.Delta):
+        # Rendered via the auxiliary naming convention; re-parsing yields an
+        # equivalent RelationRef (same resolution, weaker structure).
+        return expr.name
     if isinstance(expr, E.Literal):
         rows = ", ".join(
             "(" + ", ".join(_render_value(v) for v in row) + ")"
@@ -225,6 +229,9 @@ def render_mathy(expr: E.Expression) -> str:
     """Blackboard-notation rendering (σ, π, ⋈, ⋉, ⊳) for reports."""
     if isinstance(expr, E.RelationRef):
         return expr.name
+    if isinstance(expr, E.Delta):
+        sign = "⁺" if expr.kind == E.DELTA_PLUS else "⁻"
+        return f"Δ{sign}{expr.relation}"
     if isinstance(expr, E.Select):
         return f"σ[{_mathy_predicate(expr.predicate)}]({render_mathy(expr.input)})"
     if isinstance(expr, E.Project):

@@ -174,6 +174,24 @@ def _compile_node(formula: C.Formula, db) -> _Node:
             return _compile_node(
                 C.Forall(operand.var, C.Not(operand.body)), db
             )
+    if isinstance(formula, (C.Exists, C.Forall)):
+        # Last chance before the model checker: miniscope the normalized
+        # formula.  Pulling bound-variable-free conjuncts out of
+        # existentials (∃x(A ∧ B(x)) ⇒ A ∧ ∃x B(x)) can expose top-level
+        # boolean structure the decomposition above then splits into
+        # independently-plannable pieces — e.g. an existential whose body
+        # carries a closed quantified conjunct.  NNF and miniscoping are
+        # exact in Kleene semantics, so leaf verdicts recombine unchanged.
+        from repro.core.translation import miniscope, nnf
+
+        try:
+            normalized = miniscope(nnf(formula))
+        except TranslationError:
+            normalized = None
+        if normalized is not None and normalized != formula and isinstance(
+            normalized, (C.And, C.Or)
+        ):
+            return _compile_node(normalized, db)
     return _NaiveLeaf(formula)
 
 
@@ -203,6 +221,30 @@ class CompiledConstraint:
         for leaf in self.root.leaves():
             if isinstance(leaf, _PlanLeaf):
                 yield leaf.expr
+
+    def conjunctive_plan_expressions(self):
+        """The plan-leaf alarm expressions, when the decomposition is a pure
+        conjunction of planned leaves — else None.
+
+        This is the shape differential specialization can incrementalize
+        per-leaf: pre-state correctness of the whole formula distributes
+        over ``and`` (every conjunct held before the transaction), so each
+        leaf's violation expression satisfies the Def 3.5 premise on its
+        own.  Disjunctions do not distribute that way, and naive residue
+        has no plan to rewrite, so both return None.
+        """
+        expressions: List = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _PlanLeaf):
+                expressions.append(node.expr)
+            elif isinstance(node, _AndNode):
+                stack.extend(node.children)
+            else:
+                return None
+        expressions.reverse()
+        return expressions
 
     def residue(self) -> List[C.Formula]:
         """The untranslatable subformulas still evaluated naively."""

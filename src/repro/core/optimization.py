@@ -14,36 +14,39 @@ leaves OptC's internals open, listing the applicable technique families:
 * semantic manipulation (Qian & Wiederhold [16]) — out of scope, as in the
   paper.
 
-The differential rewrites implemented (all classical, all sound under the
-paper's Def 3.5 assumption that the pre-transaction state is correct):
+The differential specialization used to be a hand-written pattern table
+over eight alarm shapes; it is now one call into the *general* delta-rewrite
+transform of :mod:`repro.algebra.delta`, which incrementalizes any
+translated check built from selections, projections, joins, semi/antijoins
+and set operators — with vacuity ("deleting referers is safe", "adding
+targets is safe", triggers on unmentioned relations) falling out of the
+transform's emptiness propagation instead of being enumerated.  All of it is
+sound under the paper's Def 3.5 assumption that the pre-transaction state is
+correct, which is precisely the premise of ``differential=True``.
 
-=========================  ==============  =======================================
-translated check           trigger         differential check
-=========================  ==============  =======================================
-``alarm(σ_p(R))``          ``INS(R)``      ``alarm(σ_p(R@plus))``
-``alarm(R ⊳_θ S)``         ``INS(R)``      ``alarm(R@plus ⊳_θ S)``
-``alarm(R ⊳_θ S)``         ``DEL(S)``      ``alarm((R ⋉_θ S@minus) ⊳_θ S)``
-``alarm(R ⊳_θ S)``         ``DEL(R)``      *vacuous* (deleting referers is safe)
-``alarm(R ⊳_θ S)``         ``INS(S)``      *vacuous* (adding targets is safe)
-``alarm(R ⋉_θ S)``         ``INS(R)``      ``alarm(R@plus ⋉_θ S)``
-``alarm(R ⋉_θ S)``         ``INS(S)``      ``alarm(R ⋉_θ S@plus)``
-``alarm(R ⋉_θ S)``         ``DEL(·)``      *vacuous* (exclusions only grow safer)
-=========================  ==============  =======================================
-
-A vacuous entry yields an *empty* program: the store simply has nothing to
+A vacuous trigger yields an *empty* program: the store simply has nothing to
 append for that update type, which is itself a measurable saving (bench E6).
+
+Beyond the single-``alarm`` programs ``trans_c`` produces, translation
+*fallbacks* (:class:`~repro.core.translation.CheckConstraint`) are
+specialized too whenever their compiled form decomposes into a pure
+conjunction of planned subformulas: pre-state correctness distributes over
+``∧`` (every conjunct held before the transaction), so each conjunct's alarm
+expression incrementalizes independently.  It does **not** distribute over
+``∨`` — a disjunctive constraint may have held via a branch the transaction
+just falsified — so disjunctive decompositions conservatively keep the full
+check.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.algebra import expressions as E
+from repro.algebra.delta import NotIncrementalizable, delta_expression
 from repro.algebra.programs import Program
 from repro.algebra.statements import Alarm
 from repro.calculus import ast as C
-from repro.core.triggers import DEL, INS, TriggerSet
-from repro.engine import naming
 
 
 # ---------------------------------------------------------------------------
@@ -150,131 +153,78 @@ def opt_r(rule):
 
 
 def differential_programs(
-    rule, translated: Program
+    rule, translated: Program, db=None
 ) -> Optional[Dict[tuple, Program]]:
     """Per-trigger differential variants of a translated aborting program.
 
     Returns ``{trigger_spec: program}`` covering *every* trigger of the rule
     (vacuous triggers map to an empty program), or None when the translated
-    program's shape is not recognized — in which case the caller keeps the
+    program cannot be incrementalized — in which case the caller keeps the
     full-state program for all triggers.
 
-    Only single-``alarm`` programs (the output of ``trans_c`` for aborting
-    rules) are specialized; compensating actions are left untouched, as the
-    paper leaves their analysis out of scope.
+    Each per-trigger program alarms on the general delta rewrite
+    (:func:`repro.algebra.delta.delta_expression`) of the translated
+    violation expression with exactly that trigger's leaf delta active.  By
+    linearity of the delta rules, the union of the matched triggers'
+    programs covers the transaction's full delta, and under the
+    pre-state-correctness premise (Def 3.5) a non-empty delta is exactly a
+    violation of the post-state check.
+
+    Two program shapes are specialized: single-``alarm`` programs (the
+    output of ``trans_c`` for aborting rules), and — when ``db`` provides
+    the schema — single-:class:`~repro.core.translation.CheckConstraint`
+    fallbacks whose compiled form is a pure conjunction of planned
+    subformulas (see the module docs for why conjunctions are the sound
+    boundary).  Compensating actions are left untouched, as the paper leaves
+    their analysis out of scope.
+    """
+    checks = _alarm_checks(translated, db)
+    if checks is None:
+        return None
+    specialized: Dict[tuple, Program] = {}
+    for trigger in rule.triggers:
+        statements = []
+        try:
+            for expr, message in checks:
+                variant = delta_expression(expr, frozenset([trigger]))
+                if variant is not None:
+                    statements.append(Alarm(variant, message=message))
+        except NotIncrementalizable:
+            return None
+        specialized[trigger] = Program(statements)
+    return specialized
+
+
+def _alarm_checks(
+    translated: Program, db
+) -> Optional[List[Tuple[E.Expression, Optional[str]]]]:
+    """The ``(violation_expr, message)`` checks a translated program makes.
+
+    None when the program is not a recognized check shape (multi-statement
+    programs, compensating actions, fallbacks with disjunctive or naive
+    residue).
     """
     if len(translated.statements) != 1:
         return None
     statement = translated.statements[0]
-    if not isinstance(statement, Alarm):
-        return None
-    expr = statement.expr
+    if isinstance(statement, Alarm):
+        return [(statement.expr, statement.message)]
+    from repro.core.translation import CheckConstraint
 
-    specialized: Dict[tuple, Program] = {}
-    for trigger in rule.triggers:
-        variant = _specialize(expr, trigger)
-        if variant is _UNSUPPORTED:
+    if db is not None and isinstance(statement, CheckConstraint):
+        from repro.calculus.planned import compile_constraint
+
+        compiled = compile_constraint(statement.formula, db)
+        exprs = compiled.conjunctive_plan_expressions()
+        if exprs is None:
             return None
-        if variant is None:  # vacuous for this update type
-            specialized[trigger] = Program()
-        else:
-            specialized[trigger] = Program(
-                [Alarm(variant, message=statement.message)]
-            )
-    return specialized
-
-
-class _Unsupported:
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return "<unsupported shape>"
-
-
-_UNSUPPORTED = _Unsupported()
-
-
-def _specialize(expr: E.Expression, trigger: tuple):
-    """Differential variant of a violation expression for one trigger.
-
-    Returns the rewritten expression, None when the trigger cannot produce
-    new violations (vacuous), or _UNSUPPORTED.
-    """
-    kind, relation = trigger
-
-    # alarm(σ_p(R)) — domain-style checks.
-    if isinstance(expr, E.Select) and isinstance(expr.input, E.RelationRef):
-        base = expr.input.name
-        if naming.is_auxiliary(base):
-            return _UNSUPPORTED
-        if base != relation:
-            return _UNSUPPORTED
-        if kind == INS:
-            return E.Select(E.RelationRef(naming.plus_name(base)), expr.predicate)
-        # Deleting tuples cannot create a σ_p(R) violation.
-        return None
-
-    # alarm(R ⊳_θ S) — referential-style checks.
-    if isinstance(expr, E.AntiJoin):
-        return _specialize_antijoin(expr, kind, relation)
-
-    # alarm(R ⋉_θ S) — exclusion-style checks.
-    if isinstance(expr, E.SemiJoin):
-        return _specialize_semijoin(expr, kind, relation)
-
-    return _UNSUPPORTED
-
-
-def _plain_name(expr: E.Expression) -> Optional[str]:
-    if isinstance(expr, E.RelationRef) and not naming.is_auxiliary(expr.name):
-        return expr.name
+        return [(expr, statement.message) for expr in exprs]
     return None
 
 
-def _specialize_antijoin(expr: E.AntiJoin, kind: str, relation: str):
-    left_name = _plain_name(expr.left)
-    right_name = _plain_name(expr.right)
-    if left_name is None or right_name is None:
-        return _UNSUPPORTED
-    if kind == INS and relation == left_name:
-        # New referers must find a target.
-        return E.AntiJoin(
-            E.RelationRef(naming.plus_name(left_name)), expr.right, expr.predicate
-        )
-    if kind == DEL and relation == right_name:
-        # Referers of deleted targets must still find one.
-        affected = E.SemiJoin(
-            expr.left,
-            E.RelationRef(naming.minus_name(right_name)),
-            expr.predicate,
-        )
-        return E.AntiJoin(affected, expr.right, expr.predicate)
-    if kind == DEL and relation == left_name:
-        return None  # removing referers is always safe
-    if kind == INS and relation == right_name:
-        return None  # adding targets is always safe
-    return _UNSUPPORTED
-
-
-def _specialize_semijoin(expr: E.SemiJoin, kind: str, relation: str):
-    left_name = _plain_name(expr.left)
-    right_name = _plain_name(expr.right)
-    if left_name is None or right_name is None:
-        return _UNSUPPORTED
-    if kind == INS and relation == left_name:
-        return E.SemiJoin(
-            E.RelationRef(naming.plus_name(left_name)), expr.right, expr.predicate
-        )
-    if kind == INS and relation == right_name:
-        return E.SemiJoin(
-            expr.left, E.RelationRef(naming.plus_name(right_name)), expr.predicate
-        )
-    if kind == DEL and relation in (left_name, right_name):
-        return None  # an exclusion constraint cannot be violated by deletes
-    return _UNSUPPORTED
-
-
-def vacuous_triggers(rule, translated: Program) -> List[tuple]:
+def vacuous_triggers(rule, translated: Program, db=None) -> List[tuple]:
     """Triggers for which the rule's check is provably unnecessary."""
-    programs = differential_programs(rule, translated)
+    programs = differential_programs(rule, translated, db)
     if programs is None:
         return []
     return [trigger for trigger, program in programs.items() if program.is_empty]

@@ -95,7 +95,7 @@ def get_int_p(
         program = optimize_program(program)
     differentials = None
     if differential and rule.is_aborting:
-        differentials = differential_programs(optimized_rule, program)
+        differentials = differential_programs(optimized_rule, program, db)
     return IntegrityProgram(rule.name, rule.triggers, program, differentials)
 
 

@@ -51,7 +51,7 @@ from repro.core.triggering_graph import TriggeringGraph
 from repro.engine import naming
 from repro.engine.database import Database
 from repro.engine.schema import DatabaseSchema
-from repro.engine.session import DatabaseView
+from repro.engine.session import DatabaseView, DeltaView
 from repro.engine.transaction import Transaction, TransactionManager
 from repro.errors import (
     AnalysisError,
@@ -360,6 +360,67 @@ class IntegrityController:
         compiled = compile_constraint(rule.condition, self.schema)
         return compiled.violated(view)
 
+    def violated_constraints_incremental(
+        self,
+        database: Database,
+        differentials,
+        engine: Optional[str] = None,
+    ) -> List[str]:
+        """Incremental audit: check only what a committed delta can have
+        violated, through per-trigger delta plans.
+
+        ``differentials`` is the committed net delta — a
+        :class:`~repro.engine.transaction.TransactionResult` or its
+        ``{base: (plus, minus)}`` mapping.  The premise is the paper's
+        Def 3.5: the pre-transaction state satisfied every registered rule
+        (e.g. it was itself audited, or all writes go through transaction
+        modification).  Under it:
+
+        * rules whose triggers miss the performed update types are skipped
+          outright — their verdict cannot have changed;
+        * rules with stored differential variants run the matched triggers'
+          delta programs against a :class:`~repro.engine.session.DeltaView`,
+          touching O(|Δ|) state (vacuous variants cost nothing at all);
+        * everything else — compensating rules, non-incrementalizable
+          shapes — falls back to the full check, exactly as
+          :meth:`violated_constraints` would evaluate it.
+
+        Returns the names of rules the delta violated.  With an empty delta
+        the audit is free and returns [].
+        """
+        if hasattr(differentials, "differentials"):
+            differentials = differentials.differentials
+        view = DeltaView(
+            database,
+            differentials,
+            engine=planner.resolve_engine(engine=engine or self.engine),
+        )
+        performed = view.performed_triggers()
+        if not performed:
+            return []
+        violated = []
+        for rule in self.rules:
+            stored = self.store.get(rule.name) if rule.name in self.store else None
+            triggers = stored.triggers if stored is not None else rule.triggers
+            matched = triggers & performed
+            if not matched:
+                continue  # untouched by this delta: the old verdict stands
+            program = None
+            if stored is not None and stored.differentials is not None:
+                program = stored.action_for(matched)
+            if program is not None and program.is_empty:
+                continue  # vacuous for these update types
+            if program is not None and all(
+                isinstance(statement, AUDITABLE_STATEMENTS)
+                for statement in program.statements
+            ):
+                if self._program_violated(program, view):
+                    violated.append(rule.name)
+                continue
+            if self._is_violated(rule, view, view.engine):
+                violated.append(rule.name)
+        return violated
+
     def install_indexes(
         self, database: Database, min_benefit: float = 0.0
     ) -> List[tuple]:
@@ -413,15 +474,25 @@ class IntegrityController:
             installed.append((name, attrs))
         return installed
 
-    def drop_unused(self, database: Database, min_probes: int = 1) -> List[tuple]:
+    def drop_unused(
+        self,
+        database: Database,
+        min_probes: int = 1,
+        min_keys: int = 0,
+    ) -> List[tuple]:
         """Maintenance entry point: drop built indexes that saw no use.
 
-        An index probed fewer than ``min_probes`` times since it was built
-        (or last inspected) is dropped — declaration and contents — so the
-        engine stops paying incremental maintenance for it on every write.
-        Returns the dropped ``(relation, positions)`` pairs.  Probe counts
-        of surviving indexes are reset, making repeated calls a rolling
-        usage window.
+        The evidence is the per-use ledger every index keeps
+        (:class:`repro.engine.indexes.IndexUsage`): each consuming operator
+        execution records one use with the *exact* number of keys it probed
+        or served — bulk consumers no longer count as a single probe.  An
+        index with fewer than ``min_probes`` uses, or (when ``min_keys`` is
+        set) fewer than ``min_keys`` keys of total probe volume, since it
+        was built or last inspected is dropped — declaration and contents —
+        so the engine stops paying incremental maintenance for it on every
+        write.  Returns the dropped ``(relation, positions)`` pairs.
+        Surviving indexes' ledgers are reset, making repeated calls a
+        rolling usage window.
         """
         dropped = []
         for name in database.relation_names:
@@ -431,11 +502,11 @@ class IntegrityController:
             for index in list(indexes):
                 if not index.built:
                     continue
-                if index.probes < min_probes:
+                if index.usage.uses < min_probes or index.usage.keys < min_keys:
                     indexes.drop(index.positions)
                     dropped.append((name, index.positions))
                 else:
-                    index.probes = 0
+                    index.usage.reset()
         return dropped
 
     def is_correct_transaction(self, database: Database, transaction) -> bool:

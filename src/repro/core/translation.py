@@ -156,6 +156,8 @@ def static_schema(expr: E.Expression, db: DatabaseSchema) -> RelationSchema:
     """Infer the output schema of an expression the translator built."""
     if isinstance(expr, E.RelationRef):
         return db.relation(naming.base_of(expr.name))
+    if isinstance(expr, E.Delta):
+        return db.relation(expr.relation)
     if isinstance(expr, (E.Select, E.SemiJoin, E.AntiJoin)):
         return static_schema(expr.input if isinstance(expr, E.Select) else expr.left, db)
     if isinstance(expr, (E.Union, E.Difference, E.Intersection)):
@@ -300,6 +302,54 @@ def _try_local_predicate(
 # ---------------------------------------------------------------------------
 
 
+def _needs_relational_split(formula: C.Formula) -> bool:
+    """True when a disjunct cannot live inside a tuple predicate — it
+    contains membership atoms, quantifiers, tuple equalities, or aggregate
+    terms — so a disjunction containing it must be distributed into a union
+    of set bodies rather than compiled to a ``P.Or``."""
+    if isinstance(formula, (C.Member, C.TupleEq, C.Exists, C.Forall)):
+        return True
+    if isinstance(formula, C.Not):
+        return _needs_relational_split(formula.operand)
+    if isinstance(formula, (C.And, C.Or, C.Implies)):
+        return _needs_relational_split(formula.left) or _needs_relational_split(
+            formula.right
+        )
+    if isinstance(formula, C.Compare):
+        return any(
+            _term_has_aggregate(term) for term in (formula.left, formula.right)
+        )
+    return False
+
+
+def _term_has_aggregate(term: C.Term) -> bool:
+    if _is_aggregate_term(term):
+        return True
+    if isinstance(term, C.ArithTerm):
+        return _term_has_aggregate(term.left) or _term_has_aggregate(term.right)
+    return False
+
+
+def _branch_well_typed(branch: C.Formula, db: DatabaseSchema) -> bool:
+    """Every attribute selection resolves against every relation its
+    variable is anchored on within ``branch``."""
+    from repro.calculus.analysis import variable_ranges
+
+    ranges = variable_ranges(branch)
+    schemas = {
+        variable: [db.relation(naming.base_of(rel)) for rel in sorted(rels)]
+        for variable, rels in ranges.items()
+    }
+    for term in C.iter_terms(branch):
+        if isinstance(term, C.AttrSel):
+            for schema in schemas.get(term.var, []):
+                try:
+                    schema.position_of(term.attr)
+                except Exception:
+                    return False
+    return True
+
+
 def calc_to_alg(var: str, formula: C.Formula, db: DatabaseSchema) -> E.Expression:
     """Translate the set comprehension ``{var | formula}`` to algebra.
 
@@ -312,6 +362,40 @@ def calc_to_alg(var: str, formula: C.Formula, db: DatabaseSchema) -> E.Expressio
             calc_to_alg(var, formula.right, db),
         )
     conjuncts = _flatten_and(formula)
+
+    # Distribute relational disjunctions:
+    # {var | rest ∧ (A ∨ B)} = {var | rest ∧ A} ∪ {var | rest ∧ B} whenever
+    # A/B carry memberships or quantifiers and therefore cannot become a
+    # tuple predicate.  (Multiplicities of rows satisfying both branches
+    # inflate in bag mode; translated checks only test emptiness.)
+    for position, conjunct in enumerate(conjuncts):
+        if isinstance(conjunct, C.Or) and _needs_relational_split(conjunct):
+            rest = conjuncts[:position] + conjuncts[position + 1 :]
+            branches = [
+                _conjoin_formulas(rest + [conjunct.left]),
+                _conjoin_formulas(rest + [conjunct.right]),
+            ]
+            for branch in branches:
+                if not _branch_well_typed(branch, db):
+                    # A branch may re-anchor the variable on a relation its
+                    # attribute references do not resolve against; only the
+                    # fallback's per-relation typing can evaluate that.
+                    raise TranslationError(
+                        "disjunctive branch is not well-typed against its "
+                        "own anchors"
+                    )
+            left = calc_to_alg(var, branches[0], db)
+            right = calc_to_alg(var, branches[1], db)
+            if (
+                static_schema(left, db).arity
+                != static_schema(right, db).arity
+            ):
+                # Anchors of different arity per branch: the union would be
+                # ill-typed; per-branch typing needs the fallback.
+                raise TranslationError(
+                    "disjunctive branches translate to different arities"
+                )
+            return E.Union(left, right)
 
     anchors = [
         conjunct
@@ -444,15 +528,38 @@ def _apply_exists(
     if isinstance(exists.body, C.Or):
         free = free_variables(exists.body)
         if free - {inner_var}:
-            raise TranslationError(
-                "disjunctive existential bodies may not reference outer "
-                "variables"
-            )
+            # Disjunctive body referencing outer variables: distribute the
+            # existential over the disjunction.  Positive:
+            # {x ∈ cur | ∃y(A ∨ B)} = (cur where ∃yA) ∪ (cur where ∃yB);
+            # negative: ¬∃y(A ∨ B) = ¬∃yA ∧ ¬∃yB applies both sequentially.
+            left = C.Exists(inner_var, exists.body.left)
+            right = C.Exists(inner_var, exists.body.right)
+            if positive:
+                return E.Union(
+                    _apply_exists(current, var, var_arity, left, db, True),
+                    _apply_exists(current, var, var_arity, right, db, True),
+                )
+            narrowed = _apply_exists(current, var, var_arity, left, db, False)
+            return _apply_exists(narrowed, var, var_arity, right, db, False)
         witness = calc_to_alg(inner_var, exists.body, db)
         ctor = E.SemiJoin if positive else E.AntiJoin
         return ctor(current, witness, P.TRUE)
 
     inner_conjuncts = _flatten_and(exists.body)
+    # A relational disjunction among the body's conjuncts (e.g. a linking
+    # disjunct mixing a membership with a comparison) cannot become a join
+    # predicate; distribute it and retry as a disjunctive body.
+    for position, part in enumerate(inner_conjuncts):
+        if isinstance(part, C.Or) and _needs_relational_split(part):
+            rest = inner_conjuncts[:position] + inner_conjuncts[position + 1 :]
+            split = C.Exists(
+                inner_var,
+                C.Or(
+                    _conjoin_formulas(rest + [part.left]),
+                    _conjoin_formulas(rest + [part.right]),
+                ),
+            )
+            return _apply_exists(current, var, var_arity, split, db, positive)
     inner_only: List[C.Formula] = []
     linking: List[C.Formula] = []
     for part in inner_conjuncts:

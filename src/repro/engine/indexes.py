@@ -51,10 +51,56 @@ from typing import Dict, Iterable, Iterator, Optional, Tuple
 BUILD_AMORTIZE_HURDLE = 2.0
 
 
+class IndexUsage:
+    """Per-use evidence ledger for the index advisor.
+
+    Every consuming operator execution records one *use* together with the
+    exact number of keys it probed or served, broken down by kind
+    (``"lookup"`` — an equality-selection bucket probe; ``"probe"`` — a
+    semijoin/antijoin probing per distinct key; ``"build"`` — a join build
+    side consuming the buckets wholesale).  This replaces the old single
+    ``probes`` counter, which recorded bulk consumptions as one unit and so
+    systematically under-weighted exactly the uses that save the most work.
+    """
+
+    __slots__ = ("uses", "keys", "lookups", "_bulk")
+
+    def __init__(self):
+        self.uses = 0
+        self.keys = 0
+        # Single-key lookups are the hot path: a dedicated integer counter
+        # keeps their bookkeeping to plain increments; the per-kind dict is
+        # only touched by (rare) bulk consumptions and materialized on read.
+        self.lookups = 0
+        self._bulk: Dict[str, int] = {}
+
+    def record(self, kind: str, keys: int = 1) -> None:
+        self.uses += 1
+        self.keys += keys
+        self._bulk[kind] = self._bulk.get(kind, 0) + keys
+
+    @property
+    def by_kind(self) -> Dict[str, int]:
+        """Exact key volume per use kind (``"lookup"`` merged in)."""
+        merged = dict(self._bulk)
+        if self.lookups:
+            merged["lookup"] = merged.get("lookup", 0) + self.lookups
+        return merged
+
+    def reset(self) -> None:
+        self.uses = 0
+        self.keys = 0
+        self.lookups = 0
+        self._bulk = {}
+
+    def __repr__(self) -> str:
+        return f"IndexUsage(uses={self.uses}, keys={self.keys}, {self.by_kind})"
+
+
 class HashIndex:
     """A hash index over one relation, keyed by a tuple of 0-based positions."""
 
-    __slots__ = ("positions", "buckets", "built", "deferred_cost", "probes")
+    __slots__ = ("positions", "buckets", "built", "deferred_cost", "usage")
 
     def __init__(self, positions: Tuple[int, ...]):
         self.positions = tuple(positions)
@@ -63,9 +109,13 @@ class HashIndex:
         self.built = False
         # Row-wise work forgone while declared-but-unbuilt (see module docs).
         self.deferred_cost = 0.0
-        # Approximate usage marker: bumped by lookup() and touch(); consumed
-        # by the index advisor's drop-unused maintenance.
-        self.probes = 0
+        # Usage evidence for the advisor's drop-unused maintenance.
+        self.usage = IndexUsage()
+
+    @property
+    def probes(self) -> int:
+        """Use events since the last ledger reset (advisor evidence)."""
+        return self.usage.uses
 
     # -- key extraction -------------------------------------------------------
 
@@ -111,13 +161,21 @@ class HashIndex:
 
     def lookup(self, key) -> tuple:
         """The distinct rows with this key (empty tuple when absent)."""
-        self.probes += 1
+        usage = self.usage
+        usage.uses += 1
+        usage.keys += 1
+        usage.lookups += 1
         bucket = self.buckets.get(key)
         return tuple(bucket) if bucket else ()
 
-    def touch(self) -> None:
-        """Mark a bulk use (an operator consuming ``buckets`` wholesale)."""
-        self.probes += 1
+    def touch(self, kind: str = "bulk", keys: Optional[int] = None) -> None:
+        """Record a bulk use (an operator consuming ``buckets`` wholesale).
+
+        ``keys`` is the exact number of keys the consumer probed or served;
+        it defaults to the full distinct-key count, which is what wholesale
+        consumption amounts to.
+        """
+        self.usage.record(kind, len(self.buckets) if keys is None else keys)
 
     def keys(self) -> Iterator:
         return iter(self.buckets)

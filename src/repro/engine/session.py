@@ -105,3 +105,66 @@ class DatabaseView:
             return self.database.relation(base)
         schema = self.database.relation_schema(base)
         return Relation(schema, bag=self.database.bag)
+
+
+class DeltaView(DatabaseView):
+    """Name resolution for *incremental* audits over a committed state.
+
+    The database holds the post-transaction state; ``differentials`` is the
+    committed net delta ``{base: (plus, minus)}`` (either side may be None),
+    e.g. :attr:`~repro.engine.transaction.TransactionResult.differentials`.
+    ``R@plus`` / ``R@minus`` bind to those O(|Δ|) relations — exactly what
+    delta plans read — and ``R@old`` is reconstructed lazily as
+    ``(R − R@plus) ∪ R@minus``, so even delta plans whose rewrite rules
+    reach into pre-state subexpressions stay executable after commit.
+    """
+
+    def __init__(self, database, differentials, engine: Optional[str] = None):
+        super().__init__(database, engine=engine)
+        self.differentials = dict(differentials or {})
+        self._old_cache: dict = {}
+
+    def performed_triggers(self) -> frozenset:
+        """``(INS, R)`` / ``(DEL, R)`` specs for the bound differentials."""
+        performed = set()
+        for base, (plus, minus) in self.differentials.items():
+            if plus is not None and len(plus):
+                performed.add(("INS", base))
+            if minus is not None and len(minus):
+                performed.add(("DEL", base))
+        return frozenset(performed)
+
+    def resolve(self, name: str) -> Relation:
+        from repro.engine import naming
+
+        base, suffix = naming.split_auxiliary(name)
+        if suffix is None:
+            return self.database.relation(base)
+        plus, minus = self.differentials.get(base, (None, None))
+        if suffix == naming.PLUS_SUFFIX:
+            if plus is not None:
+                return plus
+            return Relation(
+                self.database.relation_schema(base), bag=self.database.bag
+            )
+        if suffix == naming.MINUS_SUFFIX:
+            if minus is not None:
+                return minus
+            return Relation(
+                self.database.relation_schema(base), bag=self.database.bag
+            )
+        # R@old: untouched relations are their own pre-state; touched ones
+        # are rebuilt once per view and cached (audits may consult the same
+        # pre-state repeatedly).
+        current = self.database.relation(base)
+        if plus is None and minus is None:
+            return current
+        cached = self._old_cache.get(base)
+        if cached is None:
+            cached = current.copy()
+            if plus is not None:
+                cached.delete_many(iter(plus))
+            if minus is not None:
+                cached.insert_many(iter(minus))
+            self._old_cache[base] = cached
+        return cached

@@ -86,6 +86,7 @@ class TransactionResult:
         "tuples_deleted",
         "pre_time",
         "post_time",
+        "differentials",
     )
 
     def __init__(
@@ -98,6 +99,7 @@ class TransactionResult:
         tuples_deleted: int = 0,
         pre_time: int = 0,
         post_time: int = 0,
+        differentials: Optional[dict] = None,
     ):
         self.status = status
         self.reason = reason
@@ -107,6 +109,11 @@ class TransactionResult:
         self.tuples_deleted = tuples_deleted
         self.pre_time = pre_time
         self.post_time = post_time
+        # The committed net differentials, ``{base: (plus, minus)}`` with
+        # empty sides as None — what a transaction "was" to the database
+        # state.  Incremental (delta-plan) audits bind these; see
+        # IntegrityController.violated_constraints_incremental.
+        self.differentials = differentials if differentials is not None else {}
 
     @property
     def committed(self) -> bool:
@@ -254,13 +261,43 @@ class TransactionContext:
 
     def modified_relations(self) -> tuple:
         """Names of base relations with a non-empty net differential."""
-        touched = []
+        return tuple(self.net_differentials())
+
+    def net_differentials(self) -> dict:
+        """The transaction's net deltas as plan-bindable relations.
+
+        Returns ``{base: (plus, minus)}`` for every base relation with a
+        non-empty net differential; an empty side is None.  The relations
+        are the live ``R@plus`` / ``R@minus`` auxiliaries — O(|Δ|) state the
+        delta-plan layer reads directly, both mid-transaction and (captured
+        into the :class:`TransactionResult`) after commit.
+        """
+        out: dict = {}
         for base in self.working:
             plus = self._plus.get(base)
             minus = self._minus.get(base)
-            if (plus and len(plus)) or (minus and len(minus)):
-                touched.append(base)
-        return tuple(touched)
+            if plus is not None and not len(plus):
+                plus = None
+            if minus is not None and not len(minus):
+                minus = None
+            if plus is not None or minus is not None:
+                out[base] = (plus, minus)
+        return out
+
+    def performed_triggers(self) -> frozenset:
+        """The elementary-update trigger specs this transaction performed.
+
+        ``(INS, R)`` for a non-empty net plus, ``(DEL, R)`` for a non-empty
+        net minus — the key the per-trigger differential programs are
+        selected by.
+        """
+        performed = set()
+        for base, (plus, minus) in self.net_differentials().items():
+            if plus is not None:
+                performed.add(("INS", base))
+            if minus is not None:
+                performed.add(("DEL", base))
+        return frozenset(performed)
 
 
 class TransactionManager:
@@ -340,6 +377,7 @@ class TransactionManager:
             tuples_deleted=context.tuples_deleted,
             pre_time=pre_time,
             post_time=self.database.logical_time,
+            differentials=context.net_differentials(),
         )
 
     @property

@@ -87,43 +87,42 @@ class ParallelRuleEnforcer:
     ) -> EnforcementReport:
         """Dispatch one alarm expression to the matching parallel check."""
         expr = alarm.expr
-        if isinstance(expr, E.Select) and isinstance(expr.input, E.RelationRef):
+        if isinstance(expr, E.Select) and _named(expr.input) is not None:
             return self.enforcer.domain_check(
-                self._resolve(expr.input.name), expr.predicate
+                self._resolve(_named(expr.input)), expr.predicate
             )
         if isinstance(expr, E.AntiJoin) and isinstance(expr.left, E.SemiJoin):
-            # Delete-path differential: (R ⋉_θ S@minus) ⊳_θ S.  Materialize
+            # Delete-path differential: (R ⋉_θ ΔS⁻) ⊳_θ S.  Materialize
             # the affected referers with an exclusion check, then verify
             # them against the surviving targets.
             inner = expr.left
-            if not (
-                isinstance(inner.left, E.RelationRef)
-                and isinstance(inner.right, E.RelationRef)
-                and isinstance(expr.right, E.RelationRef)
+            if (
+                _named(inner.left) is None
+                or _named(inner.right) is None
+                or _named(expr.right) is None
             ):
                 raise FragmentationError(
                     "unsupported nested shape for parallel enforcement"
                 )
             left_attr, right_attr = _equality_attributes(inner.predicate)
             affected = self._materialize_matches(
-                self._resolve(inner.left.name),
+                self._resolve(_named(inner.left)),
                 left_attr,
-                self._resolve(inner.right.name),
+                self._resolve(_named(inner.right)),
                 right_attr,
             )
             outer_left, outer_right = _equality_attributes(expr.predicate)
             return self.enforcer.referential_check(
                 affected,
                 outer_left,
-                self._resolve(expr.right.name),
+                self._resolve(_named(expr.right)),
                 outer_right,
                 strategy,
             )
         if isinstance(expr, (E.AntiJoin, E.SemiJoin)):
-            left, right = expr.left, expr.right
-            if not isinstance(left, E.RelationRef) or not isinstance(
-                right, E.RelationRef
-            ):
+            left_name = _named(expr.left)
+            right_name = _named(expr.right)
+            if left_name is None or right_name is None:
                 raise FragmentationError(
                     "parallel enforcement requires plain relation operands "
                     "(run the differential optimizer first)"
@@ -131,16 +130,16 @@ class ParallelRuleEnforcer:
             left_attr, right_attr = _equality_attributes(expr.predicate)
             if isinstance(expr, E.AntiJoin):
                 return self.enforcer.referential_check(
-                    self._resolve(left.name),
+                    self._resolve(left_name),
                     left_attr,
-                    self._resolve(right.name),
+                    self._resolve(right_name),
                     right_attr,
                     strategy,
                 )
             return self.enforcer.exclusion_check(
-                self._resolve(left.name),
+                self._resolve(left_name),
                 left_attr,
-                self._resolve(right.name),
+                self._resolve(right_name),
                 right_attr,
                 strategy,
             )
@@ -176,6 +175,17 @@ class ParallelRuleEnforcer:
                 if row[left_position] in keys:
                     result.fragment(index).insert(row, _validated=True)
         return result
+
+
+def _named(expr: E.Expression):
+    """The resolvable name of a leaf operand: a plain relation reference or
+    a first-class differential (``E.Delta``, resolved via its auxiliary
+    name).  None for anything deeper."""
+    if isinstance(expr, E.RelationRef):
+        return expr.name
+    if isinstance(expr, E.Delta):
+        return expr.name
+    return None
 
 
 def _equality_attributes(predicate: P.Predicate):

@@ -116,6 +116,7 @@ def predict_enforcement_time(
     model: "CostModel" = POOMA_1992,
     nodes: int = 1,
     database=None,
+    deltas=None,
 ) -> float:
     """Price an enforcement expression from planner estimates alone.
 
@@ -130,10 +131,35 @@ def predict_enforcement_time(
     *runtime statistics* (observed cardinalities plus index distinct-key
     counts, drift-cached by :func:`repro.algebra.planner.plan_estimate`) —
     sharper selectivities for the index-accelerated plan shapes.
+
+    ``deltas`` maps auxiliary differential names (``"fk@plus"``) to their
+    expected tuple counts; delta-plan scans price from these |Δ| values (or
+    a small default without them) instead of |R|, which is what makes the
+    enforcement scheduler prefer a differential program over full
+    re-evaluation whenever one exists.
     """
     from repro.algebra.planner import estimate_expression, plan_estimate
 
-    if database is not None:
+    if deltas:
+        # Overlay the delta sizes onto the same statistics the full plan is
+        # priced under (index distinct-key counts included), so a scheduler
+        # comparing delta vs full compares like with like.  No estimate
+        # caching here: delta sizes vary per transaction.
+        from repro.algebra.statistics import RuntimeStatistics
+
+        if database is not None:
+            base = RuntimeStatistics.capture(database)
+        elif hasattr(cardinalities, "cardinalities"):
+            base = cardinalities
+        else:
+            base = RuntimeStatistics(cardinalities or {})
+        stats = RuntimeStatistics(
+            {**base.cardinalities, **deltas},
+            base.distinct,
+            base.logical_time,
+        )
+        estimate = estimate_expression(expression, stats)
+    elif database is not None:
         estimate = plan_estimate(expression, database)
     else:
         estimate = estimate_expression(expression, cardinalities)

@@ -1,0 +1,226 @@
+"""Unit tests for the general delta-rewrite transform (algebra.delta)."""
+
+import pytest
+
+from repro.algebra import expressions as E
+from repro.algebra import predicates as P
+from repro.algebra.delta import (
+    NotIncrementalizable,
+    delta_expression,
+    old_expression,
+)
+from repro.algebra.evaluation import StandaloneContext
+from repro.algebra.physical import DEFAULT_DELTA_CARDINALITY, DeltaScanOp
+from repro.algebra.planner import get_plan
+from repro.engine import Relation, RelationSchema
+from repro.engine.types import INT
+from repro.errors import EvaluationError
+
+INS_R = ("INS", "r")
+DEL_R = ("DEL", "r")
+INS_S = ("INS", "s")
+DEL_S = ("DEL", "s")
+
+LINK = P.Comparison("=", P.ColRef("a", "left"), P.ColRef("c", "right"))
+R = E.RelationRef("r")
+S = E.RelationRef("s")
+
+
+class TestDeltaNode:
+    def test_name_follows_auxiliary_convention(self):
+        assert E.Delta("r", "plus").name == "r@plus"
+        assert E.Delta("r", "minus").name == "r@minus"
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(EvaluationError):
+            E.Delta("r", "old")
+
+    def test_auxiliary_base_rejected(self):
+        with pytest.raises(EvaluationError):
+            E.Delta("r@plus", "plus")
+
+    def test_evaluates_through_name_resolution(self):
+        schema = RelationSchema("r", [("a", INT), ("b", INT)])
+        ctx = StandaloneContext({"r@plus": Relation(schema, [(1, 2)])})
+        assert E.Delta("r", "plus").evaluate(ctx).to_set() == {(1, 2)}
+
+    def test_relations_reports_auxiliary_name(self):
+        assert E.Delta("r", "plus").relations() == {"r@plus"}
+
+    def test_lowered_to_delta_scan(self):
+        plan = get_plan(E.Select(E.Delta("r", "plus"), P.TRUE))
+        # The optimizer strips σ_true, leaving the bare delta scan.
+        assert isinstance(plan, DeltaScanOp)
+
+    def test_estimate_prices_from_delta_not_base(self):
+        op = DeltaScanOp("r", "plus")
+        assert op.estimate({"r": 100000.0}).rows == DEFAULT_DELTA_CARDINALITY
+        assert op.estimate({"r": 100000.0, "r@plus": 7.0}).rows == 7.0
+
+
+class TestTableEquivalents:
+    """The eight rows of the old pattern table, from the general rules."""
+
+    def test_domain_insert(self):
+        expr = E.Select(R, P.Comparison("<", P.ColRef("a"), P.Const(0)))
+        assert delta_expression(expr, [INS_R]) == E.Select(
+            E.Delta("r", "plus"), expr.predicate
+        )
+
+    def test_domain_delete_vacuous(self):
+        expr = E.Select(R, P.Comparison("<", P.ColRef("a"), P.Const(0)))
+        assert delta_expression(expr, [DEL_R]) is None
+
+    def test_referential_insert_referer(self):
+        expr = E.AntiJoin(R, S, LINK)
+        assert delta_expression(expr, [INS_R]) == E.AntiJoin(
+            E.Delta("r", "plus"), S, LINK
+        )
+
+    def test_referential_delete_target(self):
+        expr = E.AntiJoin(R, S, LINK)
+        assert delta_expression(expr, [DEL_S]) == E.AntiJoin(
+            E.SemiJoin(R, E.Delta("s", "minus"), LINK), S, LINK
+        )
+
+    def test_referential_vacuous_triggers(self):
+        expr = E.AntiJoin(R, S, LINK)
+        assert delta_expression(expr, [DEL_R]) is None
+        assert delta_expression(expr, [INS_S]) is None
+
+    def test_exclusion_inserts(self):
+        expr = E.SemiJoin(R, S, LINK)
+        assert delta_expression(expr, [INS_R]) == E.SemiJoin(
+            E.Delta("r", "plus"), S, LINK
+        )
+        assert delta_expression(expr, [INS_S]) == E.SemiJoin(
+            R, E.Delta("s", "plus"), LINK
+        )
+
+    def test_exclusion_deletes_vacuous(self):
+        expr = E.SemiJoin(R, S, LINK)
+        assert delta_expression(expr, [DEL_R]) is None
+        assert delta_expression(expr, [DEL_S]) is None
+
+
+class TestBeyondTheTable:
+    """Shapes the old eight-row table could not incrementalize."""
+
+    def test_union_distributes(self):
+        pred = P.Comparison("<", P.ColRef(1), P.Const(0))
+        expr = E.Union(E.Select(R, pred), E.Select(S, pred))
+        assert delta_expression(expr, [INS_R]) == E.Select(
+            E.Delta("r", "plus"), pred
+        )
+        both = delta_expression(expr, [INS_R, INS_S])
+        assert both == E.Union(
+            E.Select(E.Delta("r", "plus"), pred),
+            E.Select(E.Delta("s", "plus"), pred),
+        )
+
+    def test_difference_insert_left(self):
+        expr = E.Difference(R, S)
+        assert delta_expression(expr, [INS_R]) == E.Difference(
+            E.Delta("r", "plus"), S
+        )
+
+    def test_difference_delete_right_unblocks(self):
+        expr = E.Difference(R, S)
+        assert delta_expression(expr, [DEL_S]) == E.Intersection(
+            R, E.Delta("s", "minus")
+        )
+
+    def test_intersection_insert(self):
+        expr = E.Intersection(R, S)
+        assert delta_expression(expr, [INS_R]) == E.Intersection(
+            E.Delta("r", "plus"), S
+        )
+        assert delta_expression(expr, [DEL_R]) is None
+
+    def test_join_insert_both_sides(self):
+        expr = E.Join(R, S, LINK)
+        both = delta_expression(expr, [INS_R, INS_S])
+        assert both == E.Union(
+            E.Join(E.Delta("r", "plus"), S, LINK),
+            E.Join(R, E.Delta("s", "plus"), LINK),
+        )
+
+    def test_projection_commutes_with_plus(self):
+        items = (E.ProjectItem(P.ColRef(1)),)
+        expr = E.Project(E.Select(R, P.TRUE), items)
+        assert delta_expression(expr, [INS_R]) == E.Project(
+            E.Select(E.Delta("r", "plus"), P.TRUE), items
+        )
+
+    def test_nested_antijoin_over_select(self):
+        # alarm(σ_p(R) ⊳ S): the pattern table required bare refs.
+        pred = P.Comparison(">", P.ColRef("a"), P.Const(0))
+        expr = E.AntiJoin(E.Select(R, pred), S, LINK)
+        assert delta_expression(expr, [INS_R]) == E.AntiJoin(
+            E.Select(E.Delta("r", "plus"), pred), S, LINK
+        )
+        assert delta_expression(expr, [DEL_S]) == E.AntiJoin(
+            E.SemiJoin(E.Select(R, pred), E.Delta("s", "minus"), LINK), S, LINK
+        )
+
+    def test_self_referential_antijoin(self):
+        # employee.manager references employee.id — both sides move.
+        expr = E.AntiJoin(R, R, LINK)
+        assert delta_expression(expr, [INS_R]) == E.AntiJoin(
+            E.Delta("r", "plus"), R, LINK
+        )
+        assert delta_expression(expr, [DEL_R]) == E.AntiJoin(
+            E.SemiJoin(R, E.Delta("r", "minus"), LINK), R, LINK
+        )
+
+    def test_unmentioned_relation_vacuous(self):
+        # Triggers on relations the check never reads are provably vacuous.
+        expr = E.Select(R, P.TRUE)
+        assert delta_expression(expr, [("INS", "unrelated")]) is None
+
+    def test_minus_delta_of_semijoin_uses_old_state(self):
+        expr = E.SemiJoin(R, S, LINK)
+        minus = delta_expression(expr, [DEL_S], kind="minus")
+        assert minus == E.AntiJoin(
+            E.SemiJoin(R, E.Delta("s", "minus"), LINK), S, LINK
+        )
+        minus_left = delta_expression(expr, [DEL_R], kind="minus")
+        # The untouched right side stays live (old == new for it).
+        assert minus_left == E.SemiJoin(E.Delta("r", "minus"), S, LINK)
+
+
+class TestHonestFailure:
+    def test_aggregate_over_changed_input(self):
+        expr = E.Select(
+            E.Count(R), P.Comparison("=", P.ColRef(1), P.Const(0))
+        )
+        with pytest.raises(NotIncrementalizable):
+            delta_expression(expr, [INS_R])
+
+    def test_aggregate_over_untouched_input_vacuous_elsewhere(self):
+        # σ over r semijoined against an aggregate of s: INS(r) keeps the
+        # aggregate side untouched, so it incrementalizes.
+        agg = E.Aggregate(S, "SUM", "c")
+        pred = P.Comparison("<", P.ColRef("a", "left"), P.ColRef(1, "right"))
+        expr = E.SemiJoin(R, agg, pred)
+        assert delta_expression(expr, [INS_R]) == E.SemiJoin(
+            E.Delta("r", "plus"), agg, pred
+        )
+        with pytest.raises(NotIncrementalizable):
+            delta_expression(expr, [INS_S])
+
+    def test_auxiliary_reference_rejected(self):
+        expr = E.Difference(R, E.RelationRef("r@old"))
+        with pytest.raises(NotIncrementalizable):
+            delta_expression(expr, [INS_R])
+
+
+class TestOldExpression:
+    def test_touched_relations_become_old(self):
+        expr = E.SemiJoin(R, S, LINK)
+        rewritten = old_expression(expr, [INS_R])
+        assert rewritten == E.SemiJoin(E.RelationRef("r@old"), S, LINK)
+
+    def test_untouched_expression_is_identity(self):
+        expr = E.SemiJoin(R, S, LINK)
+        assert old_expression(expr, [("INS", "t")]) is expr

@@ -42,11 +42,19 @@ def _database(rows_r=(), rows_s=()):
 
 REFERENTIAL = "(forall x)(x in r => (exists y)(y in s and x.a = y.c))"
 DOMAIN = "(forall x)(x in r => x.b >= 0)"
-# Disjunctive existential body referencing the outer variable: outside both
-# the monolithic fragment and the boolean decomposition.
-RESIDUE = (
+# Disjunctive existential body referencing the outer variable: used to be
+# naive residue; the relational-disjunction distribution now translates it
+# (two antijoins in violation form).
+DISJUNCTIVE = (
     "(forall x)(x in r => "
     "(exists y)((y in s and x.a = y.c) or (y in s and x.b = y.d)))"
+)
+# Linking across non-adjacent quantifier levels (z constrained by both x
+# and y): genuinely outside the translatable fragment — the model checker
+# remains the evaluator of last resort.
+RESIDUE = (
+    "(forall x)(x in r => (exists y)(y in s and x.a = y.c and "
+    "(exists z)(z in r and z.b = x.b + y.d)))"
 )
 
 
@@ -85,6 +93,22 @@ def test_negated_quantifier_pushes_through():
     bad = _database(rows_r=[(1, -1)])
     assert compiled.satisfied(DatabaseView(ok))
     assert not compiled.satisfied(DatabaseView(bad))
+
+
+def test_disjunctive_existential_body_now_fully_planned():
+    # The ROADMAP follow-up from PR 2: disjunctive existential bodies
+    # referencing outer variables used to be naive residue.
+    formula = parse_constraint(DISJUNCTIVE)
+    compiled = compile_constraint(formula, _schema())
+    assert compiled.fully_planned
+    assert compiled.residue() == []
+    satisfied = _database(rows_r=[(1, 9)], rows_s=[(1, 0), (2, 9)])
+    violated = _database(rows_r=[(5, 6)], rows_s=[(1, 0)])
+    for database in (satisfied, violated):
+        view = DatabaseView(database)
+        assert compiled.satisfied(view) == evaluate_constraint(
+            formula, view, validate=False
+        )
 
 
 def test_untranslatable_residue_falls_back_to_oracle():

@@ -189,4 +189,4 @@ class TestSelectors:
         alarm = modified.statements[1]
         from repro.algebra import expressions as E
 
-        assert alarm.expr.input == E.RelationRef("a@plus")
+        assert alarm.expr.input == E.Delta("a", "plus")

@@ -60,7 +60,8 @@ class TestDifferentialDomain:
         ins_program = variants[(INS, "r")]
         alarm = ins_program.statements[0]
         assert isinstance(alarm, Alarm)
-        assert alarm.expr.input == E.RelationRef("r@plus")
+        assert alarm.expr.input == E.Delta("r", "plus")
+        assert alarm.expr.input.name == "r@plus"
 
     def test_domain_rule_del_variant_vacuous(self, rs_pair):
         rule = IntegrityRule(
@@ -92,7 +93,7 @@ class TestDifferentialReferential:
         variants = differential_programs(rule, program)
         alarm = variants[(INS, "r")].statements[0]
         assert isinstance(alarm.expr, E.AntiJoin)
-        assert alarm.expr.left == E.RelationRef("r@plus")
+        assert alarm.expr.left == E.Delta("r", "plus")
         assert alarm.expr.right == E.RelationRef("s")
 
     def test_del_target_checks_affected_referers(self, rule_and_program):
@@ -102,7 +103,7 @@ class TestDifferentialReferential:
         expr = alarm.expr
         assert isinstance(expr, E.AntiJoin)
         assert isinstance(expr.left, E.SemiJoin)
-        assert expr.left.right == E.RelationRef("s@minus")
+        assert expr.left.right == E.Delta("s", "minus")
         assert expr.right == E.RelationRef("s")
 
 
@@ -116,9 +117,9 @@ class TestDifferentialExclusion:
         variants = differential_programs(rule, program)
         assert variants is not None
         left = variants[(INS, "r")].statements[0].expr
-        assert left.left == E.RelationRef("r@plus")
+        assert left.left == E.Delta("r", "plus")
         right = variants[(INS, "s")].statements[0].expr
-        assert right.right == E.RelationRef("s@plus")
+        assert right.right == E.Delta("s", "plus")
 
 
 class TestUnsupportedShapes:

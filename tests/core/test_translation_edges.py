@@ -69,10 +69,23 @@ class TestGlobalConjuncts:
 
 
 class TestDisjunctiveAnchors:
-    def test_disjunctive_range_falls_back(self, rs):
-        # Violations of (forall x)((x in r or x in s) => c) need a union of
-        # two anchors under a *conjunction* with not-c: outside the guarded
-        # fragment, so the honest fallback handles it.
+    def test_disjunctive_range_translates_to_union(self, rs):
+        # Violations of (forall x)((x in r or x in s) => c) distribute over
+        # the disjunctive range: σ_{¬c}(r) ∪ σ_{¬c}(s).  (This used to be a
+        # fallback; the relational-disjunction distribution translates it.)
+        # Note x.a resolves on neither branch being mistyped: 'a' is an
+        # attribute of r only, so the well-typedness guard rejects the
+        # x.a-form and keeps the fallback — exercised below with x.1.
+        program = trans_c(
+            parse_constraint("(forall x)((x in r or x in s) => x.1 > 0)"),
+            rs,
+        )
+        alarm = program.statements[0]
+        assert isinstance(alarm.expr, E.Union)
+
+    def test_disjunctive_range_with_unresolvable_attr_falls_back(self, rs):
+        # 'a' exists on r but not on s: per-relation typing still needs the
+        # honest fallback.
         program = trans_c(
             parse_constraint("(forall x)((x in r or x in s) => x.a > 0)"),
             rs,

@@ -1,0 +1,89 @@
+"""Net-differential exposure and the DeltaView resolver."""
+
+import pytest
+
+from repro.engine import Database, DatabaseSchema, RelationSchema, Session
+from repro.engine.session import DeltaView
+from repro.engine.transaction import TransactionContext
+from repro.engine.types import INT
+
+
+@pytest.fixture
+def db():
+    database = Database(
+        DatabaseSchema([RelationSchema("r", [("a", INT), ("b", INT)])])
+    )
+    database.load("r", [(1, 10), (2, 20), (3, 30)])
+    return database
+
+
+class TestNetDifferentials:
+    def test_insert_and_delete_tracked(self, db):
+        context = TransactionContext(db)
+        context.insert_rows("r", [(4, 40)])
+        context.delete_rows("r", [(1, 10)])
+        diffs = context.net_differentials()
+        plus, minus = diffs["r"]
+        assert plus.to_set() == {(4, 40)}
+        assert minus.to_set() == {(1, 10)}
+        assert context.performed_triggers() == {("INS", "r"), ("DEL", "r")}
+
+    def test_net_cancellation_yields_no_differential(self, db):
+        context = TransactionContext(db)
+        context.insert_rows("r", [(4, 40)])
+        context.delete_rows("r", [(4, 40)])
+        assert context.net_differentials() == {}
+        assert context.performed_triggers() == frozenset()
+
+    def test_empty_side_is_none(self, db):
+        context = TransactionContext(db)
+        context.insert_rows("r", [(4, 40)])
+        plus, minus = context.net_differentials()["r"]
+        assert plus is not None and minus is None
+
+    def test_committed_result_carries_differentials(self, db):
+        session = Session(db)
+        result = session.execute(
+            "begin insert(r, (4, 40)); delete(r, {(2, 20)}); end"
+        )
+        assert result.committed
+        plus, minus = result.differentials["r"]
+        assert plus.to_set() == {(4, 40)}
+        assert minus.to_set() == {(2, 20)}
+
+    def test_aborted_result_has_no_differentials(self, db):
+        session = Session(db)
+        result = session.execute("begin insert(r, (4, 40)); abort; end")
+        assert result.aborted
+        assert result.differentials == {}
+
+
+class TestDeltaView:
+    def _view(self, db):
+        session = Session(db)
+        result = session.execute(
+            "begin insert(r, (4, 40)); delete(r, {(1, 10)}); end"
+        )
+        return DeltaView(db, result.differentials)
+
+    def test_resolves_current_state(self, db):
+        view = self._view(db)
+        assert view.resolve("r").to_set() == {(2, 20), (3, 30), (4, 40)}
+
+    def test_resolves_differentials(self, db):
+        view = self._view(db)
+        assert view.resolve("r@plus").to_set() == {(4, 40)}
+        assert view.resolve("r@minus").to_set() == {(1, 10)}
+
+    def test_reconstructs_old_state(self, db):
+        view = self._view(db)
+        assert view.resolve("r@old").to_set() == {(1, 10), (2, 20), (3, 30)}
+
+    def test_untouched_relation_old_is_current(self, db):
+        view = DeltaView(db, {})
+        assert view.resolve("r@old") is db.relation("r")
+        assert len(view.resolve("r@plus")) == 0
+
+    def test_performed_triggers(self, db):
+        view = self._view(db)
+        assert view.performed_triggers() == {("INS", "r"), ("DEL", "r")}
