@@ -75,7 +75,10 @@ def naive_audit_path(fk_size: int) -> float:
     started = time.perf_counter()
     result = session.execute(transaction)
     assert result.committed
-    violated = controller.violated_constraints(db)  # direct evaluation
+    # Direct declarative re-evaluation — the naive model checker, no
+    # algebraic translation (the strawman this experiment is about; the
+    # planned engine would itself be a translated check).
+    violated = controller.violated_constraints(db, engine="naive")
     if violated:  # pragma: no cover - the batch is valid
         db.restore(snapshot)
     return time.perf_counter() - started

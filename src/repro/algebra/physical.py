@@ -42,6 +42,7 @@ from repro.algebra.expressions import (
     _strip_side,
     _trace,
 )
+from repro.engine.overlay import OverlayRelation
 from repro.engine.relation import Relation
 from repro.engine.schema import Attribute, RelationSchema
 from repro.engine.types import ANY, INT, NULL
@@ -218,6 +219,19 @@ class _CombinedSchemaCache:
         return out
 
 
+def _count_getter(relation: Relation):
+    """row -> multiplicity, without materializing overlay views.
+
+    Plain relations answer straight from their row dict; overlay relations
+    (transaction working state) answer from the (base, Δ⁺, Δ⁻) triple — the
+    sub-linear operator paths must not trigger an O(|R|) materialization
+    just to re-attach multiplicities.
+    """
+    if isinstance(relation, OverlayRelation):
+        return relation.multiplicity
+    return relation._rows.__getitem__
+
+
 def _hash_buckets(relation: Relation, key_side: "_KeySide", need_rows: bool):
     """The build side of a hash join/semijoin: key -> distinct rows.
 
@@ -300,9 +314,12 @@ class DeltaScanOp(PhysicalOperator):
     post-commit :class:`~repro.engine.session.DeltaView`, or an explicit
     standalone binding.  The estimate prices from |Δ| — the differential's
     own cardinality when the statistics mapping carries it under the
-    auxiliary name, else :data:`DEFAULT_DELTA_CARDINALITY` — never from the
-    base relation's |R|.  This is what lets the cost model prefer delta
-    plans over full plans without executing either.
+    auxiliary name (explicit per-transaction sizes, or the observed EWMA
+    |Δ| distribution a :class:`~repro.algebra.statistics.RuntimeStatistics`
+    snapshot exposes from committed transactions), else
+    :data:`DEFAULT_DELTA_CARDINALITY` — never from the base relation's |R|.
+    This is what lets the cost model prefer delta plans over full plans
+    without executing either.
     """
 
     op_name = "delta_scan"
@@ -324,6 +341,26 @@ class DeltaScanOp(PhysicalOperator):
         return f"delta_scan({self.name})"
 
 
+_LITERAL_SCHEMAS: Dict[int, RelationSchema] = {}
+
+
+def _literal_schema(arity: int) -> RelationSchema:
+    """The ANY-domain schema of an ``arity``-column literal, cached.
+
+    Literal plans are cache-exempt (every distinct insert batch would churn
+    the plan cache), so they are re-lowered per execution; sharing the
+    schema keeps that re-lowering allocation-free on the transaction path.
+    """
+    schema = _LITERAL_SCHEMAS.get(arity)
+    if schema is None:
+        schema = RelationSchema(
+            "literal",
+            [Attribute(f"c{i}", ANY, nullable=True) for i in range(1, arity + 1)],
+        )
+        _LITERAL_SCHEMAS[arity] = schema
+    return schema
+
+
 class LiteralOp(PhysicalOperator):
     """A constant relation (mirrors ``Literal.evaluate``)."""
 
@@ -331,11 +368,7 @@ class LiteralOp(PhysicalOperator):
 
     def __init__(self, rows: Tuple[tuple, ...]):
         self.rows = rows
-        arity = len(rows[0]) if rows else 1
-        self._schema = RelationSchema(
-            "literal",
-            [Attribute(f"c{i}", ANY, nullable=True) for i in range(1, arity + 1)],
-        )
+        self._schema = _literal_schema(len(rows[0]) if rows else 1)
 
     def execute(self, context) -> Relation:
         return Relation(self._schema, self.rows, _validated=True)
@@ -434,16 +467,16 @@ class IndexSelectOp(PhysicalOperator):
             result = source.filtered(lambda row: test(row) is True)
             _trace(context, "select", len(source), len(result))
             return result
-        counts = source._rows
+        count_of = _count_getter(source)
         selected: dict = {}
         if self._residual.is_true:
             for row in index.lookup(self.key):
-                selected[row] = counts[row]
+                selected[row] = count_of(row)
         else:
             residual = self._residual.bind(source.schema)
             for row in index.lookup(self.key):
                 if residual(row) is True:
-                    selected[row] = counts[row]
+                    selected[row] = count_of(row)
         result = Relation(source.schema, bag=source.bag)
         result._rows = selected
         _trace(context, "select", len(source), len(result))
@@ -1023,12 +1056,12 @@ class HashSemiJoinOp(_BinaryOp):
             # buckets emitted.  This is what makes repeated referential
             # checks over a large indexed relation near-instant.
             left_index.touch("probe")
-            counts = left._rows
+            count_of = _count_getter(left)
             selected: dict = {}
             for key, bucket in left_index.buckets.items():
                 if (key in right_keys) == keep:
                     for row in bucket:
-                        selected[row] = counts[row]
+                        selected[row] = count_of(row)
             result = Relation(left.schema, bag=left.bag)
             result._rows = selected
         elif keep:

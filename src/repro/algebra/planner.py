@@ -25,7 +25,11 @@ produced by parsing or by the calculus-to-algebra translation of Section
   past a threshold factor;
 * :func:`index_hints` reports which base-relation hash indexes would
   accelerate a plan (the integrity controller turns these into real indexes
-  via :meth:`~repro.core.subsystem.IntegrityController.install_indexes`).
+  via :meth:`~repro.core.subsystem.IntegrityController.install_indexes`);
+* :func:`reorder_chains` / :func:`reordered_expression` implement greedy
+  cost-based reordering of semijoin/antijoin and equi-join chains under
+  observed statistics — the planned backend applies it automatically when
+  the evaluation context exposes a database.
 
 Engine resolution order for :func:`evaluate`: the explicit ``engine``
 argument, then the evaluation context's ``engine`` attribute, then the
@@ -34,6 +38,7 @@ module default (:func:`set_default_engine`).
 
 from __future__ import annotations
 
+import dataclasses
 import weakref
 from typing import Iterator, Optional
 
@@ -229,6 +234,7 @@ def clear_plan_cache() -> None:
     global _plan_cache_hits, _plan_cache_misses
     _PLAN_CACHE.clear()
     _ESTIMATE_CACHE.clear()
+    _REORDER_CACHE.clear()
     _plan_cache_hits = 0
     _plan_cache_misses = 0
 
@@ -244,6 +250,417 @@ def plan_cache_info() -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Cost-based chain reordering
+# ---------------------------------------------------------------------------
+#
+# The planner lowers expression trees as written; these rewrites reorder the
+# two chain shapes where order is a pure cost choice:
+#
+# * **semijoin/antijoin chains** ``(A ⋉ B₁) ⊳ B₂ ⋉ …`` — every op filters A,
+#   so any permutation is equivalent (set and bag mode, any predicates);
+#   the greedy order applies the cheapest right side first.
+# * **equi-join chains** ``((I₀ ⋈ I₁) ⋈ I₂) ⋈ …`` — reordered greedily by
+#   estimated intermediate cardinality, under conditions that make the
+#   rewrite exactly result-preserving: I₀ stays the first (probe) input so
+#   the pinned build-over-distinct-rows bag convention yields identical
+#   multiplicities, every predicate column reference is a name that is
+#   unique across all chain inputs (so re-splitting conjuncts across the
+#   new join order cannot capture the wrong column), only *connected*
+#   inputs are joined (never introduces products), and a final projection
+#   restores the original column order.
+#
+# Anything that fails a precondition is left exactly as written.
+
+
+def _plan_rows(expr: E.Expression, statistics) -> float:
+    return get_plan(expr).estimate(statistics).rows
+
+
+def _has_chain(expr: E.Expression) -> bool:
+    """Structurally: is there any reorderable chain anywhere in the tree?"""
+    if isinstance(expr, (E.SemiJoin, E.AntiJoin)) and isinstance(
+        expr.left, (E.SemiJoin, E.AntiJoin)
+    ):
+        return True
+    if isinstance(expr, E.Join) and isinstance(expr.left, E.Join):
+        return True
+    for field in dataclasses.fields(expr):
+        value = getattr(expr, field.name)
+        if isinstance(value, E.Expression) and _has_chain(value):
+            return True
+    return False
+
+
+def _visible_columns(expr: E.Expression, schema) -> Optional[tuple]:
+    """The output attribute names of ``expr``, or None when not statically
+    derivable (temporaries, computed projections, ambiguous concatenations).
+    """
+    from repro.engine import naming
+
+    if isinstance(expr, E.RelationRef):
+        try:
+            base, _suffix = naming.split_auxiliary(expr.name)
+        except ValueError:
+            return None
+        if base not in schema:
+            return None
+        return tuple(attr.name for attr in schema.relation(base).attributes)
+    if isinstance(expr, E.Delta):
+        if expr.relation not in schema:
+            return None
+        return tuple(
+            attr.name for attr in schema.relation(expr.relation).attributes
+        )
+    if isinstance(expr, E.Rename):
+        if expr.attributes is not None:
+            return tuple(expr.attributes)
+        return _visible_columns(expr.input, schema)
+    if isinstance(expr, E.Select):
+        return _visible_columns(expr.input, schema)
+    if isinstance(expr, (E.SemiJoin, E.AntiJoin)):
+        return _visible_columns(expr.left, schema)
+    if isinstance(expr, (E.Union, E.Difference, E.Intersection)):
+        return _visible_columns(expr.left, schema)
+    if isinstance(expr, E.Project):
+        names = []
+        for item in expr.items:
+            if item.name is not None:
+                names.append(item.name)
+            elif isinstance(item.expr, P.ColRef) and isinstance(
+                item.expr.attr, str
+            ):
+                names.append(item.expr.attr)
+            else:
+                return None
+        return tuple(names)
+    if isinstance(expr, (E.Join, E.Product)):
+        left = _visible_columns(expr.left, schema)
+        right = _visible_columns(expr.right, schema)
+        if left is None or right is None:
+            return None
+        combined = left + right
+        if len(set(combined)) != len(combined):  # would be uniquified
+            return None
+        return combined
+    return None
+
+
+def _conjuncts(predicate: P.Predicate) -> list:
+    parts: list = []
+
+    def visit(node: P.Predicate) -> None:
+        if isinstance(node, P.And):
+            visit(node.left)
+            visit(node.right)
+        else:
+            parts.append(node)
+
+    visit(predicate)
+    return parts
+
+
+def _named_refs(node) -> Optional[list]:
+    """All ColRefs in a predicate/scalar tree, or None when any is
+    positional or the tree contains an unrecognized node kind."""
+    refs: list = []
+
+    def visit(item) -> bool:
+        if isinstance(item, P.ColRef):
+            if not isinstance(item.attr, str):
+                return False
+            refs.append(item)
+            return True
+        if isinstance(item, P.Const) or isinstance(
+            item, (P.TruePred, P.FalsePred)
+        ):
+            return True
+        if isinstance(item, P.Arith):
+            return visit(item.left) and visit(item.right)
+        if isinstance(item, P.Comparison):
+            return visit(item.left) and visit(item.right)
+        if isinstance(item, (P.And, P.Or)):
+            return visit(item.left) and visit(item.right)
+        if isinstance(item, P.Not):
+            return visit(item.operand)
+        if isinstance(item, P.IsNull):
+            return visit(item.operand)
+        return False
+
+    if not visit(node):
+        return None
+    return refs
+
+
+def _retag_sides(node, owner_of: dict, right_input: int):
+    """Rewrite every ColRef's side for a new join position: references to
+    ``right_input``'s columns become ``right``, everything else ``left``."""
+    if isinstance(node, P.ColRef):
+        side = "right" if owner_of[node.attr] == right_input else "left"
+        return P.ColRef(node.attr, side)
+    if isinstance(node, P.Arith):
+        return P.Arith(
+            node.op,
+            _retag_sides(node.left, owner_of, right_input),
+            _retag_sides(node.right, owner_of, right_input),
+        )
+    if isinstance(node, P.Comparison):
+        return P.Comparison(
+            node.op,
+            _retag_sides(node.left, owner_of, right_input),
+            _retag_sides(node.right, owner_of, right_input),
+        )
+    if isinstance(node, P.And):
+        return P.And(
+            _retag_sides(node.left, owner_of, right_input),
+            _retag_sides(node.right, owner_of, right_input),
+        )
+    if isinstance(node, P.Or):
+        return P.Or(
+            _retag_sides(node.left, owner_of, right_input),
+            _retag_sides(node.right, owner_of, right_input),
+        )
+    if isinstance(node, P.Not):
+        return P.Not(_retag_sides(node.operand, owner_of, right_input))
+    if isinstance(node, P.IsNull):
+        return P.IsNull(_retag_sides(node.operand, owner_of, right_input))
+    return node
+
+
+def _reorder_semi_chain(
+    expr: E.Expression, statistics, schema
+) -> E.Expression:
+    """Reorder a semijoin/antijoin chain cheapest-right-side-first."""
+    ops = []
+    node = expr
+    while isinstance(node, (E.SemiJoin, E.AntiJoin)):
+        ops.append((type(node), node.right, node.predicate))
+        node = node.left
+    ops.reverse()
+    base = _reorder(node, statistics, schema)
+    ops = [
+        (ctor, _reorder(right, statistics, schema), predicate)
+        for ctor, right, predicate in ops
+    ]
+    if len(ops) >= 2:
+        order = sorted(
+            range(len(ops)),
+            key=lambda i: (_plan_rows(ops[i][1], statistics), i),
+        )
+    else:
+        order = range(len(ops))
+    for i in order:
+        ctor, right, predicate = ops[i]
+        base = ctor(base, right, predicate)
+    return base
+
+
+def _reorder_join_chain(
+    expr: E.Join, statistics, schema
+) -> Optional[E.Expression]:
+    """Greedy reorder of a left-deep equi-join chain; None when any
+    precondition fails (caller falls back to per-child recursion)."""
+    inputs: list = []
+    predicates: list = []
+    node: E.Expression = expr
+    while isinstance(node, E.Join):
+        predicates.append(node.predicate)
+        inputs.append(node.right)
+        node = node.left
+    inputs.append(node)
+    inputs.reverse()
+    predicates.reverse()
+    if len(inputs) < 3 or schema is None:
+        return None
+    columns = [_visible_columns(item, schema) for item in inputs]
+    if any(cols is None for cols in columns):
+        return None
+    owner_of: dict = {}
+    for index, cols in enumerate(columns):
+        for name in cols:
+            if name in owner_of:
+                return None  # ambiguous name across inputs
+            owner_of[name] = index
+    # Decompose every join predicate into conjuncts tagged with the set of
+    # inputs they reference.
+    conjuncts: list = []  # (predicate, frozenset(input indexes))
+    for position, predicate in enumerate(predicates):
+        right_input = position + 1
+        for conjunct in _conjuncts(predicate):
+            refs = _named_refs(conjunct)
+            if refs is None:
+                return None
+            touched = set()
+            for ref in refs:
+                if ref.side == "right":
+                    owner = owner_of.get(ref.attr)
+                    if owner != right_input:
+                        return None
+                else:
+                    owner = owner_of.get(ref.attr)
+                    if owner is None or owner > position:
+                        return None
+                touched.add(owner)
+            conjuncts.append((conjunct, frozenset(touched)))
+    # Greedy order: I0 stays first (bag multiplicities follow the probe
+    # side); among connected candidates, minimize the estimated joined size
+    # (|L|·|R| / max V over the linking equality keys when a distinct-key
+    # count is observed, the containment max(|L|, |R|) guess otherwise).
+    def _joined_estimate(current: float, j: int, placed: set) -> float:
+        distinct = []
+        for conjunct, touched in conjuncts:
+            if j not in touched or not (touched - {j} <= placed | {j}):
+                continue
+            if not (
+                isinstance(conjunct, P.Comparison)
+                and conjunct.op == "="
+                and isinstance(conjunct.left, P.ColRef)
+                and isinstance(conjunct.right, P.ColRef)
+            ):
+                continue
+            for ref in (conjunct.left, conjunct.right):
+                owner = owner_of[ref.attr]
+                if owner not in placed | {j}:
+                    continue
+                source = inputs[owner]
+                if isinstance(source, E.RelationRef):
+                    value = X._distinct_keys(
+                        statistics, source.name, (ref.attr,)
+                    )
+                    if value:
+                        distinct.append(value)
+        if distinct:
+            return max(current * rows[j] / max(distinct), 1.0)
+        return max(current, rows[j], 1.0)
+
+    rows = [_plan_rows(item, statistics) for item in inputs]
+    placed = {0}
+    order = [0]
+    current = rows[0]
+    remaining = set(range(1, len(inputs)))
+    while remaining:
+        best = None
+        for j in remaining:
+            linked = any(
+                j in touched and (touched - {j}) and (touched - {j}) <= placed
+                for _pred, touched in conjuncts
+            )
+            if not linked:
+                continue
+            estimate = _joined_estimate(current, j, placed)
+            if best is None or estimate < best[0] or (
+                estimate == best[0] and j < best[1]
+            ):
+                best = (estimate, j)
+        if best is None:
+            return None  # disconnected: would introduce a product
+        current, j = best
+        order.append(j)
+        placed.add(j)
+        remaining.discard(j)
+    reordered_inputs = [_reorder(item, statistics, schema) for item in inputs]
+    if order == list(range(len(inputs))):
+        # Identity order: rebuild the spine as written (children may have
+        # been rewritten), no projection needed.
+        node = reordered_inputs[0]
+        for position, predicate in enumerate(predicates):
+            node = E.Join(node, reordered_inputs[position + 1], predicate)
+        return node
+    used = [False] * len(conjuncts)
+    node = reordered_inputs[order[0]]
+    placed = {order[0]}
+    for j in order[1:]:
+        available = placed | {j}
+        parts = []
+        for index, (conjunct, touched) in enumerate(conjuncts):
+            if not used[index] and touched <= available:
+                parts.append(_retag_sides(conjunct, owner_of, j))
+                used[index] = True
+        node = E.Join(node, reordered_inputs[j], P.conjoin(*parts))
+        placed.add(j)
+    if not all(used):  # pragma: no cover — placement covers all by greed
+        return None
+    # Restore the original column order (names are globally unique, so the
+    # projection re-emits each source column under its own name).
+    items = tuple(
+        E.ProjectItem(P.ColRef(name)) for cols in columns for name in cols
+    )
+    return E.Project(node, items)
+
+
+def _reorder(expr: E.Expression, statistics, schema) -> E.Expression:
+    if isinstance(expr, (E.SemiJoin, E.AntiJoin)):
+        return _reorder_semi_chain(expr, statistics, schema)
+    if isinstance(expr, E.Join) and isinstance(expr.left, E.Join):
+        out = _reorder_join_chain(expr, statistics, schema)
+        if out is not None:
+            return out
+    changes = {}
+    for field in dataclasses.fields(expr):
+        value = getattr(expr, field.name)
+        if isinstance(value, E.Expression):
+            replacement = _reorder(value, statistics, schema)
+            if replacement is not value:
+                changes[field.name] = replacement
+    if changes:
+        return dataclasses.replace(expr, **changes)
+    return expr
+
+
+def reorder_chains(
+    expression: E.Expression, statistics, schema=None
+) -> E.Expression:
+    """Greedy cost-based reordering of join/semijoin chains.
+
+    ``statistics`` is anything :meth:`PhysicalOperator.estimate` accepts
+    (a ``{name: cardinality}`` mapping or a
+    :class:`~repro.algebra.statistics.RuntimeStatistics` snapshot, whose
+    distinct-key counts sharpen the pairwise join estimates); ``schema`` is
+    the :class:`~repro.engine.schema.DatabaseSchema` used to resolve
+    column ownership for join-chain rewrites (without it only
+    semijoin/antijoin chains — which need no schema — are reordered).
+    Always returns an expression that evaluates to the same relation.
+    """
+    return _reorder(expression, statistics, schema)
+
+
+# Reorder cache, held weakly per Database: Database -> {Expression:
+# (RuntimeStatistics snapshot | None, Expression)}.  A ``None`` snapshot
+# marks a chain-free expression — its entry never drifts.
+_REORDER_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_REORDER_CACHE_LIMIT = 1024
+
+
+def reordered_expression(
+    expression: E.Expression, database, drift_threshold: Optional[float] = None
+) -> E.Expression:
+    """``expression`` with chains reordered under the database's observed
+    statistics, cached per (database, expression) with drift invalidation
+    (the same pattern as :func:`plan_estimate`)."""
+    from repro.algebra.statistics import DRIFT_THRESHOLD, RuntimeStatistics
+
+    per_database = _REORDER_CACHE.get(database)
+    if per_database is None:
+        per_database = {}
+        _REORDER_CACHE[database] = per_database
+    cached = per_database.get(expression)
+    if cached is not None and cached[0] is None:
+        return cached[1]
+    if drift_threshold is None:
+        drift_threshold = DRIFT_THRESHOLD
+    stats = RuntimeStatistics.capture(database)
+    if cached is not None and not cached[0].drifted(stats, drift_threshold):
+        return cached[1]
+    if _has_chain(expression):
+        result = (stats, reorder_chains(expression, stats, database.schema))
+    else:
+        result = (None, expression)
+    if len(per_database) >= _REORDER_CACHE_LIMIT:
+        per_database.pop(next(iter(per_database)))
+    per_database[expression] = result
+    return result[1]
+
+
+# ---------------------------------------------------------------------------
 # Evaluation entry point (the engine switch)
 # ---------------------------------------------------------------------------
 
@@ -251,9 +668,19 @@ def plan_cache_info() -> dict:
 def evaluate(
     expression: E.Expression, context, engine: Optional[str] = None
 ) -> Relation:
-    """Evaluate ``expression`` with the selected backend."""
+    """Evaluate ``expression`` with the selected backend.
+
+    The planned backend additionally reorders join/semijoin chains under
+    the context database's observed statistics (cached, drift-invalidated)
+    before fetching the compiled plan; the naive backend evaluates the
+    expression exactly as written.
+    """
     if resolve_engine(context, engine) == "naive":
         return expression.evaluate(context)
+    if not _is_cache_exempt(expression):
+        database = getattr(context, "database", None)
+        if database is not None:
+            expression = reordered_expression(expression, database)
     return get_plan(expression).execute(context)
 
 

@@ -12,6 +12,13 @@ Distinct-key counts turn the magic ``EQUALITY_SELECTIVITY`` constant into
 the classic ``|R| / V(R, a)`` estimate for equality selections and
 ``|L| · |R| / max(V(L, a), V(R, b))`` for equi-joins.
 
+The write path feeds back too: every committed transaction records its net
+differential sizes into the database's
+:class:`~repro.engine.database.DeltaObservations`, and snapshots expose the
+per-relation EWMA under the auxiliary names (``"R@plus"``/``"R@minus"``) so
+delta-plan scans price from the observed |Δ| distribution instead of
+:data:`repro.algebra.physical.DEFAULT_DELTA_CARDINALITY`.
+
 Snapshots are cheap (one ``len`` per relation, one per built index), so the
 planner re-captures them freely; :meth:`drifted` is the cache-invalidation
 predicate — an estimate computed under an old snapshot is reused until some
@@ -35,19 +42,26 @@ class RuntimeStatistics:
 
     ``cardinalities`` maps relation names to tuple counts; ``distinct`` maps
     ``(relation, attribute-names)`` pairs to the number of distinct keys the
-    corresponding built hash index currently holds.
+    corresponding built hash index currently holds; ``delta_sizes`` maps
+    auxiliary differential names (``"R@plus"`` / ``"R@minus"``) to the
+    EWMA |Δ| observed over committed transactions
+    (:class:`repro.engine.database.DeltaObservations`) — what lets
+    :class:`~repro.algebra.physical.DeltaScanOp` price delta plans from the
+    workload's actual write sizes instead of a fixed default.
     """
 
-    __slots__ = ("cardinalities", "distinct", "logical_time")
+    __slots__ = ("cardinalities", "distinct", "delta_sizes", "logical_time")
 
     def __init__(
         self,
         cardinalities: Optional[Dict[str, float]] = None,
         distinct: Optional[Dict[Tuple[str, tuple], int]] = None,
         logical_time: int = 0,
+        delta_sizes: Optional[Dict[str, float]] = None,
     ):
         self.cardinalities = dict(cardinalities or {})
         self.distinct = dict(distinct or {})
+        self.delta_sizes = dict(delta_sizes or {})
         self.logical_time = logical_time
 
     @classmethod
@@ -69,17 +83,28 @@ class RuntimeStatistics:
                     for position in index.positions
                 )
                 distinct[(name, attrs)] = index.distinct_keys
+        delta_stats = getattr(database, "delta_stats", None)
+        delta_sizes = dict(delta_stats.sizes) if delta_stats is not None else {}
         return cls(
-            cardinalities, distinct, logical_time=database.logical_time
+            cardinalities,
+            distinct,
+            logical_time=database.logical_time,
+            delta_sizes=delta_sizes,
         )
 
     # -- mapping compatibility (what ``estimate(cards)`` consumes) ----------
 
     def get(self, name: str, default=None):
-        return self.cardinalities.get(name, default)
+        value = self.cardinalities.get(name)
+        if value is not None:
+            return value
+        value = self.delta_sizes.get(name)
+        if value is not None:
+            return value
+        return default
 
     def __contains__(self, name: str) -> bool:
-        return name in self.cardinalities
+        return name in self.cardinalities or name in self.delta_sizes
 
     def distinct_keys(self, name: str, attrs) -> Optional[int]:
         """Distinct key count of the built index on ``(name, attrs)``."""
@@ -114,6 +139,14 @@ class RuntimeStatistics:
             ratio = mine / theirs if mine > theirs else theirs / mine
             if ratio > worst:
                 worst = ratio
+        # Observed delta sizes drift like cardinalities (smoothed, so a
+        # delta name appearing with a small EWMA does not read as infinite).
+        for name in set(self.delta_sizes) | set(other.delta_sizes):
+            mine = self.delta_sizes.get(name, 0.0) + _SMOOTHING
+            theirs = other.delta_sizes.get(name, 0.0) + _SMOOTHING
+            ratio = mine / theirs if mine > theirs else theirs / mine
+            if ratio > worst:
+                worst = ratio
         return worst
 
     def drifted(
@@ -125,5 +158,6 @@ class RuntimeStatistics:
     def __repr__(self) -> str:
         return (
             f"RuntimeStatistics({len(self.cardinalities)} relations, "
-            f"{len(self.distinct)} indexed keys, t={self.logical_time})"
+            f"{len(self.distinct)} indexed keys, "
+            f"{len(self.delta_sizes)} delta sizes, t={self.logical_time})"
         )

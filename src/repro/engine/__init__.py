@@ -19,6 +19,7 @@ from repro.engine.types import (
 )
 from repro.engine.schema import Attribute, DatabaseSchema, RelationSchema
 from repro.engine.relation import Relation
+from repro.engine.overlay import OverlayRelation
 from repro.engine.database import Database, Transition
 from repro.engine.transaction import (
     Transaction,
@@ -37,6 +38,7 @@ __all__ = [
     "FLOAT",
     "INT",
     "NULL",
+    "OverlayRelation",
     "Relation",
     "RelationSchema",
     "Session",

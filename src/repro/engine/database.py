@@ -43,6 +43,49 @@ class Transition:
         return f"Transition(t={self.pre_time} -> t={self.post_time})"
 
 
+#: EWMA weight of the newest observation in :class:`DeltaObservations`.
+DELTA_EWMA_ALPHA = 0.5
+
+
+class DeltaObservations:
+    """Observed net-differential sizes of committed transactions.
+
+    One exponentially-weighted moving average per auxiliary delta name
+    (``"R@plus"`` / ``"R@minus"``), updated on every commit that touches the
+    relation.  The planner's :class:`~repro.algebra.statistics.
+    RuntimeStatistics` exposes these so delta-plan scans are priced from the
+    *observed* |Δ| distribution instead of a fixed default — the write-path
+    counterpart of the cardinality feedback loop.
+    """
+
+    __slots__ = ("sizes", "commits")
+
+    def __init__(self):
+        self.sizes: dict = {}
+        self.commits = 0
+
+    def observe(self, relation: str, plus, minus) -> None:
+        """Record one committed transaction's net delta for ``relation``."""
+        for kind, side in (("plus", plus), ("minus", minus)):
+            size = float(len(side)) if side is not None else 0.0
+            key = f"{relation}@{kind}"
+            old = self.sizes.get(key)
+            if old is None:
+                self.sizes[key] = size
+            else:
+                self.sizes[key] = (
+                    DELTA_EWMA_ALPHA * size + (1.0 - DELTA_EWMA_ALPHA) * old
+                )
+        self.commits += 1
+
+    def expected(self, auxiliary_name: str) -> Optional[float]:
+        """The EWMA |Δ| of ``"R@plus"`` / ``"R@minus"``, or None."""
+        return self.sizes.get(auxiliary_name)
+
+    def __repr__(self) -> str:
+        return f"DeltaObservations({self.commits} commits, {self.sizes})"
+
+
 class Database:
     """A database state: relation instances plus a logical time."""
 
@@ -54,6 +97,7 @@ class Database:
             for relation_schema in schema
         }
         self.logical_time = 0
+        self.delta_stats = DeltaObservations()
 
     # -- relation access ------------------------------------------------------
 
@@ -105,22 +149,62 @@ class Database:
         for name, relation in snapshot.items():
             self._relations[name] = relation.copy()
 
+    def apply_deltas(
+        self,
+        differentials: Mapping,
+        advance_time: bool = True,
+    ) -> None:
+        """Apply committed net differentials in place (transaction commit).
+
+        ``differentials`` maps relation names to ``(plus, minus)`` net-delta
+        relations (either side may be None).  Each touched relation is
+        mutated in place — deletes replayed before inserts — so the work is
+        O(|Δ|), never O(|R|), and built hash indexes follow along through
+        the relation's own incremental-maintenance hooks.  This replaces
+        the PR 1–3 replace-and-migrate commit path (:meth:`install`), which
+        installed whole working-copy relations.
+
+        Observed delta sizes are recorded into :attr:`delta_stats`, feeding
+        the planner's delta-scan pricing.
+        """
+        for name, (plus, minus) in differentials.items():
+            relation = self.relation(name)
+            if minus is not None:
+                delete = relation.delete
+                for row, count in minus.items():
+                    delete(row)
+                    for _ in range(count - 1):  # bag-mode extra occurrences
+                        delete(row)
+            if plus is not None:
+                insert = relation.insert
+                for row, count in plus.items():
+                    insert(row, _validated=True)
+                    for _ in range(count - 1):
+                        insert(row, _validated=True)
+            self.delta_stats.observe(name, plus, minus)
+        if advance_time:
+            self.logical_time += 1
+
     def install(
         self,
         relations: Mapping,
         advance_time: bool = True,
         differentials: Optional[Mapping] = None,
     ) -> None:
-        """Install new relation states (transaction commit).
+        """Install whole replacement relation states (bulk state change).
 
-        Only the names present in ``relations`` are replaced; logical time
-        advances by one step unless ``advance_time`` is false.
+        The transaction commit path no longer goes through here — commits
+        apply their net delta in place via :meth:`apply_deltas`.  Install
+        survives for wholesale state replacement (fixtures, snapshot
+        restore, reference implementations): only the names present in
+        ``relations`` are replaced; logical time advances by one step
+        unless ``advance_time`` is false.
 
         ``differentials`` optionally maps a replaced name to its net
         ``(plus, minus)`` relations; when given, hash indexes built on the
         replaced relation are migrated to its successor incrementally
-        (O(|delta|)) instead of being discarded — this is what keeps
-        index-accelerated enforcement fast across committed transactions.
+        (O(|delta|)) instead of being discarded, and the observed delta
+        sizes are recorded into :attr:`delta_stats`.
         """
         from repro.engine.indexes import migrate_indexes
 
@@ -131,6 +215,7 @@ class Database:
             delta = differentials.get(name) if differentials else None
             if delta is not None:
                 migrate_indexes(old, relation, plus=delta[0], minus=delta[1])
+                self.delta_stats.observe(name, delta[0], delta[1])
             else:
                 migrate_indexes(old, relation)
             self._relations[name] = relation

@@ -24,18 +24,20 @@ Design points:
   scan/hash work operators *forgo* by probing row-wise without it
   (:attr:`HashIndex.deferred_cost`).  Once the accumulated forgone work
   amortizes a build pass (:data:`BUILD_AMORTIZE_HURDLE` times the relation
-  size), the next request builds the index.  Working copies inside write
-  transactions inherit "heat" from their base relation's built indexes
-  (:meth:`~repro.engine.relation.Relation.heat_index`), so the first
-  full-state check inside a large transaction builds the working copy's
-  index instead of probing row-wise — and the built index survives the
-  commit via :func:`migrate_indexes`.
+  size), the next request builds the index.  Write transactions probe
+  through :class:`~repro.engine.overlay.OverlayIndex` views, which forward
+  their forgone-work accounting (and usage evidence) to the base relation's
+  index — so probe volume inside transactions counts toward the same build
+  decision, and a base index built mid-transaction keeps paying off after
+  commit.
 
-* **Incremental maintenance across commits.**  A committed transaction
-  installs fresh relation objects, which would discard any built index.
-  :meth:`Database.install` therefore migrates built indexes from the
-  replaced relation to its successor by replaying the transaction's net
-  differential (``R@plus`` / ``R@minus``) — O(|delta|), not O(|R|).
+* **Incremental maintenance across commits.**  A transaction commit applies
+  its net differential (``R@plus`` / ``R@minus``) to the base relation *in
+  place* (:meth:`Database.apply_deltas`), so built indexes are maintained
+  tuple-by-tuple through :meth:`IndexSet.row_added` /
+  :meth:`IndexSet.row_removed` — O(|delta|), not O(|R|).
+  :func:`migrate_indexes` survives for the wholesale-replacement path
+  (:meth:`Database.install`), which bulk state changes still use.
 
 Single-attribute keys (by far the common case: foreign keys, key lookups)
 are stored unwrapped (``row[i]`` instead of ``(row[i],)``), which roughly
@@ -274,8 +276,8 @@ def migrate_indexes(
 ) -> None:
     """Move ``old_relation``'s indexes onto ``new_relation`` incrementally.
 
-    ``new_relation`` is assumed to be ``old ∪ plus − minus`` (the commit
-    contract of :meth:`TransactionContext.commit`).  Built indexes are
+    ``new_relation`` is assumed to be ``old ∪ plus − minus`` (the contract
+    of :meth:`Database.install` with differentials).  Built indexes are
     replayed with the differential in O(|plus| + |minus|); when no
     differential is supplied the built contents are dropped and only the
     declarations survive (they rebuild lazily on next use).

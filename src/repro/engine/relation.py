@@ -17,7 +17,31 @@ from __future__ import annotations
 from typing import Callable, Iterable, Iterator
 
 from repro.engine.schema import RelationSchema
+from repro.engine.types import NULL
 from repro.errors import TypeMismatchError
+
+
+def _value_sort_key(value) -> tuple:
+    """A totally ordered key over the engine's value universe.
+
+    Values are ranked by kind (NULL, then numbers, then strings, then
+    everything else by repr) so heterogeneous columns (ANY domains, NULLs)
+    sort without comparison errors, and numbers sort *numerically* — the old
+    ``key=repr`` ordering put ``10`` before ``2`` and cost an O(|repr|)
+    string build per row on every test/printing path.
+    """
+    if value is NULL:
+        return (0, "", 0)
+    if isinstance(value, (int, float)):  # bool included deliberately
+        return (1, "", value)
+    if isinstance(value, str):
+        return (2, value, 0)
+    return (3, repr(value), 0)
+
+
+def row_sort_key(row: tuple) -> tuple:
+    """Deterministic, type-aware sort key for a tuple of engine values."""
+    return tuple(_value_sort_key(value) for value in row)
 
 
 class Relation:
@@ -103,8 +127,13 @@ class Relation:
         return frozenset(self._rows)
 
     def sorted_rows(self) -> list:
-        """Deterministically ordered rows (useful for printing and tests)."""
-        return sorted(self, key=repr)
+        """Deterministically ordered rows (useful for printing and tests).
+
+        Sorts on the tuples directly with a type-aware key — numeric columns
+        order numerically, mixed-type columns order by kind — instead of the
+        old O(n log n · |repr|) repr-string sort.
+        """
+        return sorted(self, key=row_sort_key)
 
     # -- mutation (engine-internal and data loading) -------------------------
 
@@ -228,28 +257,16 @@ class Relation:
         index.build(self._rows)
         return index
 
-    def heat_index(self, positions) -> None:
-        """Mark a declared index as historically hot: first probe builds it.
-
-        Used by transaction working copies to inherit the build decision
-        from their base relation — a built base index demonstrates the probe
-        volume amortizes the build, so the copy should not re-prove it.
-        """
-        from repro.engine.indexes import IndexSet
-
-        if self._indexes is None:
-            self._indexes = IndexSet()
-        self._indexes.declare(tuple(positions)).deferred_cost = float("inf")
-
     # -- value-like derivation ------------------------------------------------
 
     def copy(self) -> "Relation":
-        """An independent copy (tuples are immutable, so this is cheap).
+        """An independent copy — O(|R|), plus-or-minus tuple immutability.
 
-        Index *declarations* carry over (so a transaction's working copy
-        remembers which indexes its base relation had and can rebuild them
-        lazily); built index contents do not — cloning them would make
-        copy-on-write O(index size).
+        Index *declarations* carry over (a clone remembers which indexes
+        its source had and can rebuild them lazily); built index contents
+        do not — cloning them would double the copy cost.  Transactions no
+        longer copy at all: they layer an
+        :class:`~repro.engine.overlay.OverlayRelation` over the base.
         """
         clone = Relation(self.schema, bag=self.bag)
         clone._rows = dict(self._rows)

@@ -58,7 +58,14 @@ class Session:
     # -- queries -------------------------------------------------------------------
 
     def query(self, expression_text: str) -> Relation:
-        """Evaluate a read-only algebra expression against the current state."""
+        """Evaluate a read-only algebra expression against the current state.
+
+        A bare relation name returns the *live* relation instance: commits
+        apply their net delta to base relations in place, so a held result
+        of ``query("r")`` keeps tracking the database state.  Call
+        ``.copy()`` on the result to take a value snapshot.  Any composite
+        expression materializes a fresh relation as before.
+        """
         from repro.algebra.evaluation import evaluate_expression
         from repro.algebra.parser import parse_expression
 
@@ -116,7 +123,10 @@ class DeltaView(DatabaseView):
     ``R@plus`` / ``R@minus`` bind to those O(|Δ|) relations — exactly what
     delta plans read — and ``R@old`` is reconstructed lazily as
     ``(R − R@plus) ∪ R@minus``, so even delta plans whose rewrite rules
-    reach into pre-state subexpressions stay executable after commit.
+    reach into pre-state subexpressions stay executable after commit.  (The
+    reconstruction copies the current relation: with in-place delta
+    application, the committed relation object *is* the pre-state object,
+    so the pre-state must be rebuilt rather than merely retained.)
     """
 
     def __init__(self, database, differentials, engine: Optional[str] = None):

@@ -7,19 +7,27 @@ may contain temporary relations; these states have no semantics outside the
 transaction.  On commit, temporaries are dropped and the result is installed
 as ``D^{t+1}``; on abort, ``D^t`` is kept (atomicity).
 
-The implementation uses copy-on-write: base relations of the underlying
+The implementation is an *overlay*: base relations of the underlying
 :class:`~repro.engine.Database` are never mutated while a transaction runs.
-The first write to a relation copies it into the transaction's working set;
-reads prefer the working set.  This gives three things for free:
+The first write to a relation creates an
+:class:`~repro.engine.overlay.OverlayRelation` view over ``(base, Δ⁺, Δ⁻)``
+in the transaction's working set; reads prefer the working set, writes
+mutate only the differentials.  This gives four things for free:
 
-* atomicity — aborting simply discards the working set;
+* atomicity — aborting simply drops the overlays, O(1);
 * the pre-transaction auxiliary state ``R@old`` — it is the database's
   untouched relation;
-* cheap commit — the working set is installed wholesale.
+* O(|Δ|) writes — beginning a transaction and updating ``k`` tuples costs
+  O(k), independent of the touched relations' sizes (the pre-overlay
+  engine dict-copied every touched relation on first write);
+* O(|Δ|) commit — the net delta is applied to the base relations in place
+  (:meth:`~repro.engine.database.Database.apply_deltas`), with built hash
+  indexes maintained by the ordinary incremental hooks.
 
-The transaction context additionally maintains the *differential* auxiliary
-relations ``R@plus`` (net inserted) and ``R@minus`` (net deleted), which the
-integrity-rule optimizer of Section 5.2.1 relies on.
+The differential auxiliary relations ``R@plus`` (net inserted) and
+``R@minus`` (net deleted), which the integrity-rule optimizer of Section
+5.2.1 relies on, are the very relations the overlays write through — one
+source of truth for transaction-local state.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from typing import Callable, Iterable, Optional
 
 from repro.engine import naming
 from repro.engine.database import Database
+from repro.engine.overlay import OverlayRelation
 from repro.engine.relation import Relation
 from repro.errors import (
     NoActiveTransactionError,
@@ -135,8 +144,9 @@ class TransactionContext:
 
     Resolves relation names for the algebra evaluator (base relations,
     temporaries, and the auxiliary relations ``R@old`` / ``R@plus`` /
-    ``R@minus``) and applies updates with copy-on-write and differential
-    maintenance.
+    ``R@minus``) and applies updates through overlay relations, so all
+    transaction-local state is carried by the differentials — O(|Δ|), never
+    O(|R|).
     """
 
     def __init__(self, database: Database, engine: Optional[str] = None):
@@ -182,55 +192,49 @@ class TransactionContext:
             table[base] = relation
         return relation
 
-    def _working_copy(self, base: str) -> Relation:
+    def _working_copy(self, base: str) -> OverlayRelation:
+        """The overlay carrying this transaction's view of ``base``.
+
+        O(1): no rows are copied — the overlay reads through to the base
+        relation and writes into the live ``R@plus`` / ``R@minus``
+        differentials, which are shared with auxiliary-name resolution.
+        Index probes answer from the base's built indexes corrected by the
+        delta (:class:`~repro.engine.overlay.OverlayIndex`), so nothing of
+        the old copy's heat/rebuild dance is needed.
+        """
         relation = self.working.get(base)
         if relation is None:
-            source = self.database.relation(base)
-            relation = source.copy()
-            # Copy-on-write drops built index *contents* (cloning them would
-            # make the first write O(index)), but a built base index proves
-            # the probe volume amortizes a build.  Heat the copy's declared
-            # counterpart so the first full-state check inside this
-            # transaction builds it instead of probing row-wise; the built
-            # index then survives the commit via the index migration in
-            # Database.install.
-            indexes = source.indexes
-            if indexes is not None:
-                for index in indexes:
-                    if index.built:
-                        relation.heat_index(index.positions)
+            relation = OverlayRelation(
+                self.database.relation(base),
+                plus=self._differential(self._plus, base),
+                minus=self._differential(self._minus, base),
+            )
             self.working[base] = relation
         return relation
 
     # -- updates ------------------------------------------------------------------
 
     def insert_rows(self, base: str, rows: Iterable[tuple]) -> int:
-        """Insert rows into a base relation; returns effective insert count."""
+        """Insert rows into a base relation; returns effective insert count.
+
+        The overlay's insert maintains the net differentials itself: an
+        insert cancels a pending delete before it grows ``R@plus``.
+        """
         target = self._working_copy(base)
-        plus = self._differential(self._plus, base)
-        minus = self._differential(self._minus, base)
         changed = 0
         for row in rows:
-            row = target.schema.validate_tuple(tuple(row))
-            if target.insert(row, _validated=True):
+            if target.insert(row):
                 changed += 1
-                if not minus.delete(row):
-                    plus.insert(row, _validated=True)
         self.tuples_inserted += changed
         return changed
 
     def delete_rows(self, base: str, rows: Iterable[tuple]) -> int:
         """Delete rows from a base relation; returns effective delete count."""
         target = self._working_copy(base)
-        plus = self._differential(self._plus, base)
-        minus = self._differential(self._minus, base)
         changed = 0
         for row in list(rows):
-            row = tuple(row)
             if target.delete(row):
                 changed += 1
-                if not plus.delete(row):
-                    minus.insert(row, _validated=True)
         self.tuples_deleted += changed
         return changed
 
@@ -247,17 +251,30 @@ class TransactionContext:
     # -- lifecycle ------------------------------------------------------------------
 
     def commit(self) -> None:
-        """Install the working set as ``D^{t+1}`` (temporaries dropped).
+        """Apply the net delta in place as ``D^{t+1}`` (temporaries dropped).
 
-        The net differentials ride along so that hash indexes built on the
-        replaced relations can be maintained incrementally instead of being
-        discarded with the old relation objects.
+        O(|Δ|): each touched relation's net ``(plus, minus)`` differential
+        is replayed onto the base relation, whose built hash indexes follow
+        along through the ordinary incremental-maintenance hooks.  Nothing
+        is copied or replaced — the pre-PR install path rebuilt a whole
+        relation object per touched relation.
         """
         differentials = {
             base: (self._plus.get(base), self._minus.get(base))
             for base in self.working
         }
-        self.database.install(self.working, differentials=differentials)
+        self.database.apply_deltas(differentials)
+
+    def rollback(self) -> None:
+        """Discard all transaction-local state — O(1).
+
+        The overlays and their differentials are simply dropped; the base
+        relations were never touched, so there is nothing to undo.
+        """
+        self.working.clear()
+        self.temps.clear()
+        self._plus.clear()
+        self._minus.clear()
 
     def modified_relations(self) -> tuple:
         """Names of base relations with a non-empty net differential."""
@@ -344,6 +361,7 @@ class TransactionManager:
                 context.statements_executed += 1
         except TransactionAborted as abort:
             self.aborted += 1
+            context.rollback()
             return TransactionResult(
                 TransactionStatus.ABORTED,
                 transaction,
@@ -355,8 +373,9 @@ class TransactionManager:
         except ReproError as error:
             # Runtime errors (division by zero, type mismatches, unknown
             # relations) abort the transaction like a real DBMS would; the
-            # copy-on-write working set guarantees the pre-state survives.
+            # overlay working set guarantees the pre-state survives.
             self.aborted += 1
+            context.rollback()
             return TransactionResult(
                 TransactionStatus.ABORTED,
                 transaction,

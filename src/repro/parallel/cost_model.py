@@ -133,10 +133,13 @@ def predict_enforcement_time(
     sharper selectivities for the index-accelerated plan shapes.
 
     ``deltas`` maps auxiliary differential names (``"fk@plus"``) to their
-    expected tuple counts; delta-plan scans price from these |Δ| values (or
-    a small default without them) instead of |R|, which is what makes the
-    enforcement scheduler prefer a differential program over full
-    re-evaluation whenever one exists.
+    expected tuple counts; delta-plan scans price from these |Δ| values
+    instead of |R|, which is what makes the enforcement scheduler prefer a
+    differential program over full re-evaluation whenever one exists.
+    Without explicit ``deltas``, a ``database`` still prices delta scans
+    from its *observed* per-relation |Δ| distribution
+    (:class:`~repro.engine.database.DeltaObservations`, exposed through the
+    statistics snapshot); the fixed default only remains for cold starts.
     """
     from repro.algebra.planner import estimate_expression, plan_estimate
 
@@ -157,6 +160,7 @@ def predict_enforcement_time(
             {**base.cardinalities, **deltas},
             base.distinct,
             base.logical_time,
+            delta_sizes=getattr(base, "delta_sizes", None),
         )
         estimate = estimate_expression(expression, stats)
     elif database is not None:
@@ -164,6 +168,41 @@ def predict_enforcement_time(
     else:
         estimate = estimate_expression(expression, cardinalities)
     return model.plan_time(estimate, nodes)
+
+
+def predict_commit_time(
+    deltas,
+    model: "CostModel" = POOMA_1992,
+    nodes: int = 1,
+    database=None,
+) -> float:
+    """Price a transaction's write path from its |Δ| alone.
+
+    ``deltas`` maps relation names (or ``R@plus``/``R@minus`` auxiliary
+    names) to expected changed-tuple counts.  Each delta tuple costs one
+    scan unit (the in-place dictionary update of
+    :meth:`repro.engine.database.Database.apply_deltas`) plus one build
+    unit per *built* hash index maintained on the relation (discovered from
+    ``database`` when given).  Before the overlay write path this had to be
+    priced by |R|: the eager working copy duplicated every touched relation
+    on first write, so a one-tuple update against a million-tuple relation
+    cost a million scan units.  Now the cost model's answer — like the
+    engine's — depends only on what the transaction changes.
+    """
+    from repro.engine import naming
+
+    work = 0.0
+    for name, size in deltas.items():
+        base = naming.base_of(name)
+        built_indexes = 0
+        if database is not None and base in database:
+            indexes = database.relation(base).indexes
+            if indexes is not None:
+                built_indexes = sum(1 for index in indexes if index.built)
+        work += float(size) * (
+            model.scan_per_tuple + built_indexes * model.build_per_tuple
+        )
+    return model.startup + work / max(nodes, 1)
 
 
 def predict_audit_time(

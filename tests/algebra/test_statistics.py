@@ -166,3 +166,55 @@ def test_predict_audit_time_prices_fallback_sub_plans():
     program = Program([CheckConstraint(formula)])
     seconds = predict_audit_time(program, model=MODERN_2026, database=database)
     assert seconds > MODERN_2026.startup
+
+
+def test_committed_deltas_feed_delta_scan_pricing():
+    from repro.algebra.physical import DEFAULT_DELTA_CARDINALITY
+    from repro.engine import Session
+
+    database = _database()
+    delta_plus = E.Delta("r", "plus")
+    # Cold start: no commits observed yet, the fixed default applies.
+    cold = planner.estimate_expression(
+        delta_plus, RuntimeStatistics.capture(database)
+    )
+    assert cold.rows == DEFAULT_DELTA_CARDINALITY
+    session = Session(database)
+    result = session.execute("begin insert(r, (100, 1)); insert(r, (101, 2)); end")
+    assert result.committed
+    stats = RuntimeStatistics.capture(database)
+    assert stats.get("r@plus") == 2.0
+    assert "r@plus" in stats
+    warm = planner.estimate_expression(delta_plus, stats)
+    assert warm.rows == 2.0
+    # The EWMA tracks the observed distribution across commits.
+    session.execute("begin insert(r, (102, 1)); end")
+    ewma = RuntimeStatistics.capture(database).get("r@plus")
+    assert 1.0 < ewma < 2.0
+
+
+def test_delta_sizes_participate_in_drift():
+    old = RuntimeStatistics({"r": 100.0}, delta_sizes={"r@plus": 2.0})
+    shifted = RuntimeStatistics({"r": 100.0}, delta_sizes={"r@plus": 1000.0})
+    assert old.drifted(shifted)
+    close = RuntimeStatistics({"r": 100.0}, delta_sizes={"r@plus": 3.0})
+    assert not old.drifted(close)
+
+
+def test_explicit_deltas_override_observed_sizes():
+    from repro.engine import Session
+    from repro.parallel.cost_model import MODERN_2026, predict_enforcement_time
+
+    database = _database()
+    session = Session(database)
+    session.execute("begin insert(r, (100, 1)); end")  # observed |Δ| = 1
+    expr = E.SemiJoin(
+        E.Delta("r", "plus"),
+        E.RelationRef("s"),
+        P.Comparison("=", P.ColRef("a", "left"), P.ColRef("c", "right")),
+    )
+    observed = predict_enforcement_time(expr, model=MODERN_2026, database=database)
+    explicit = predict_enforcement_time(
+        expr, model=MODERN_2026, database=database, deltas={"r@plus": 50_000}
+    )
+    assert explicit > observed

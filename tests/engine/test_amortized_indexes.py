@@ -49,14 +49,27 @@ def test_build_side_request_builds_declared_immediately():
     assert index is not None and index.built
 
 
-def test_heat_index_builds_on_first_probe():
-    relation = _relation(10)
-    relation.heat_index((0,))
-    index = relation.amortized_index((0,), forgone_work=1)
-    assert index is not None and index.built
+def test_overlay_forgone_work_accumulates_on_the_base_index():
+    # Probe volume inside a transaction counts toward the *base* relation's
+    # build decision (the overlay delegates its amortization accounting),
+    # so the built index persists past the transaction.
+    from repro.engine.overlay import OverlayIndex
+    from repro.engine.transaction import TransactionContext
+
+    database = Database(_schema())
+    database.load("r", [(i, i % 3) for i in range(10)])
+    database.relation("r").declare_index((0,))
+    context = TransactionContext(database)
+    context.insert_rows("r", [(99, 99)])
+    overlay = context.resolve("r")
+    assert overlay.amortized_index((0,), forgone_work=10) is None
+    view = overlay.amortized_index((0,), forgone_work=10)
+    assert isinstance(view, OverlayIndex)
+    assert view.lookup(99) == ((99, 99),)
+    assert database.relation("r").built_index((0,)) is not None
 
 
-def test_working_copy_inherits_heat_and_commit_keeps_the_index():
+def test_overlay_probe_and_commit_keep_the_base_index_current():
     database = Database(_schema())
     database.load("r", [(i, 0) for i in range(50)])
     database.load("s", [(i % 5, 1) for i in range(50)])
@@ -68,8 +81,8 @@ def test_working_copy_inherits_heat_and_commit_keeps_the_index():
     )
     result = manager.execute(transaction)
     assert result.committed
-    # The working copy probed r on attribute a; heat inherited from the
-    # built base index means it built its own, which survived the commit.
+    # The overlay probed the base's built index corrected by the delta; the
+    # in-place commit maintained that same index incrementally.
     index = database.relation("r").built_index((0,))
     assert index is not None
     assert index.lookup(99) == ((99, 99),)

@@ -1,0 +1,208 @@
+"""OverlayRelation / OverlayIndex unit behaviour (engine substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database, DatabaseSchema, Relation, RelationSchema
+from repro.engine.overlay import OverlayRelation
+from repro.engine.transaction import TransactionContext
+from repro.engine.types import INT
+
+
+def _schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        [
+            RelationSchema("r", [("a", INT), ("b", INT)]),
+            RelationSchema("s", [("c", INT), ("d", INT)]),
+        ]
+    )
+
+
+def _overlay(rows, bag: bool = False):
+    database = Database(_schema(), bag=bag)
+    database.load("r", rows)
+    base = database.relation("r")
+    schema = base.schema
+    return base, OverlayRelation(
+        base,
+        plus=Relation(schema, bag=bag),
+        minus=Relation(schema, bag=bag),
+    )
+
+
+class TestOverlayReads:
+    def test_reads_pass_through_untouched(self):
+        base, overlay = _overlay([(1, 1), (2, 2)])
+        assert len(overlay) == 2
+        assert (1, 1) in overlay and (3, 3) not in overlay
+        assert sorted(overlay.rows()) == [(1, 1), (2, 2)]
+        assert overlay.distinct_count() == 2
+        assert dict(overlay.items()) == {(1, 1): 1, (2, 2): 1}
+
+    def test_writes_touch_only_the_differentials(self):
+        base, overlay = _overlay([(1, 1), (2, 2)])
+        assert overlay.insert((3, 3))
+        assert overlay.delete((1, 1))
+        assert len(base) == 2, "the base relation must stay untouched"
+        assert dict(overlay.plus.items()) == {(3, 3): 1}
+        assert dict(overlay.minus.items()) == {(1, 1): 1}
+        assert sorted(overlay.rows()) == [(2, 2), (3, 3)]
+        assert len(overlay) == 2
+
+    def test_insert_cancels_pending_delete(self):
+        _, overlay = _overlay([(1, 1)])
+        overlay.delete((1, 1))
+        assert (1, 1) not in overlay
+        assert overlay.insert((1, 1))
+        assert (1, 1) in overlay
+        assert not overlay.plus and not overlay.minus
+
+    def test_duplicate_insert_is_a_noop_in_set_mode(self):
+        _, overlay = _overlay([(1, 1)])
+        assert not overlay.insert((1, 1))
+        assert not overlay.plus
+
+    def test_bag_mode_multiplicities_combine(self):
+        _, overlay = _overlay([(1, 1), (1, 1)], bag=True)
+        assert overlay.multiplicity((1, 1)) == 2
+        overlay.insert((1, 1))
+        assert overlay.multiplicity((1, 1)) == 3
+        assert len(overlay) == 3
+        assert overlay.distinct_count() == 1
+        overlay.delete((1, 1))
+        overlay.delete((1, 1))
+        assert overlay.multiplicity((1, 1)) == 1
+        assert (1, 1) in overlay
+        assert dict(overlay.items()) == {(1, 1): 1}
+        overlay.delete((1, 1))
+        assert (1, 1) not in overlay
+        assert not list(overlay.rows())
+
+    def test_materialization_caches_and_invalidates(self):
+        _, overlay = _overlay([(1, 1)])
+        first = overlay._rows
+        assert first == {(1, 1): 1}
+        assert overlay._rows is first, "repeat access must reuse the cache"
+        overlay.insert((2, 2))
+        assert overlay._rows == {(1, 1): 1, (2, 2): 1}
+
+    def test_filtered_and_copy_materialize_plain_relations(self):
+        _, overlay = _overlay([(1, 1), (2, 2)])
+        overlay.insert((3, 3))
+        overlay.delete((1, 1))
+        kept = overlay.filtered(lambda row: row[0] >= 2)
+        assert type(kept) is Relation
+        assert sorted(kept.rows()) == [(2, 2), (3, 3)]
+        clone = overlay.copy()
+        assert type(clone) is Relation
+        assert dict(clone.items()) == dict(overlay.items())
+        clone.insert((9, 9))
+        assert (9, 9) not in overlay
+
+    def test_equality_against_plain_relations(self):
+        _, overlay = _overlay([(1, 1)])
+        overlay.insert((2, 2))
+        expected = Relation(overlay.schema, [(1, 1), (2, 2)])
+        assert overlay == expected
+        assert expected == overlay
+
+    def test_clear_empties_via_the_differentials(self):
+        base, overlay = _overlay([(1, 1), (2, 2)])
+        overlay.insert((3, 3))
+        overlay.clear()
+        assert len(overlay) == 0 and not overlay
+        assert len(base) == 2
+
+
+class TestOverlayIndex:
+    def _indexed_overlay(self, bag: bool = False):
+        database = Database(_schema(), bag=bag)
+        database.load("r", [(i, i % 3) for i in range(10)])
+        database.create_index("r", ["a"])
+        context = TransactionContext(database)
+        return database, context, context._working_copy("r")
+
+    def test_lookup_reflects_delta_corrections(self):
+        _, _, overlay = self._indexed_overlay()
+        index = overlay.built_index((0,))
+        assert index.lookup(3) == ((3, 0),)
+        overlay.delete((3, 0))
+        assert index.lookup(3) == ()
+        overlay.insert((3, 9))
+        assert index.lookup(3) == ((3, 9),)
+        overlay.insert((77, 7))
+        assert index.lookup(77) == ((77, 7),)
+
+    def test_buckets_view_matches_lookup(self):
+        _, _, overlay = self._indexed_overlay()
+        overlay.delete((3, 0))
+        overlay.insert((77, 7))
+        index = overlay.built_index((0,))
+        assert 3 not in index.buckets
+        assert index.buckets.get(3) is None
+        assert list(index.buckets.get(77)) == [(77, 7)]
+        assert dict(index.buckets.items())[77] == {(77, 7): None}
+        assert len(index.buckets) == 10  # 10 base keys − 1 emptied + 1 new
+        assert sorted(index.buckets) == sorted(
+            {row[0] for row in overlay.rows()}
+        )
+
+    def test_bag_partial_delete_keeps_the_row_visible(self):
+        database = Database(_schema(), bag=True)
+        database.load("r", [(1, 1), (1, 1), (2, 2)])
+        database.create_index("r", ["a"])
+        context = TransactionContext(database)
+        overlay = context._working_copy("r")
+        overlay.delete((1, 1))
+        index = overlay.built_index((0,))
+        assert index.lookup(1) == ((1, 1),), "one occurrence remains"
+        overlay.delete((1, 1))
+        assert index.lookup(1) == ()
+
+    def test_usage_accrues_on_the_base_ledger(self):
+        database, _, overlay = self._indexed_overlay()
+        index = overlay.built_index((0,))
+        before = database.relation("r").built_index((0,)).usage.uses
+        index.lookup(3)
+        index.touch("probe")
+        assert database.relation("r").built_index((0,)).usage.uses == before + 2
+
+
+class TestApplyDeltas:
+    def test_commit_applies_in_place_and_maintains_indexes(self):
+        database = Database(_schema())
+        database.load("r", [(i, 0) for i in range(5)])
+        database.create_index("r", ["a"])
+        base = database.relation("r")
+        context = TransactionContext(database)
+        context.insert_rows("r", [(10, 1), (11, 1)])
+        context.delete_rows("r", [(0, 0)])
+        context.commit()
+        assert database.relation("r") is base, "no replacement object"
+        assert (10, 1) in base and (0, 0) not in base
+        assert base.built_index((0,)).lookup(10) == ((10, 1),)
+        assert base.built_index((0,)).lookup(0) == ()
+        assert database.logical_time == 1
+
+    def test_bag_mode_multiplicities_apply_exactly(self):
+        database = Database(_schema(), bag=True)
+        database.load("r", [(1, 1), (1, 1), (1, 1), (2, 2)])
+        context = TransactionContext(database)
+        context.delete_rows("r", [(1, 1), (1, 1)])
+        context.insert_rows("r", [(2, 2)])
+        context.commit()
+        relation = database.relation("r")
+        assert relation.multiplicity((1, 1)) == 1
+        assert relation.multiplicity((2, 2)) == 2
+
+    def test_delta_observations_record_commit_sizes(self):
+        database = Database(_schema())
+        database.load("r", [(i, 0) for i in range(5)])
+        context = TransactionContext(database)
+        context.insert_rows("r", [(10, 1), (11, 1)])
+        context.delete_rows("r", [(0, 0)])
+        context.commit()
+        assert database.delta_stats.expected("r@plus") == 2.0
+        assert database.delta_stats.expected("r@minus") == 1.0
+        assert database.delta_stats.expected("s@plus") is None

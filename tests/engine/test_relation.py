@@ -124,3 +124,41 @@ class TestBagSemantics:
     def test_rows_iterates_distinct(self, schema):
         bag = Relation(schema, [(1, "x"), (1, "x")], bag=True)
         assert list(bag.rows()) == [(1, "x")]
+
+
+class TestSortedRowsKey:
+    def test_numeric_columns_sort_numerically(self):
+        from repro.engine import DatabaseSchema, Relation, RelationSchema
+        from repro.engine.types import INT
+
+        schema = RelationSchema("n", [("a", INT)])
+        relation = Relation(schema, [(10,), (2,), (-1,), (0,)])
+        # key=repr would have ordered 10 before 2 ("(10,)" < "(2,)").
+        assert relation.sorted_rows() == [(-1,), (0,), (2,), (10,)]
+
+    def test_mixed_types_and_nulls_sort_without_errors(self):
+        from repro.engine import Relation, RelationSchema
+        from repro.engine.types import ANY, NULL
+        from repro.engine.schema import Attribute
+
+        schema = RelationSchema(
+            "m", [Attribute("a", ANY, nullable=True)]
+        )
+        relation = Relation(
+            schema, [("x",), (3,), (NULL,), (1.5,), ("a",)]
+        )
+        assert relation.sorted_rows() == [
+            (NULL,),
+            (1.5,),
+            (3,),
+            ("a",),
+            ("x",),
+        ]
+
+    def test_sorted_rows_respects_bag_multiplicities(self):
+        from repro.engine import Relation, RelationSchema
+        from repro.engine.types import INT
+
+        schema = RelationSchema("b", [("a", INT)])
+        relation = Relation(schema, [(2,), (1,), (2,)], bag=True)
+        assert relation.sorted_rows() == [(1,), (2,), (2,)]
