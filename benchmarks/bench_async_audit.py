@@ -1,0 +1,247 @@
+"""E9 — the concurrent enforcement pipeline vs sequential incremental audits.
+
+The pipeline's throughput claim: draining the commit log as *batched,
+coalesced, per-rule audit tasks* beats auditing each commit as it arrives.
+The workload is a star schema under 8 rules — five join-shaped checks
+(three referential targets, two exclusion lists) and three domain checks —
+with ``COMMITS`` transactions of ``DELTA_SIZE`` new fact tuples each
+committed against a 100k steady state.  The committed stream is audited
+two ways:
+
+* **sequential** — one ``violated_constraints_incremental`` call per
+  commit, in commit order: the PR 3 enforcement loop.  Every join-shaped
+  rule re-builds its target-relation hash table on every commit (the delta
+  plans touch O(|Δ|) *delta* state, but the probe targets are full
+  relations);
+* **pipeline** — an :class:`~repro.core.scheduler.AuditScheduler` drains
+  all commits from the commit log in one batch, coalesces their deltas
+  into a single net differential, and executes the 8 per-rule audit tasks
+  (inline or on the worker pool, per the cost model's call) — each target
+  hash table is built once per drain instead of once per commit.
+
+Audit *throughput* is commits audited per second; the gate is the >= 4x
+floor from the pipeline issue.  Verdicts must agree (everything clean).
+The measured numbers are additionally emitted as
+``benchmarks/bench_async_audit.json`` for the CI build artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks import report
+from repro.core.scheduler import AuditScheduler
+from repro.core.subsystem import IntegrityController
+from repro.engine import (
+    Database,
+    DatabaseSchema,
+    INT,
+    RelationSchema,
+    STRING,
+    Session,
+)
+
+EXPERIMENT = "E9 / async audit fan-out"
+ORDERS = 100_000
+CUSTOMERS = 10_000
+PRODUCTS = 10_000
+REGIONS = 1000
+EXCLUDED = 5000
+DELTA_SIZE = 100
+COMMITS = 32
+ROUNDS = 5
+SPEEDUP_FLOOR = 4.0
+JSON_PATH = Path(__file__).resolve().parent / "bench_async_audit.json"
+
+# Eight aborting rules over the fact table, all triggered by INS(orders),
+# all with differential programs.
+RULES = {
+    "orders_customer": "(forall x)(x in orders => "
+    "(exists y)(y in customers and x.customer = y.cid))",
+    "orders_product": "(forall x)(x in orders => "
+    "(exists y)(y in products and x.product = y.pid))",
+    "orders_region": "(forall x)(x in orders => "
+    "(exists y)(y in regions and x.region = y.rid))",
+    "orders_not_banned": "(forall x in orders)(forall y in banned)"
+    "(x.customer != y.cid)",
+    "orders_not_discontinued": "(forall x in orders)(forall y in "
+    "discontinued)(x.product != y.pid)",
+    "orders_amount": "(forall x)(x in orders => x.amount >= 0)",
+    "orders_id": "(forall x)(x in orders => x.id >= 0)",
+    "orders_region_domain": "(forall x)(x in orders => x.region >= 0)",
+}
+
+
+def star_schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "orders",
+                [
+                    ("id", INT),
+                    ("customer", INT),
+                    ("product", INT),
+                    ("region", INT),
+                    ("amount", INT),
+                ],
+            ),
+            RelationSchema("customers", [("cid", INT), ("name", STRING)]),
+            RelationSchema("products", [("pid", INT), ("label", STRING)]),
+            RelationSchema("regions", [("rid", INT), ("zone", STRING)]),
+            RelationSchema("banned", [("cid", INT)]),
+            RelationSchema("discontinued", [("pid", INT)]),
+        ]
+    )
+
+
+def star_database(seed: int = 1993) -> Database:
+    rng = random.Random(seed)
+    db = Database(star_schema())
+    db.load("customers", [(c, f"customer_{c}") for c in range(CUSTOMERS)])
+    db.load("products", [(p, f"product_{p}") for p in range(PRODUCTS)])
+    db.load("regions", [(r, f"zone_{r}") for r in range(REGIONS)])
+    # Excluded keys never referenced by any order: the exclusion rules
+    # stay satisfied while their hash builds cost real work.
+    db.load("banned", [(1_000_000 + i,) for i in range(EXCLUDED)])
+    db.load("discontinued", [(1_000_000 + i,) for i in range(EXCLUDED)])
+    db.load("orders", [_order(i, rng) for i in range(ORDERS)])
+    return db
+
+
+def _order(order_id: int, rng: random.Random) -> tuple:
+    return (
+        order_id,
+        rng.randrange(CUSTOMERS),
+        rng.randrange(PRODUCTS),
+        rng.randrange(REGIONS),
+        rng.randint(0, 10000),
+    )
+
+
+def _controller() -> IntegrityController:
+    controller = IntegrityController(star_schema())
+    for name, condition in RULES.items():
+        controller.add_constraint(name, condition)
+    return controller
+
+
+def _commit_stream(db, start_id: int, seed: int):
+    """Commit COMMITS transactions of DELTA_SIZE order inserts each."""
+    rng = random.Random(seed)
+    session = Session(db)
+    results = []
+    for index in range(COMMITS):
+        rows = [
+            _order(start_id + index * DELTA_SIZE + offset, rng)
+            for offset in range(DELTA_SIZE)
+        ]
+        statements = "\n".join(
+            f"    insert(orders, ({o}, {c}, {p}, {r}, {a}));"
+            for o, c, p, r, a in rows
+        )
+        result = session.execute(f"begin\n{statements}\nend")
+        assert result.committed
+        results.append(result)
+    return results
+
+
+@pytest.mark.benchmark(group="async-audit")
+def test_async_audit_throughput(benchmark):
+    report.experiment(
+        EXPERIMENT,
+        f"{len(RULES)} rules x {COMMITS} commits of {DELTA_SIZE} tuples "
+        f"against a {ORDERS:,}-row steady state: per-commit incremental "
+        f"audits vs one coalesced scheduler drain",
+        ["variant", "per stream (ms)", "commits/s", "speedup"],
+    )
+
+    def run():
+        db = star_database()
+        controller = _controller()
+        sequential_times = []
+        pipeline_times = []
+        fanned_out = ran_inline = 0
+        for round_index in range(ROUNDS):
+            start_sequence = db.commit_log.next_sequence
+            results = _commit_stream(
+                db,
+                ORDERS + round_index * COMMITS * DELTA_SIZE,
+                seed=29 + round_index,
+            )
+            started = time.perf_counter()
+            for result in results:
+                violated = controller.violated_constraints_incremental(
+                    db, result
+                )
+                assert violated == []
+            sequential_times.append(time.perf_counter() - started)
+
+            scheduler = AuditScheduler(
+                controller, db, workers=8, start_sequence=start_sequence
+            )
+            started = time.perf_counter()
+            scheduler.drain(asynchronous=True, coalesce=True)
+            outcomes = scheduler.wait()
+            pipeline_times.append(time.perf_counter() - started)
+            scheduler.close()
+            assert all(not o.failed and not o.violated for o in outcomes)
+            assert {o.rule for o in outcomes} == set(RULES)
+            fanned_out += scheduler.fanned_out
+            ran_inline += scheduler.ran_inline
+        return {
+            "sequential_seconds": min(sequential_times),
+            "pipeline_seconds": min(pipeline_times),
+            "fanned_out": fanned_out,
+            "ran_inline": ran_inline,
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    sequential = results["sequential_seconds"]
+    pipeline = results["pipeline_seconds"]
+    speedup = sequential / pipeline
+    report.record(
+        EXPERIMENT,
+        "sequential per-commit",
+        f"{sequential * 1000:.2f}",
+        f"{COMMITS / sequential:,.0f}",
+        "1.0x",
+    )
+    report.record(
+        EXPERIMENT,
+        "pipeline drain",
+        f"{pipeline * 1000:.2f}",
+        f"{COMMITS / pipeline:,.0f}",
+        f"{speedup:.1f}x",
+    )
+    report.note(
+        EXPERIMENT,
+        "the drain coalesces the commit stream into one net delta and "
+        "audits it once per rule (inline or fanned out per the cost "
+        "model), so each referential target's hash table is built once "
+        "per drain instead of once per commit",
+    )
+    payload = {
+        "experiment": EXPERIMENT,
+        "orders": ORDERS,
+        "delta_size": DELTA_SIZE,
+        "commits": COMMITS,
+        "rules": len(RULES),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "sequential_seconds": sequential,
+        "pipeline_seconds": pipeline,
+        "sequential_commits_per_second": COMMITS / sequential,
+        "pipeline_commits_per_second": COMMITS / pipeline,
+        "speedup": speedup,
+        "fanned_out": results["fanned_out"],
+        "ran_inline": results["ran_inline"],
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"pipeline audit throughput {speedup:.1f}x below the "
+        f"{SPEEDUP_FLOOR}x floor"
+    )

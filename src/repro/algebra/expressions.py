@@ -266,6 +266,12 @@ class Difference(Expression):
 
     def evaluate(self, context) -> Relation:
         left = self.left.evaluate(context)
+        if not len(left):
+            # ∅ − e = ∅: skip evaluating the subtrahend entirely (the Δ⁻
+            # rewrites of projection/union subtract a post-state expression
+            # that is O(|result|) to materialize).
+            _trace(context, "difference", 0, 0)
+            return Relation(left.schema, bag=left.bag)
         right = self.right.evaluate(context)
         _check_compatible(left, right, "difference")
         result = left.copy()

@@ -74,6 +74,12 @@ class PlanEstimate:
     scanned: float = 0.0
     built: float = 0.0
     probed: float = 0.0
+    # Wire work: tuples moved between nodes and messages exchanged.  The
+    # single-node planner never fills these; the fragment-aware parallel
+    # layer adds the movement cost of its operand placements so
+    # CostModel.plan_time prices shipping Δ against shipping fragments.
+    transferred: float = 0.0
+    messages: float = 0.0
 
     @property
     def work(self) -> float:
@@ -85,6 +91,8 @@ class PlanEstimate:
         self.scanned += child.scanned
         self.built += child.built
         self.probed += child.probed
+        self.transferred += child.transferred
+        self.messages += child.messages
 
 
 def _card(cards, name: str) -> float:
@@ -752,6 +760,17 @@ class DifferenceOp(_BinaryOp):
 
     def execute(self, context) -> Relation:
         left = self.left.execute(context)
+        if not len(left):
+            # Emptiness fast-path: ∅ − e = ∅ without evaluating e.  This is
+            # what keeps the Δ⁻ rewrites of projection and union O(|Δ|) in
+            # the common case — their subtracted post-state expression
+            # (O(|result|) to produce) is only computed when the candidate
+            # Δ⁻ side actually holds tuples.  Trade-off: the right side's
+            # schema-compatibility check is skipped along with its
+            # evaluation, so a malformed difference only raises once the
+            # left side is non-empty.
+            _trace(context, "difference", 0, 0)
+            return Relation(left.schema, bag=left.bag)
         right = self.right.execute(context)
         _check_compatible(left, right, "difference")
         result = Relation(left.schema, bag=left.bag)

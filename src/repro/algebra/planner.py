@@ -701,6 +701,35 @@ def statement_expressions(statement) -> Iterator[E.Expression]:
         yield expr
 
 
+def expression_leaves(expression: E.Expression) -> tuple:
+    """The resolvable leaf operands of an expression, in tree order.
+
+    Yields every :class:`~repro.algebra.expressions.RelationRef` and
+    :class:`~repro.algebra.expressions.Delta` leaf (deduplicated by name).
+    This is what a fragment-aware executor binds per node: base names to
+    node fragments, delta names (``R@plus``/``R@minus``) to node-local
+    delta fragments — the per-fragment delta scans the compiled
+    :class:`~repro.algebra.physical.DeltaScanOp` resolves by name at
+    execution time.
+    """
+    leaves: list = []
+    seen: set = set()
+
+    def visit(expr: E.Expression) -> None:
+        if isinstance(expr, (E.RelationRef, E.Delta)):
+            if expr.name not in seen:
+                seen.add(expr.name)
+                leaves.append(expr)
+            return
+        for field in dataclasses.fields(expr):
+            value = getattr(expr, field.name)
+            if isinstance(value, E.Expression):
+                visit(value)
+
+    visit(expression)
+    return tuple(leaves)
+
+
 def precompile_program(program) -> int:
     """Warm the plan cache for every expression of a program.
 

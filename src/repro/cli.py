@@ -13,13 +13,19 @@ Commands::
     rule <RL text>                           -- register an integrity rule
     constraint NAME <CL text>                -- shorthand: aborting rule
     begin ... end                            -- run a transaction (modified)
+    commit begin ... end                     -- optimistic commit + deferred audit
     query <algebra expression>               -- evaluate and print rows
     check <CL text>                          -- evaluate a constraint now
     show rules | graph | schema | db         -- introspection
     explain begin ... end                    -- print the modified form only
     audit                                    -- direct-check all rules
+    audit-log [N]                            -- tail commit log + audit verdicts
     help                                     -- this text
     exit / quit
+
+``python -m repro audit-log [script] [-n N]`` runs a script (or stdin)
+non-interactively and tails the resulting commit log and audit verdicts —
+the debugging window into the concurrent enforcement pipeline.
 """
 
 from __future__ import annotations
@@ -118,8 +124,10 @@ class Shell:
             "rule": self.cmd_rule,
             "constraint": self.cmd_constraint,
             "begin": lambda _: self.cmd_begin(line),
+            "commit": self.cmd_commit,
             "query": self.cmd_query,
             "check": self.cmd_check,
+            "audit-log": self.cmd_audit_log,
             "show": self.cmd_show,
             "explain": self.cmd_explain,
             "audit": self.cmd_audit,
@@ -194,6 +202,19 @@ class Shell:
         else:
             self.write(f"aborted: {result.reason}")
 
+    def cmd_commit(self, rest: str) -> None:
+        """Optimistic commit: run unmodified, audit through the pipeline."""
+        text = self._read_block(rest, end_token="end")
+        result = self.session.commit(text, audit="deferred")
+        if result.committed:
+            self.write(
+                f"committed (t={result.post_time}; "
+                f"+{result.tuples_inserted}/-{result.tuples_deleted} tuples; "
+                f"audit deferred — see audit-log)"
+            )
+        else:
+            self.write(f"aborted: {result.reason}")
+
     def cmd_explain(self, rest: str) -> None:
         text = self._read_block(rest, end_token="end")
         transaction = self.session.transaction(text)
@@ -222,6 +243,47 @@ class Shell:
             self.write(f"VIOLATED: {', '.join(violated)}")
         else:
             self.write("all constraints satisfied")
+
+    def cmd_audit_log(self, rest: str) -> None:
+        """Tail the commit log and the scheduler's audit verdicts."""
+        limit = 10
+        rest = rest.strip()
+        if rest:
+            try:
+                limit = max(int(rest), 1)
+            except ValueError:
+                self.write("usage: audit-log [N]")
+                return
+        log = self.database.commit_log
+        self.write(f"commit log: {len(log)} record(s), next #{log.next_sequence}")
+        for record in log.tail(limit):
+            sizes = ", ".join(
+                f"{base} +{plus}/-{minus}"
+                for base, (plus, minus) in record.sizes().items()
+            )
+            self.write(
+                f"  #{record.sequence} t={record.pre_time}->"
+                f"{record.post_time} {sizes or '(empty)'}"
+            )
+        scheduler = self.controller.audit_scheduler(self.database)
+        pending = scheduler.pending()
+        if pending:
+            self.write(f"auditing {pending} pending commit(s)...")
+            scheduler.drain(coalesce=False)
+        verdicts = scheduler.history[-limit * 4 :]
+        self.write(f"audit verdicts ({len(scheduler.history)} total):")
+        if not verdicts:
+            self.write("  (none)")
+        for outcome in verdicts:
+            span = ",".join(f"#{seq}" for seq in outcome.sequences) or "#?"
+            if outcome.failed:
+                state = f"FAILED: {outcome.error}"
+            elif outcome.violated:
+                sample = ", ".join(repr(row) for row in outcome.violations)
+                state = f"VIOLATED ({sample})"
+            else:
+                state = "ok"
+            self.write(f"  {span} {outcome.rule}: {state} [{outcome.mode}]")
 
     def cmd_show(self, rest: str) -> None:
         what = rest.strip().lower()
@@ -283,8 +345,44 @@ def _parses_as_rule(text: str) -> bool:
         return False
 
 
+def audit_log_main(args: List[str]) -> int:
+    """``python -m repro audit-log [script] [-n N]``.
+
+    Runs the script (or stdin) through a non-interactive shell, then tails
+    the database's commit log and the scheduler's audit verdicts — i.e.
+    what the concurrent enforcement pipeline saw and decided.
+    """
+    limit = 10
+    paths: List[str] = []
+    iterator = iter(args)
+    for arg in iterator:
+        if arg in ("-n", "--limit"):
+            try:
+                limit = max(int(next(iterator)), 1)
+            except (StopIteration, ValueError):
+                sys.stderr.write("audit-log: -n needs an integer\n")
+                return 2
+        else:
+            paths.append(arg)
+    if len(paths) > 1:
+        sys.stderr.write("usage: python -m repro audit-log [script] [-n N]\n")
+        return 2
+    stream = open(paths[0]) if paths else sys.stdin
+    try:
+        shell = Shell(stdin=stream, interactive=False)
+        shell.run()
+        shell.cmd_audit_log(str(limit))
+    finally:
+        if paths:
+            stream.close()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro``."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] == "audit-log":
+        return audit_log_main(args[1:])
     interactive = sys.stdin.isatty()
     shell = Shell(interactive=interactive)
     return shell.run()

@@ -1,0 +1,386 @@
+"""The audit scheduler: commit log → per-rule audit tasks → worker pool.
+
+This is the concurrent half of the enforcement pipeline.  The engine's
+:class:`~repro.engine.commitlog.CommitLog` records every committed net
+delta; this module drains it into independent ``(rule, Δ)`` audit tasks —
+the unit of distributable work Martinenghi's simplified-checking survey
+identifies — and executes them on a thread pool.
+
+Why this is safe without locking base relations: each task evaluates a
+side-effect-free delta (or fallback) program through its own
+:class:`~repro.engine.session.DeltaView`; base relations are only mutated
+by the owning session at commit time.  The *consistency guarantee* is
+therefore per drain: verdicts describe the delta evaluated against the
+database state as of the drain (or later, if the owner keeps committing
+while workers run) — ``audit="sync"`` gives strict per-commit verdicts,
+``deferred``/``async`` give batched, possibly coalesced verdicts.
+
+Scheduling policy: per rule, the scheduler prices the audit with the cost
+model (:func:`repro.parallel.cost_model.predict_audit_time` under the
+observed |Δ|) and runs predicted-cheap audits *inline* on the draining
+thread — a thread-pool handoff costs more than a vacuous or tiny delta
+check — while predicted-expensive audits fan out to workers.  Worker
+exceptions are never dropped: a poisoned task surfaces as an
+:class:`AuditOutcome` with ``error`` set, and commit records evicted from
+the bounded log before being drained surface as an explicit gap outcome.
+
+Verdict merging is deterministic: outcomes are ordered by (first covered
+commit sequence, rule registration order), regardless of worker completion
+order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Tuple
+
+from repro.engine.commitlog import (
+    batch_sequences,
+    coalesce_differentials,
+    take_batches,
+)
+from repro.parallel.cost_model import MODERN_2026, predict_audit_time
+
+#: Estimated cost of handing one task to a pool worker (queue + wakeup).
+#: Audits predicted cheaper than this run inline on the draining thread.
+DISPATCH_OVERHEAD_SECONDS = 1.5e-4
+
+#: Default worker count for the audit pool.
+DEFAULT_WORKERS = 4
+
+
+class RuleAuditTask:
+    """One independent, side-effect-free audit unit: a rule and a delta.
+
+    ``program`` is the rule's matched differential program, or None for the
+    full-check fallback (compensating rules, non-incrementalizable shapes).
+    Each :meth:`run` builds a fresh
+    :class:`~repro.engine.session.DeltaView`, so concurrent tasks share no
+    mutable state beyond the (frozen) differentials and the base relations.
+    """
+
+    __slots__ = ("controller", "rule", "program", "database", "differentials", "engine")
+
+    def __init__(self, controller, rule, program, database, differentials, engine):
+        self.controller = controller
+        self.rule = rule
+        self.program = program
+        self.database = database
+        self.differentials = differentials
+        self.engine = engine
+
+    @property
+    def rule_name(self) -> str:
+        return self.rule.name
+
+    @property
+    def kind(self) -> str:
+        """``"delta"`` (runs a differential program) or ``"full"``."""
+        return "delta" if self.program is not None else "full"
+
+    def pricing_program(self):
+        """The program whose plans bound this task's work, for cost pricing."""
+        if self.program is not None:
+            return self.program
+        store = self.controller.store
+        if self.rule.name in store:
+            return store.get(self.rule.name).program
+        return None
+
+    def run(self) -> Tuple[bool, tuple]:
+        """Execute the audit; returns ``(violated, violating_sample)``."""
+        from repro.engine.session import DeltaView
+
+        view = DeltaView(self.database, self.differentials, engine=self.engine)
+        if self.program is not None:
+            return self.controller._program_outcome(self.program, view)
+        return self.controller._is_violated(self.rule, view, self.engine), ()
+
+    def __repr__(self) -> str:
+        return f"RuleAuditTask({self.rule_name}, {self.kind})"
+
+
+class AuditOutcome:
+    """The verdict of one audit task over one commit batch."""
+
+    __slots__ = (
+        "rule",
+        "sequences",
+        "violated",
+        "violations",
+        "error",
+        "mode",
+        "seconds",
+    )
+
+    def __init__(
+        self,
+        rule: Optional[str],
+        sequences: tuple,
+        violated: Optional[bool],
+        violations: tuple = (),
+        error: Optional[str] = None,
+        mode: str = "inline",
+        seconds: float = 0.0,
+    ):
+        self.rule = rule
+        self.sequences = sequences
+        self.violated = violated
+        self.violations = violations
+        self.error = error
+        self.mode = mode
+        self.seconds = seconds
+
+    @property
+    def failed(self) -> bool:
+        """True when the audit itself failed (poison task / log gap)."""
+        return self.error is not None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed and not self.violated
+
+    def __repr__(self) -> str:
+        span = (
+            f"#{self.sequences[0]}"
+            if len(self.sequences) == 1
+            else f"#{self.sequences[0]}..{self.sequences[-1]}"
+            if self.sequences
+            else "#?"
+        )
+        if self.failed:
+            state = f"FAILED: {self.error}"
+        elif self.violated:
+            state = f"VIOLATED ({len(self.violations)} sample tuple(s))"
+        else:
+            state = "ok"
+        return f"AuditOutcome({self.rule}, {span}, {state}, {self.mode})"
+
+
+class AuditScheduler:
+    """Drains a database's commit log into concurrent per-rule audits."""
+
+    def __init__(
+        self,
+        controller,
+        database,
+        workers: int = DEFAULT_WORKERS,
+        coalesce: bool = True,
+        cost_model=MODERN_2026,
+        dispatch_overhead: float = DISPATCH_OVERHEAD_SECONDS,
+        start_sequence: Optional[int] = None,
+    ):
+        self.controller = controller
+        self.database = database
+        self.workers = max(int(workers), 1)
+        self.coalesce = coalesce
+        self.cost_model = cost_model
+        self.dispatch_overhead = dispatch_overhead
+        log = database.commit_log
+        if start_sequence is None:
+            first = log.first_sequence
+            start_sequence = first if first is not None else log.next_sequence
+        self._cursor = start_sequence
+        self._lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        # Submission-ordered (future | outcome) slots not yet collected by
+        # wait(); preserving submission order is what makes async verdict
+        # merging deterministic.
+        self._outstanding: List[object] = []
+        self.history: List[AuditOutcome] = []
+        self.drains = 0
+        self.fanned_out = 0
+        self.ran_inline = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def cursor(self) -> int:
+        """Sequence number of the next commit this scheduler will audit."""
+        return self._cursor
+
+    def pending(self) -> int:
+        """Commits recorded but not yet drained."""
+        records, lost = self.database.commit_log.since(self._cursor)
+        return len(records) + lost
+
+    # -- draining ----------------------------------------------------------------
+
+    def drain(
+        self,
+        asynchronous: bool = False,
+        coalesce: Optional[bool] = None,
+    ) -> List[AuditOutcome]:
+        """Audit every commit recorded since the last drain.
+
+        Synchronous drains (the default) run every task on the calling
+        thread and return the completed outcomes.  Asynchronous drains
+        submit predicted-expensive tasks to the worker pool, run
+        predicted-cheap ones inline, and return immediately with the
+        already-completed outcomes; :meth:`wait` collects the rest.  Either
+        way every outcome also lands in :attr:`history`, in deterministic
+        order.
+        """
+        if coalesce is None:
+            coalesce = self.coalesce
+        with self._lock:
+            records, lost = self.database.commit_log.since(self._cursor)
+            if records:
+                self._cursor = records[-1].sequence + 1
+            else:
+                self._cursor += lost
+            self.drains += 1
+        completed: List[AuditOutcome] = []
+        if lost:
+            gap = AuditOutcome(
+                None,
+                (),
+                None,
+                error=(
+                    f"{lost} commit(s) evicted from the bounded log before "
+                    f"being audited; raise CommitLog capacity or drain more "
+                    f"often"
+                ),
+                mode="gap",
+            )
+            completed.append(gap)
+            if asynchronous:
+                # Async consumers collect through wait(): the gap must
+                # travel the same path or eviction becomes a silent drop.
+                with self._lock:
+                    self._outstanding.append(gap)
+            else:
+                self._record(gap)
+        for batch in take_batches(records, coalesce):
+            completed.extend(self._drain_batch(batch, asynchronous))
+        return completed
+
+    def _drain_batch(self, batch, asynchronous: bool) -> List[AuditOutcome]:
+        if len(batch) == 1:
+            differentials = batch[0].differentials
+        else:
+            differentials = coalesce_differentials(batch, self.database)
+        sequences = batch_sequences(batch)
+        tasks = self.controller.audit_tasks(self.database, differentials)
+        completed: List[AuditOutcome] = []
+        delta_sizes = _delta_sizes(differentials)
+        for task in tasks:
+            if asynchronous and self._prefer_fanout(task, delta_sizes):
+                self.fanned_out += 1
+                future = self._pool().submit(
+                    _execute, task, sequences, "worker"
+                )
+                with self._lock:
+                    self._outstanding.append(future)
+            else:
+                self.ran_inline += 1
+                mode = "inline" if asynchronous else "sync"
+                outcome = _execute(task, sequences, mode)
+                completed.append(outcome)
+                if asynchronous:
+                    with self._lock:
+                        self._outstanding.append(outcome)
+                else:
+                    self._record(outcome)
+        return completed
+
+    def wait(self) -> List[AuditOutcome]:
+        """Block until all submitted audits finish; return them in order.
+
+        The returned list covers everything handed out by asynchronous
+        drains since the last :meth:`wait` (inline and worker outcomes
+        alike), ordered by submission — i.e. by (commit sequence, rule
+        registration order) — no matter which worker finished first; the
+        merged order is also what lands in :attr:`history`.
+        """
+        with self._lock:
+            slots = self._outstanding
+            self._outstanding = []
+        outcomes = [
+            slot.result() if hasattr(slot, "result") else slot
+            for slot in slots
+        ]
+        for outcome in outcomes:
+            self._record(outcome)
+        return outcomes
+
+    def close(self) -> None:
+        """Shut the worker pool down (outstanding audits complete first)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # -- internals -----------------------------------------------------------------
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-audit",
+            )
+        return self._executor
+
+    def _prefer_fanout(self, task: RuleAuditTask, delta_sizes) -> bool:
+        """Fan out iff the predicted audit cost amortizes the dispatch."""
+        program = task.pricing_program()
+        if program is None:
+            return True  # unpriceable: assume expensive
+        try:
+            predicted = predict_audit_time(
+                program,
+                model=self.cost_model,
+                database=self.database,
+                deltas=delta_sizes,
+            )
+        except Exception:
+            return True
+        predicted -= self.cost_model.startup
+        return predicted >= self.dispatch_overhead
+
+    def _record(self, outcome: AuditOutcome) -> None:
+        with self._lock:
+            self.history.append(outcome)
+
+    def __repr__(self) -> str:
+        return (
+            f"AuditScheduler(cursor=#{self._cursor}, workers={self.workers}, "
+            f"{len(self.history)} verdicts, inline={self.ran_inline}, "
+            f"fanned_out={self.fanned_out})"
+        )
+
+
+def _execute(task: RuleAuditTask, sequences: tuple, mode: str) -> AuditOutcome:
+    """Run one task, converting any exception into an audit failure."""
+    started = time.perf_counter()
+    try:
+        violated, violations = task.run()
+        return AuditOutcome(
+            task.rule_name,
+            sequences,
+            violated,
+            violations=violations,
+            mode=mode,
+            seconds=time.perf_counter() - started,
+        )
+    except BaseException as error:  # poison task: surface, never drop
+        return AuditOutcome(
+            task.rule_name,
+            sequences,
+            None,
+            error=f"{type(error).__name__}: {error}",
+            mode=mode,
+            seconds=time.perf_counter() - started,
+        )
+
+
+def _delta_sizes(differentials) -> dict:
+    """``{"R@plus": |Δ⁺|, "R@minus": |Δ⁻|}`` for cost-model pricing."""
+    sizes: dict = {}
+    for base, (plus, minus) in differentials.items():
+        if plus is not None:
+            sizes[f"{base}@plus"] = float(len(plus))
+        if minus is not None:
+            sizes[f"{base}@minus"] = float(len(minus))
+    return sizes

@@ -26,9 +26,11 @@ Typical use::
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, List, Optional, Union
 
 from repro.algebra import planner
+from repro.algebra.evaluation import evaluate_expression
 from repro.algebra.parser import parse_program
 from repro.algebra.programs import Program
 from repro.algebra.statements import Alarm, Assign
@@ -69,6 +71,13 @@ MODES = ("static", "dynamic")
 # path: pure-alarm programs, ``Assign``+``Alarm`` programs, and translation
 # fallbacks all qualify.
 AUDITABLE_STATEMENTS = (Alarm, Assign, CheckConstraint)
+
+# Disposition sentinel: the rule has no usable differential program for the
+# matched triggers — audit it with the full check instead.
+FULL_CHECK = object()
+
+#: Violating tuples retained as a sample by audit outcomes.
+AUDIT_SAMPLE = 3
 
 
 class _AuditContext:
@@ -125,6 +134,9 @@ class IntegrityController:
         self.store = IntegrityProgramStore()
         self.last_stats: Optional[ModificationStats] = None
         self.modifications = 0
+        # One AuditScheduler per audited database (weakly held): the
+        # concurrent-enforcement counterpart of the program store.
+        self._schedulers: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
     def _engine(self) -> str:
         return planner.resolve_engine(engine=self.engine)
@@ -340,16 +352,33 @@ class IntegrityController:
         return None
 
     @staticmethod
-    def _program_violated(program: Program, view: DatabaseView) -> bool:
-        """Run an auditable program against a scratch context; an alarm (or
-        failed check) raising the abort signal is the violation verdict."""
+    def _program_outcome(program: Program, view: DatabaseView) -> tuple:
+        """Run an auditable program against a scratch context.
+
+        Returns ``(violated, violating_sample)``: alarm statements evaluate
+        their violation expression (collecting a deterministic sample of
+        the violating tuples), assignments bind scratch temporaries, and
+        direct constraint checks contribute a verdict without tuples.  The
+        first violating statement decides — the same short-circuit the
+        abort-signal execution path takes.
+        """
         context = _AuditContext(view)
-        try:
-            for statement in program:
-                statement.execute(context)
-        except TransactionAborted:
-            return True
-        return False
+        for statement in program:
+            if isinstance(statement, Alarm):
+                result = evaluate_expression(statement.expr, context)
+                if len(result) > 0:
+                    return True, tuple(result.sorted_rows()[:AUDIT_SAMPLE])
+            else:
+                try:
+                    statement.execute(context)
+                except TransactionAborted:
+                    return True, ()
+        return False, ()
+
+    @classmethod
+    def _program_violated(cls, program: Program, view: DatabaseView) -> bool:
+        """Boolean form of :meth:`_program_outcome`."""
+        return cls._program_outcome(program, view)[0]
 
     def _is_violated(self, rule: IntegrityRule, view: DatabaseView, engine: str) -> bool:
         if engine != "planned":
@@ -400,26 +429,94 @@ class IntegrityController:
             return []
         violated = []
         for rule in self.rules:
-            stored = self.store.get(rule.name) if rule.name in self.store else None
-            triggers = stored.triggers if stored is not None else rule.triggers
-            matched = triggers & performed
-            if not matched:
-                continue  # untouched by this delta: the old verdict stands
-            program = None
-            if stored is not None and stored.differentials is not None:
-                program = stored.action_for(matched)
-            if program is not None and program.is_empty:
-                continue  # vacuous for these update types
-            if program is not None and all(
-                isinstance(statement, AUDITABLE_STATEMENTS)
-                for statement in program.statements
-            ):
-                if self._program_violated(program, view):
+            disposition = self._rule_delta_disposition(rule, performed)
+            if disposition is None:
+                continue  # unmatched or vacuous: the old verdict stands
+            if disposition is FULL_CHECK:
+                if self._is_violated(rule, view, view.engine):
                     violated.append(rule.name)
-                continue
-            if self._is_violated(rule, view, view.engine):
+            elif self._program_violated(disposition, view):
                 violated.append(rule.name)
         return violated
+
+    def _rule_delta_disposition(self, rule: IntegrityRule, performed):
+        """How to audit ``rule`` against a delta with ``performed`` triggers.
+
+        Returns None when the rule needs no audit at all (its triggers miss
+        the performed update types, or the matched differential program is
+        vacuous), the matched auditable differential :class:`Program`
+        when one exists, or :data:`FULL_CHECK` when only the full-state
+        check is sound (compensating rules, non-incrementalizable shapes).
+        This is the per-rule selection logic both the inline incremental
+        audit and the fan-out scheduler share.
+        """
+        stored = self.store.get(rule.name) if rule.name in self.store else None
+        triggers = stored.triggers if stored is not None else rule.triggers
+        matched = triggers & performed
+        if not matched:
+            return None
+        program = None
+        if stored is not None and stored.differentials is not None:
+            program = stored.action_for(matched)
+        if program is not None and program.is_empty:
+            return None  # vacuous for these update types
+        if program is not None and all(
+            isinstance(statement, AUDITABLE_STATEMENTS)
+            for statement in program.statements
+        ):
+            return program
+        return FULL_CHECK
+
+    def audit_tasks(
+        self,
+        database: Database,
+        differentials,
+        engine: Optional[str] = None,
+    ) -> List:
+        """Independent per-rule audit units for a committed delta.
+
+        The fan-out form of :meth:`violated_constraints_incremental`: one
+        :class:`~repro.core.scheduler.RuleAuditTask` per rule the delta can
+        have affected, each side-effect-free and self-contained (it builds
+        its own :class:`~repro.engine.session.DeltaView` on ``run``), so a
+        worker pool may execute them in any order or concurrently.  Rules
+        the delta provably cannot violate produce no task.
+        """
+        from repro.core.scheduler import RuleAuditTask
+
+        if hasattr(differentials, "differentials"):
+            differentials = differentials.differentials
+        engine = planner.resolve_engine(engine=engine or self.engine)
+        performed = DeltaView(database, differentials).performed_triggers()
+        if not performed:
+            return []
+        tasks = []
+        for rule in self.rules:
+            disposition = self._rule_delta_disposition(rule, performed)
+            if disposition is None:
+                continue
+            program = None if disposition is FULL_CHECK else disposition
+            tasks.append(
+                RuleAuditTask(self, rule, program, database, differentials, engine)
+            )
+        return tasks
+
+    def audit_scheduler(self, database: Database, **options):
+        """The per-database :class:`~repro.core.scheduler.AuditScheduler`.
+
+        Created on first use (draining the database's commit log from its
+        oldest retained record) and cached weakly, so every session over
+        the same database shares one scheduler, one cursor, and one worker
+        pool.  ``options`` are forwarded to the constructor on first
+        creation only.
+        """
+        scheduler = self._schedulers.get(database)
+        if scheduler is None:
+            from repro.core.scheduler import AuditScheduler
+
+            scheduler = AuditScheduler(self, database, **options)
+            self._schedulers[database] = scheduler
+        return scheduler
 
     def install_indexes(
         self, database: Database, min_benefit: float = 0.0

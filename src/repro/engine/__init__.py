@@ -20,7 +20,8 @@ from repro.engine.types import (
 from repro.engine.schema import Attribute, DatabaseSchema, RelationSchema
 from repro.engine.relation import Relation
 from repro.engine.overlay import OverlayRelation
-from repro.engine.database import Database, Transition
+from repro.engine.commitlog import CommitLog, CommitRecord
+from repro.engine.database import Database, DatabaseSnapshot, Transition
 from repro.engine.transaction import (
     Transaction,
     TransactionManager,
@@ -32,8 +33,11 @@ from repro.engine.session import Session
 __all__ = [
     "Attribute",
     "BOOL",
+    "CommitLog",
+    "CommitRecord",
     "Database",
     "DatabaseSchema",
+    "DatabaseSnapshot",
     "Domain",
     "FLOAT",
     "INT",

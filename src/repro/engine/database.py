@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping, Optional
 
+from repro.engine.commitlog import CommitLog
 from repro.engine.relation import Relation
 from repro.engine.schema import DatabaseSchema, RelationSchema
 from repro.errors import UnknownRelationError
@@ -98,6 +99,10 @@ class Database:
         }
         self.logical_time = 0
         self.delta_stats = DeltaObservations()
+        # The enforcement pipeline's source of truth: committed net deltas
+        # in order, bounded.  Audit schedulers drain it; `apply_deltas`
+        # populates it.
+        self.commit_log = CommitLog()
 
     # -- relation access ------------------------------------------------------
 
@@ -140,19 +145,61 @@ class Database:
 
     # -- snapshots and transitions ----------------------------------------------
 
-    def snapshot(self) -> dict:
-        """A copy of the full state (name -> independent Relation copy)."""
-        return {name: rel.copy() for name, rel in self._relations.items()}
+    def snapshot(self) -> "DatabaseSnapshot":
+        """A frozen copy of the full state, restorable by delta application.
+
+        The snapshot is mapping-compatible (``snapshot["r"]`` is an
+        independent frozen :class:`Relation` copy), so it doubles as a
+        state value for :class:`Transition` and equality checks.
+        """
+        return DatabaseSnapshot(
+            {name: rel.copy() for name, rel in self._relations.items()},
+            self.logical_time,
+        )
 
     def restore(self, snapshot: Mapping) -> None:
-        """Restore a snapshot previously produced by :meth:`snapshot`."""
-        for name, relation in snapshot.items():
-            self._relations[name] = relation.copy()
+        """Restore a snapshot by applying the diff as a frozen delta.
+
+        Unlike the pre-pipeline restore (and unlike :meth:`install`), the
+        live relation objects are never replaced: per relation the row-level
+        difference between the current state and the snapshot is computed
+        and applied in place through the same delete/insert path commits
+        use, so built hash indexes follow along incrementally and held
+        query results keep tracking the restored state.  Accepts either a
+        :class:`DatabaseSnapshot` (which also restores logical time) or a
+        legacy ``{name: Relation}`` mapping.
+        """
+        differentials: dict = {}
+        for name, frozen in snapshot.items():
+            current = self.relation(name)
+            current_rows = dict(current.items())
+            frozen_rows = dict(frozen.items())
+            if current_rows == frozen_rows:
+                continue
+            plus = Relation(current.schema, bag=self.bag)
+            minus = Relation(current.schema, bag=self.bag)
+            for row, count in frozen_rows.items():
+                missing = count - current_rows.get(row, 0)
+                for _ in range(missing if self.bag else min(missing, 1)):
+                    plus.insert(row, _validated=True)
+            for row, count in current_rows.items():
+                surplus = count - frozen_rows.get(row, 0)
+                for _ in range(surplus if self.bag else min(surplus, 1)):
+                    minus.insert(row, _validated=True)
+            differentials[name] = (
+                plus if len(plus) else None,
+                minus if len(minus) else None,
+            )
+        if differentials:
+            self.apply_deltas(differentials, advance_time=False, record=False)
+        if isinstance(snapshot, DatabaseSnapshot):
+            self.logical_time = snapshot.logical_time
 
     def apply_deltas(
         self,
         differentials: Mapping,
         advance_time: bool = True,
+        record: bool = True,
     ) -> None:
         """Apply committed net differentials in place (transaction commit).
 
@@ -165,8 +212,12 @@ class Database:
         installed whole working-copy relations.
 
         Observed delta sizes are recorded into :attr:`delta_stats`, feeding
-        the planner's delta-scan pricing.
+        the planner's delta-scan pricing, and the committed differentials
+        are appended to :attr:`commit_log` for the audit pipeline — unless
+        ``record`` is false (snapshot restore replaying inverse deltas must
+        not pollute either).
         """
+        pre_time = self.logical_time
         for name, (plus, minus) in differentials.items():
             relation = self.relation(name)
             if minus is not None:
@@ -181,9 +232,12 @@ class Database:
                     insert(row, _validated=True)
                     for _ in range(count - 1):
                         insert(row, _validated=True)
-            self.delta_stats.observe(name, plus, minus)
+            if record:
+                self.delta_stats.observe(name, plus, minus)
         if advance_time:
             self.logical_time += 1
+        if record:
+            self.commit_log.append(differentials, pre_time, self.logical_time)
 
     def install(
         self,
@@ -255,3 +309,49 @@ class Database:
     def __repr__(self) -> str:
         sizes = ", ".join(f"{name}[{len(rel)}]" for name, rel in self._relations.items())
         return f"Database(t={self.logical_time}, {sizes})"
+
+
+class DatabaseSnapshot:
+    """A frozen copy of a database state, mapping-compatible.
+
+    Produced by :meth:`Database.snapshot`; consumed by
+    :meth:`Database.restore`, which applies the difference between the live
+    state and this snapshot as an in-place frozen delta (the same
+    delete/insert path commits use) instead of wholesale relation
+    replacement.  Iteration and item access expose the frozen relation
+    copies, so the snapshot also serves anywhere a ``{name: Relation}``
+    mapping did (e.g. :class:`Transition` states).
+    """
+
+    __slots__ = ("relations", "logical_time")
+
+    def __init__(self, relations: dict, logical_time: int = 0):
+        self.relations = relations
+        self.logical_time = logical_time
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self):
+        return iter(self.relations)
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def keys(self):
+        return self.relations.keys()
+
+    def items(self):
+        return self.relations.items()
+
+    def get(self, name: str, default=None):
+        return self.relations.get(name, default)
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(
+            f"{name}[{len(rel)}]" for name, rel in self.relations.items()
+        )
+        return f"DatabaseSnapshot(t={self.logical_time}, {sizes})"

@@ -55,6 +55,76 @@ class Session:
         """Parse (if needed), modify, and run a transaction."""
         return self.manager.execute(self.transaction(source), modify=modify)
 
+    # -- the audit pipeline (optimistic enforcement) ------------------------------
+
+    AUDIT_MODES = ("sync", "deferred", "async")
+
+    def commit(
+        self,
+        source: Union[str, Transaction],
+        audit: str = "sync",
+        modify: bool = False,
+    ) -> TransactionResult:
+        """Run a transaction through the *audit pipeline*.
+
+        Where :meth:`execute` enforces integrity preventively (transaction
+        modification appends the checks to the program, violating
+        transactions abort), ``commit`` enforces it *optimistically*: the
+        transaction commits unmodified and the committed net delta — as
+        recorded in the database's commit log — is audited per rule
+        through the attached controller's delta plans.
+
+        ``audit`` selects the consistency/latency trade-off:
+
+        * ``"sync"`` — the commit log is drained on this thread before
+          returning; this commit's per-rule verdicts land on
+          ``result.audit``.  Strict: every attached verdict describes
+          exactly this commit's delta against the state it produced.
+          (Any older un-drained commits are audited in the same drain;
+          their verdicts go to the scheduler's history, not this result.)
+        * ``"deferred"`` — nothing is audited now; a later
+          :meth:`drain_audits` call audits all accumulated commits (batched
+          and, by default, coalesced) on the calling thread.
+        * ``"async"`` — the scheduler drains immediately but fans
+          predicted-expensive rule audits out to its worker pool and
+          returns without waiting; :meth:`wait_for_audits` collects the
+          verdicts.  Verdicts may observe database states later than this
+          commit if the session keeps committing meanwhile.
+
+        ``modify`` may be set to re-enable transaction modification on top
+        (belt and braces); by default the pipeline is the enforcement.
+        """
+        if audit not in self.AUDIT_MODES:
+            raise ValueError(f"audit must be one of {self.AUDIT_MODES}")
+        result = self.manager.execute(self.transaction(source), modify=modify)
+        if not result.committed or self.controller is None:
+            return result
+        scheduler = self.audit_scheduler()
+        if audit == "sync":
+            sequence = self.database.commit_log.next_sequence - 1
+            result.audit = [
+                outcome
+                for outcome in scheduler.drain(coalesce=False)
+                if sequence in outcome.sequences
+            ]
+        elif audit == "async":
+            scheduler.drain(asynchronous=True)
+        return result
+
+    def audit_scheduler(self):
+        """The controller's audit scheduler for this database."""
+        if self.controller is None:
+            raise ValueError("session has no integrity controller to audit with")
+        return self.controller.audit_scheduler(self.database)
+
+    def drain_audits(self, coalesce=None) -> list:
+        """Audit all commits deferred so far, on this thread."""
+        return self.audit_scheduler().drain(coalesce=coalesce)
+
+    def wait_for_audits(self) -> list:
+        """Collect the verdicts of all in-flight asynchronous audits."""
+        return self.audit_scheduler().wait()
+
     # -- queries -------------------------------------------------------------------
 
     def query(self, expression_text: str) -> Relation:

@@ -96,6 +96,7 @@ class TransactionResult:
         "pre_time",
         "post_time",
         "differentials",
+        "audit",
     )
 
     def __init__(
@@ -123,6 +124,10 @@ class TransactionResult:
         # state.  Incremental (delta-plan) audits bind these; see
         # IntegrityController.violated_constraints_incremental.
         self.differentials = differentials if differentials is not None else {}
+        # Audit outcomes for this commit when executed through
+        # ``Session.commit(audit="sync")``; None otherwise (deferred/async
+        # verdicts are collected from the scheduler, not the result).
+        self.audit = None
 
     @property
     def committed(self) -> bool:

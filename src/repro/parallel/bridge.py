@@ -3,30 +3,27 @@
 PRISMA/DB did not enforce constraints tuple-at-a-time: the alarm programs
 produced by rule translation (Section 5.2.2) were executed by the parallel
 query layer over fragmented relations ([7]).  This module is that bridge:
-it recognizes the violation-expression shapes ``trans_c`` produces —
+it hands each alarm's violation expression — full-state checks and
+delta-rewritten differential programs alike — to the plan-backed
+fragment-aware pipeline of :class:`~repro.parallel.enforcement.
+ParallelEnforcer`, which compiles the expression once and executes it per
+node against local operand bindings, choosing a movement strategy per
+differential operand.
 
-* ``alarm(σ_p(R))`` — domain family,
-* ``alarm(R ⊳_θ S)`` — referential family (θ an attribute equality),
-* ``alarm(R ⋉_θ S)`` — exclusion family,
-* ``alarm((R ⋉_θ S@minus) ⊳_θ S)`` — the delete-path differential
-  referential check (§5.2.1): referers of deleted targets must still find
-  a target,
-
-— and dispatches them to the corresponding
-:class:`~repro.parallel.enforcement.ParallelEnforcer` check.  Differential
-programs work too: auxiliary names (``R@plus``/``R@minus``) are resolved
-through a caller-supplied mapping of fragmented relations (the parallel
-system's local differentials).
+Auxiliary names (``R@plus``/``R@minus``) are resolved through a
+caller-supplied mapping: either :class:`~repro.parallel.fragmentation.
+FragmentedRelation` differentials (per-node write logs) or plain
+:class:`~repro.engine.relation.Relation` deltas (a coordinator-held commit
+record, shipped per the chosen strategy).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Union
 
-from repro.algebra import expressions as E
-from repro.algebra import predicates as P
 from repro.algebra.programs import Program
 from repro.algebra.statements import Alarm
+from repro.engine.relation import Relation
 from repro.errors import FragmentationError
 from repro.parallel.cost_model import CostModel, POOMA_1992
 from repro.parallel.enforcement import (
@@ -45,25 +42,19 @@ class ParallelRuleEnforcer:
         self,
         database: FragmentedDatabase,
         cost_model: CostModel = POOMA_1992,
-        auxiliaries: Union[Dict[str, FragmentedRelation], None] = None,
+        auxiliaries: Union[
+            Dict[str, Union[FragmentedRelation, Relation]], None
+        ] = None,
     ):
         self.database = database
         self.enforcer = ParallelEnforcer(database, cost_model)
         self.auxiliaries = dict(auxiliaries or {})
 
-    def bind_auxiliary(self, name: str, relation: FragmentedRelation) -> None:
-        """Register a fragmented differential (e.g. ``fk@plus``)."""
+    def bind_auxiliary(
+        self, name: str, relation: Union[FragmentedRelation, Relation]
+    ) -> None:
+        """Register a differential (e.g. ``fk@plus``), fragmented or not."""
         self.auxiliaries[name] = relation
-
-    def _resolve(self, name: str) -> Union[str, FragmentedRelation]:
-        if name in self.auxiliaries:
-            return self.auxiliaries[name]
-        if "@" in name:
-            raise FragmentationError(
-                f"auxiliary relation {name!r} is not bound; call "
-                f"bind_auxiliary first"
-            )
-        return name
 
     # -- program-level entry points ------------------------------------------------
 
@@ -85,123 +76,7 @@ class ParallelRuleEnforcer:
     def enforce_alarm(
         self, alarm: Alarm, strategy: Strategy = Strategy.AUTO
     ) -> EnforcementReport:
-        """Dispatch one alarm expression to the matching parallel check."""
-        expr = alarm.expr
-        if isinstance(expr, E.Select) and _named(expr.input) is not None:
-            return self.enforcer.domain_check(
-                self._resolve(_named(expr.input)), expr.predicate
-            )
-        if isinstance(expr, E.AntiJoin) and isinstance(expr.left, E.SemiJoin):
-            # Delete-path differential: (R ⋉_θ ΔS⁻) ⊳_θ S.  Materialize
-            # the affected referers with an exclusion check, then verify
-            # them against the surviving targets.
-            inner = expr.left
-            if (
-                _named(inner.left) is None
-                or _named(inner.right) is None
-                or _named(expr.right) is None
-            ):
-                raise FragmentationError(
-                    "unsupported nested shape for parallel enforcement"
-                )
-            left_attr, right_attr = _equality_attributes(inner.predicate)
-            affected = self._materialize_matches(
-                self._resolve(_named(inner.left)),
-                left_attr,
-                self._resolve(_named(inner.right)),
-                right_attr,
-            )
-            outer_left, outer_right = _equality_attributes(expr.predicate)
-            return self.enforcer.referential_check(
-                affected,
-                outer_left,
-                self._resolve(_named(expr.right)),
-                outer_right,
-                strategy,
-            )
-        if isinstance(expr, (E.AntiJoin, E.SemiJoin)):
-            left_name = _named(expr.left)
-            right_name = _named(expr.right)
-            if left_name is None or right_name is None:
-                raise FragmentationError(
-                    "parallel enforcement requires plain relation operands "
-                    "(run the differential optimizer first)"
-                )
-            left_attr, right_attr = _equality_attributes(expr.predicate)
-            if isinstance(expr, E.AntiJoin):
-                return self.enforcer.referential_check(
-                    self._resolve(left_name),
-                    left_attr,
-                    self._resolve(right_name),
-                    right_attr,
-                    strategy,
-                )
-            return self.enforcer.exclusion_check(
-                self._resolve(left_name),
-                left_attr,
-                self._resolve(right_name),
-                right_attr,
-                strategy,
-            )
-        raise FragmentationError(
-            f"unsupported alarm shape for parallel enforcement: {expr!r}"
+        """Run one alarm expression through the fragment-aware pipeline."""
+        return self.enforcer.enforce_expression(
+            alarm.expr, bindings=self.auxiliaries, strategy=strategy
         )
-
-    def _materialize_matches(
-        self,
-        left: Union[str, FragmentedRelation],
-        left_attr,
-        right: Union[str, FragmentedRelation],
-        right_attr,
-    ) -> FragmentedRelation:
-        """Semijoin as a materialized fragmented relation (keeps the left
-        relation's fragmentation scheme)."""
-        left_rel = left if isinstance(left, FragmentedRelation) else (
-            self.database.relation(left)
-        )
-        right_rel = right if isinstance(right, FragmentedRelation) else (
-            self.database.relation(right)
-        )
-        right_position = right_rel.schema.position_of(right_attr) - 1
-        keys = {
-            row[right_position]
-            for fragment in right_rel.fragments
-            for row in fragment.rows()
-        }
-        left_position = left_rel.schema.position_of(left_attr) - 1
-        result = FragmentedRelation(left_rel.schema, left_rel.scheme)
-        for index, fragment in enumerate(left_rel.fragments):
-            for row in fragment.rows():
-                if row[left_position] in keys:
-                    result.fragment(index).insert(row, _validated=True)
-        return result
-
-
-def _named(expr: E.Expression):
-    """The resolvable name of a leaf operand: a plain relation reference or
-    a first-class differential (``E.Delta``, resolved via its auxiliary
-    name).  None for anything deeper."""
-    if isinstance(expr, E.RelationRef):
-        return expr.name
-    if isinstance(expr, E.Delta):
-        return expr.name
-    return None
-
-
-def _equality_attributes(predicate: P.Predicate):
-    """Extract (left_attr, right_attr) from a single-equality θ."""
-    if (
-        isinstance(predicate, P.Comparison)
-        and predicate.op == "="
-        and isinstance(predicate.left, P.ColRef)
-        and isinstance(predicate.right, P.ColRef)
-    ):
-        left, right = predicate.left, predicate.right
-        if left.side == "left" and right.side == "right":
-            return left.attr, right.attr
-        if left.side == "right" and right.side == "left":
-            return right.attr, left.attr
-    raise FragmentationError(
-        f"parallel join checks require a single attribute equality, "
-        f"found {predicate!r}"
-    )

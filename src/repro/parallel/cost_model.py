@@ -30,7 +30,7 @@ measured counts alone.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.parallel.nodes import NodeStats
 
@@ -90,13 +90,36 @@ class CostModel:
         partitioned over ``nodes`` — the same idealization Section 7's
         calibration uses.  Unlike :meth:`weighted_node_time` this needs no
         post-hoc operator trace: it prices a plan *before* running it.
+        Transfer work the estimate carries (``transferred``/``messages``,
+        filled in by the fragment-aware enforcement layer) is priced at the
+        model's per-tuple transfer cost and message latency — it is wire
+        work, so it does not divide by the node count.
         """
         cpu = (
             estimate.scanned * self.scan_per_tuple
             + estimate.built * self.build_per_tuple
             + estimate.probed * self.probe_per_tuple
         )
-        return self.startup + cpu / max(nodes, 1)
+        comm = (
+            getattr(estimate, "transferred", 0.0) * self.transfer_per_tuple
+            + getattr(estimate, "messages", 0.0) * self.message_latency
+        )
+        return self.startup + cpu / max(nodes, 1) + comm
+
+    def ship_time(
+        self, tuples: float, nodes: int, replicate: bool = False
+    ) -> float:
+        """Cost of moving ``tuples`` rows to ``nodes`` nodes.
+
+        Partitioned shipping (the repartition strategies) sends each tuple
+        to exactly one node; ``replicate`` (broadcast) sends every tuple to
+        every node.  One message per receiving node either way.
+        """
+        factor = nodes if replicate else 1
+        return (
+            tuples * factor * self.transfer_per_tuple
+            + nodes * self.message_latency
+        )
 
 
 # Calibrated to Section 7 (see module docstring).  scan 1.28 ms; hash build
@@ -211,8 +234,10 @@ def predict_audit_time(
     model: "CostModel" = POOMA_1992,
     nodes: int = 1,
     database=None,
+    deltas=None,
+    ship: Optional[str] = None,
 ) -> float:
-    """Price a full audit of an integrity program's check expressions.
+    """Price a full or differential audit of an integrity program.
 
     Sums the planner estimates of every relation-valued expression the
     program's statements evaluate — the alarm arguments, any temporary
@@ -222,10 +247,35 @@ def predict_audit_time(
     i.e. the plan shapes the unified audit path of
     :meth:`repro.core.subsystem.IntegrityController.violated_constraints`
     executes, charging the model's startup once.
+
+    ``deltas`` maps auxiliary differential names (``"fk@plus"``) to tuple
+    counts so *differential* programs price their delta scans from |Δ| —
+    the audit scheduler uses this to decide sync-inline vs fan-out per
+    rule.  With ``nodes > 1`` the audit is priced as a fragmented fan-out,
+    and ``ship`` adds the movement cost of getting a coordinator-held Δ to
+    the nodes: ``"repartition"`` ships each delta tuple to one node,
+    ``"broadcast"`` replicates the delta everywhere — the shipping-Δ vs
+    shipping-fragments comparison the fragment-aware pipeline makes.
     """
     from repro.algebra import planner
 
     seconds = model.startup
+    stats = None
+    if deltas:
+        from repro.algebra.statistics import RuntimeStatistics
+
+        if database is not None:
+            base = RuntimeStatistics.capture(database)
+        elif hasattr(cardinalities, "cardinalities"):
+            base = cardinalities
+        else:
+            base = RuntimeStatistics(cardinalities or {})
+        stats = RuntimeStatistics(
+            {**base.cardinalities, **deltas},
+            base.distinct,
+            base.logical_time,
+            delta_sizes=getattr(base, "delta_sizes", None),
+        )
     for statement in program:
         expressions = list(planner.statement_expressions(statement))
         formula = getattr(statement, "formula", None)
@@ -236,11 +286,17 @@ def predict_audit_time(
                 compile_constraint(formula, database.schema).plan_expressions()
             )
         for expression in expressions:
-            if database is not None:
+            if stats is not None:
+                estimate = planner.estimate_expression(expression, stats)
+            elif database is not None:
                 estimate = planner.plan_estimate(expression, database)
             else:
                 estimate = planner.estimate_expression(expression, cardinalities)
             seconds += model.plan_time(estimate, nodes) - model.startup
+    if ship is not None and nodes > 1 and deltas:
+        seconds += model.ship_time(
+            sum(deltas.values()), nodes, replicate=(ship == "broadcast")
+        )
     return seconds
 
 

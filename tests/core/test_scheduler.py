@@ -1,0 +1,254 @@
+"""The audit scheduler: draining, fan-out, poison tasks, session modes."""
+
+import pytest
+
+from repro.core.scheduler import AuditScheduler, RuleAuditTask
+from repro.core.subsystem import IntegrityController
+from repro.engine import Database, DatabaseSchema, RelationSchema, Session
+from repro.engine.commitlog import CommitLog
+from repro.engine.types import INT
+
+
+def schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        [
+            RelationSchema("fk", [("id", INT), ("ref", INT)]),
+            RelationSchema("pk", [("key", INT)]),
+        ]
+    )
+
+
+RULES = {
+    "fk_ref": "(forall x)(x in fk => (exists y)(y in pk and x.ref = y.key))",
+    "fk_id": "(forall x)(x in fk => x.id >= 0)",
+}
+
+
+@pytest.fixture
+def db():
+    database = Database(schema())
+    database.load("pk", [(k,) for k in range(10)])
+    database.load("fk", [(i, i % 10) for i in range(20)])
+    return database
+
+
+@pytest.fixture
+def controller():
+    built = IntegrityController(schema())
+    for name, condition in RULES.items():
+        built.add_constraint(name, condition)
+    return built
+
+
+def _commit(db, text):
+    result = Session(db).execute(text)
+    assert result.committed
+    return result
+
+
+class TestAuditTasks:
+    def test_one_task_per_affected_rule(self, db, controller):
+        result = _commit(db, "begin insert(fk, (100, 3)); end")
+        tasks = controller.audit_tasks(db, result)
+        assert {task.rule_name for task in tasks} == set(RULES)
+        assert all(task.kind == "delta" for task in tasks)
+
+    def test_unaffected_rules_produce_no_task(self, db, controller):
+        # Inserting a *target* is vacuous for the referential rule and
+        # untriggering for the id rule.
+        result = _commit(db, "begin insert(pk, (77,)); end")
+        assert controller.audit_tasks(db, result) == []
+
+    def test_task_verdicts_match_inline(self, db, controller):
+        result = _commit(db, "begin insert(fk, (-5, 55)); end")
+        inline = set(controller.violated_constraints_incremental(db, result))
+        verdicts = {
+            task.rule_name: task.run() for task in controller.audit_tasks(db, result)
+        }
+        assert {name for name, (violated, _) in verdicts.items() if violated} == inline
+        violated, sample = verdicts["fk_ref"]
+        assert violated and sample == ((-5, 55),)
+
+
+class TestScheduler:
+    def test_sync_drain_per_commit(self, db, controller):
+        scheduler = controller.audit_scheduler(db)
+        _commit(db, "begin insert(fk, (100, 3)); end")
+        _commit(db, "begin insert(fk, (101, 55)); end")
+        outcomes = scheduler.drain(coalesce=False)
+        assert [(o.rule, o.sequences, o.violated) for o in outcomes] == [
+            ("fk_ref", (0,), False),
+            ("fk_id", (0,), False),
+            ("fk_ref", (1,), True),
+            ("fk_id", (1,), False),
+        ]
+        assert outcomes[2].violations == ((101, 55),)
+        assert scheduler.pending() == 0
+
+    def test_coalesced_drain_merges_commits(self, db, controller):
+        scheduler = controller.audit_scheduler(db)
+        _commit(db, "begin insert(fk, (101, 55)); end")
+        _commit(db, "begin delete(fk, (101, 55)); end")
+        outcomes = scheduler.drain(coalesce=True)
+        # The dangling insert was retracted by the second commit: the
+        # coalesced net delta is empty, so there is nothing to audit.
+        assert outcomes == []
+
+    def test_async_drain_and_wait_are_deterministic(self, db, controller):
+        scheduler = AuditScheduler(
+            controller, db, workers=4, dispatch_overhead=0.0
+        )
+        _commit(db, "begin insert(fk, (100, 3)); end")
+        scheduler.drain(asynchronous=True, coalesce=False)
+        outcomes = scheduler.wait()
+        assert [(o.rule, o.violated) for o in outcomes] == [
+            ("fk_ref", False),
+            ("fk_id", False),
+        ]
+        assert all(o.mode == "worker" for o in outcomes)
+        assert scheduler.fanned_out == 2
+        scheduler.close()
+
+    def test_inline_policy_keeps_cheap_audits_off_the_pool(self, db, controller):
+        scheduler = AuditScheduler(
+            controller, db, workers=4, dispatch_overhead=1e9
+        )
+        _commit(db, "begin insert(fk, (100, 3)); end")
+        scheduler.drain(asynchronous=True)
+        outcomes = scheduler.wait()
+        assert all(o.mode == "inline" for o in outcomes)
+        assert scheduler.fanned_out == 0
+        scheduler.close()
+
+    def test_poison_task_surfaces_as_failure(self, db, controller):
+        scheduler = controller.audit_scheduler(db)
+        result = _commit(db, "begin insert(fk, (100, 3)); end")
+
+        class _Boom(RuleAuditTask):
+            def run(self):
+                raise RuntimeError("worker exploded")
+
+        task = controller.audit_tasks(db, result)[0]
+        poison = _Boom(
+            task.controller,
+            task.rule,
+            task.program,
+            task.database,
+            task.differentials,
+            task.engine,
+        )
+        from repro.core.scheduler import _execute
+
+        outcome = _execute(poison, (0,), "worker")
+        assert outcome.failed
+        assert outcome.violated is None
+        assert "RuntimeError: worker exploded" in outcome.error
+
+    def test_truncation_gap_reaches_async_wait(self, controller):
+        database = Database(schema())
+        database.load("pk", [(k,) for k in range(10)])
+        database.commit_log = CommitLog(capacity=1)
+        scheduler = controller.audit_scheduler(database)
+        _commit(database, "begin insert(fk, (1, 1)); end")
+        _commit(database, "begin insert(fk, (2, 2)); end")
+        scheduler.drain(asynchronous=True)
+        outcomes = scheduler.wait()
+        # Eviction must not become a silent drop on the async path: the
+        # gap outcome travels through wait() like every other verdict.
+        assert outcomes[0].failed and outcomes[0].mode == "gap"
+        assert {o.rule for o in outcomes[1:]} == set(RULES)
+        scheduler.close()
+
+    def test_truncation_gap_reported(self, controller):
+        database = Database(schema())
+        database.load("pk", [(k,) for k in range(10)])
+        database.commit_log = CommitLog(capacity=1)
+        scheduler = controller.audit_scheduler(database)
+        _commit(database, "begin insert(fk, (1, 1)); end")
+        _commit(database, "begin insert(fk, (2, 2)); end")
+        outcomes = scheduler.drain()
+        gap = outcomes[0]
+        assert gap.failed and gap.rule is None
+        assert "evicted" in gap.error
+        # The retained commit is still audited.
+        assert {o.rule for o in outcomes[1:]} == set(RULES)
+
+    def test_scheduler_is_cached_per_database(self, db, controller):
+        assert controller.audit_scheduler(db) is controller.audit_scheduler(db)
+
+    def test_history_records_everything(self, db, controller):
+        scheduler = controller.audit_scheduler(db)
+        _commit(db, "begin insert(fk, (100, 3)); end")
+        scheduler.drain()
+        _commit(db, "begin insert(fk, (101, 4)); end")
+        scheduler.drain(asynchronous=True)
+        scheduler.wait()
+        assert len(scheduler.history) == 4
+
+
+class TestSessionCommit:
+    def test_sync_commit_attaches_verdicts(self, db, controller):
+        session = Session(db, controller)
+        result = session.commit("begin insert(fk, (101, 55)); end")
+        assert result.committed
+        assert [(o.rule, o.violated) for o in result.audit] == [
+            ("fk_ref", True),
+            ("fk_id", False),
+        ]
+
+    def test_deferred_commits_audit_on_drain(self, db, controller):
+        session = Session(db, controller)
+        first = session.commit("begin insert(fk, (100, 3)); end", audit="deferred")
+        assert first.audit is None
+        session.commit("begin insert(fk, (101, 55)); end", audit="deferred")
+        outcomes = session.drain_audits(coalesce=False)
+        assert [(o.rule, o.violated) for o in outcomes] == [
+            ("fk_ref", False),
+            ("fk_id", False),
+            ("fk_ref", True),
+            ("fk_id", False),
+        ]
+
+    def test_sync_commit_excludes_backlog_verdicts(self, db, controller):
+        session = Session(db, controller)
+        session.commit("begin insert(fk, (101, 55)); end", audit="deferred")
+        result = session.commit("begin insert(fk, (100, 3)); end", audit="sync")
+        # The drain audited the deferred backlog too, but only this
+        # commit's verdicts attach to this result.
+        assert [(o.rule, o.sequences, o.violated) for o in result.audit] == [
+            ("fk_ref", (1,), False),
+            ("fk_id", (1,), False),
+        ]
+        history = session.audit_scheduler().history
+        assert ("fk_ref", (0,), True) in [
+            (o.rule, o.sequences, o.violated) for o in history
+        ]
+
+    def test_async_commit_waits_for_verdicts(self, db, controller):
+        session = Session(db, controller)
+        session.commit("begin insert(fk, (101, 55)); end", audit="async")
+        outcomes = session.wait_for_audits()
+        assert ("fk_ref", True) in [(o.rule, o.violated) for o in outcomes]
+
+    def test_commit_skips_modification_by_default(self, db, controller):
+        session = Session(db, controller)
+        result = session.commit("begin insert(fk, (101, 55)); end")
+        # The dangling insert *committed* (optimistic pipeline) and the
+        # audit flagged it — execute() would have aborted it instead.
+        assert result.committed
+        assert (101, 55) in db.relation("fk")
+        aborted = session.execute("begin insert(fk, (102, 56)); end")
+        assert aborted.aborted
+
+    def test_modify_true_restores_preventive_enforcement(self, db, controller):
+        session = Session(db, controller)
+        result = session.commit(
+            "begin insert(fk, (101, 55)); end", audit="sync", modify=True
+        )
+        assert result.aborted
+        assert result.audit is None
+
+    def test_invalid_audit_mode_rejected(self, db, controller):
+        session = Session(db, controller)
+        with pytest.raises(ValueError, match="audit must be one of"):
+            session.commit("begin insert(fk, (1, 1)); end", audit="bogus")

@@ -154,3 +154,48 @@ class TestErrors:
     def test_unknown_relation_in_constraint(self):
         output = run_shell("constraint c (forall x in ghost)(x.a > 0)\nexit\n")
         assert "error:" in output
+
+
+class TestAuditPipeline:
+    SETUP = (
+        "relation fk(id int, ref int)\n"
+        "relation pk(key int)\n"
+        "load pk (1) (2) (3)\n"
+        "constraint fk_ref (forall x)(x in fk => "
+        "(exists y)(y in pk and x.ref = y.key))\n"
+    )
+
+    def test_commit_defers_audit(self):
+        output = run_shell(
+            self.SETUP + "commit begin insert(fk, (11, 99)); end\nexit\n"
+        )
+        assert "audit deferred" in output
+
+    def test_audit_log_tails_commits_and_verdicts(self):
+        output = run_shell(
+            self.SETUP
+            + "commit begin insert(fk, (10, 1)); end\n"
+            + "commit begin insert(fk, (11, 99)); end\n"
+            + "audit-log\nexit\n"
+        )
+        assert "commit log: 2 record(s), next #2" in output
+        assert "#0 t=0->1 fk +1/-0" in output
+        assert "#0 fk_ref: ok" in output
+        assert "#1 fk_ref: VIOLATED ((11, 99))" in output
+
+    def test_audit_log_subcommand_entry_point(self, tmp_path, capsys):
+        from repro.cli import main
+
+        script = tmp_path / "scenario.txt"
+        script.write_text(
+            self.SETUP + "commit begin insert(fk, (11, 99)); end\n"
+        )
+        assert main(["audit-log", str(script)]) == 0
+        output = capsys.readouterr().out
+        assert "commit log: 1 record(s)" in output
+        assert "fk_ref: VIOLATED" in output
+
+    def test_audit_log_rejects_bad_limit(self, capsys):
+        from repro.cli import main
+
+        assert main(["audit-log", "-n", "x"]) == 2

@@ -147,6 +147,89 @@ class TestDifferentialPrograms:
             enforcer.enforce_program(plus_program)
 
 
+class TestCommitLogDeltas:
+    """Plain-Relation deltas (a coordinator-held commit record) ship per
+    the per-operand movement decision instead of requiring the caller to
+    pre-fragment them."""
+
+    def test_plain_delta_repartitions_on_join_attribute(self, schema, fragmented):
+        from repro.engine import Relation
+        from repro.parallel import Strategy
+
+        rule = IntegrityRule(
+            parse_constraint("(forall x in fk)(exists y in pk)(x.ref = y.key)"),
+            name="fk_rule",
+        )
+        variants = differential_programs(rule, trans_r(rule, schema))
+        delta = Relation(
+            schema.relation("fk"), [(200, 3, 10), (201, 77, 10)]
+        )
+        enforcer = ParallelRuleEnforcer(fragmented)
+        enforcer.bind_auxiliary("fk@plus", delta)
+        [report] = enforcer.enforce_program(variants[(INS, "fk")])
+        assert report.violations == 1  # ref 77 dangles
+        assert report.placements["fk@plus"] is Strategy.REPARTITION
+        assert report.placements["pk"] is Strategy.LOCAL
+        assert report.tuples_shipped == len(delta)
+
+    def test_plain_domain_delta_partitions_without_attribute(self, schema, fragmented):
+        from repro.engine import Relation
+        from repro.parallel import Strategy
+
+        rule = IntegrityRule(
+            parse_constraint("(forall x in fk)(x.amount >= 0)"), name="dom"
+        )
+        variants = differential_programs(rule, trans_r(rule, schema))
+        delta = Relation(schema.relation("fk"), [(300, 1, -4), (301, 2, 4)])
+        enforcer = ParallelRuleEnforcer(fragmented)
+        enforcer.bind_auxiliary("fk@plus", delta)
+        [report] = enforcer.enforce_program(variants[(INS, "fk")])
+        assert report.violations == 1
+        assert report.placements["fk@plus"] is Strategy.REPARTITION
+
+    def test_forced_broadcast_never_replicates_the_carrier(self, schema, fragmented):
+        from repro.engine import Relation
+        from repro.parallel import Strategy
+
+        rule = IntegrityRule(
+            parse_constraint("(forall x in fk)(exists y in pk)(x.ref = y.key)"),
+            name="fk_rule",
+        )
+        variants = differential_programs(rule, trans_r(rule, schema))
+        delta = Relation(schema.relation("fk"), [(200, 3, 10), (201, 77, 10)])
+        enforcer = ParallelRuleEnforcer(fragmented)
+        enforcer.bind_auxiliary("fk@plus", delta)
+        [report] = enforcer.enforce_program(
+            variants[(INS, "fk")], strategy=Strategy.BROADCAST
+        )
+        # The probe-side delta (the carrier) partitions — replicating it
+        # would count every violation once per node — while the forced
+        # strategy broadcasts the non-carrier pk (each node ships its
+        # local fragment to the 3 others).
+        assert report.violations == 1  # ref 77 dangles, counted once
+        assert report.placements["fk@plus"] is Strategy.REPARTITION
+        assert report.placements["pk"] is Strategy.BROADCAST
+        assert report.tuples_shipped == len(delta) + 10 * 3
+
+    def test_forced_local_rejects_plain_delta(self, schema, fragmented):
+        from repro.engine import Relation
+        from repro.parallel import Strategy
+
+        rule = IntegrityRule(
+            parse_constraint("(forall x in fk)(exists y in pk)(x.ref = y.key)"),
+            name="fk_rule",
+        )
+        variants = differential_programs(rule, trans_r(rule, schema))
+        enforcer = ParallelRuleEnforcer(fragmented)
+        enforcer.bind_auxiliary(
+            "fk@plus", Relation(schema.relation("fk"), [(200, 3, 10)])
+        )
+        with pytest.raises(FragmentationError, match="not fragmented"):
+            enforcer.enforce_program(
+                variants[(INS, "fk")], strategy=Strategy.LOCAL
+            )
+
+
 class TestUnsupportedShapes:
     def test_aggregate_alarm_rejected(self, schema, fragmented):
         rule = IntegrityRule(parse_constraint("CNT(fk) <= 100"), name="cap")

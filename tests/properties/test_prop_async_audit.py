@@ -1,0 +1,185 @@
+"""Property: deferred and async audits agree with inline incremental audits.
+
+For random transaction streams over the workload schema, draining the
+commit log — per commit, or coalesced across consecutive commits — through
+the :class:`~repro.core.scheduler.AuditScheduler` must produce the same
+verdicts and violating-tuple sets as calling
+``violated_constraints_incremental`` inline after each commit, across
+commit interleavings (drain position varies), in set and bag mode, with
+and without hash indexes, and regardless of whether tasks run on the
+draining thread or the worker pool.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import AuditScheduler
+from repro.core.subsystem import IntegrityController
+from repro.engine import Database, Session
+from repro.engine.commitlog import coalesce_differentials
+
+from . import strategies as S
+
+_SETTINGS = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+RULES = {
+    "domain_r": "(forall x)(x in r => x.a >= 0 or x.b > 2)",
+    "ref_rs": "(forall x)(x in r => (exists y)(y in s and x.a = y.c))",
+    "excl_rs": "(forall x in r)(forall y in s)(x.b != y.d or x.a != y.c)",
+    "conj": "(forall x)(x in r => x.b <= 9) and "
+    "(forall x)(x in s => x.d <= 9)",
+}
+
+TXN_STREAMS = st.lists(S.transactions(), min_size=1, max_size=4)
+
+
+def _database(rows_r, rows_s, bag: bool, indexed: bool) -> Database:
+    database = Database(S.rs_schema(), bag=bag)
+    database.load("r", rows_r)
+    database.load("s", rows_s)
+    if indexed:
+        database.create_index("r", ["a"])
+        database.create_index("s", ["c"])
+    return database
+
+
+def _controller() -> IntegrityController:
+    controller = IntegrityController(S.rs_schema())
+    for name, text in RULES.items():
+        controller.add_constraint(name, text)
+    return controller
+
+
+def _outcome_key(outcomes):
+    """Per (sequence-span, rule): (violated, violating tuple set)."""
+    return {
+        (outcome.sequences, outcome.rule): (
+            outcome.violated,
+            frozenset(outcome.violations),
+        )
+        for outcome in outcomes
+    }
+
+
+@given(
+    rows_r=S.ROWS_R,
+    rows_s=S.ROWS_S,
+    txns=TXN_STREAMS,
+    bag=st.booleans(),
+    indexed=st.booleans(),
+    asynchronous=st.booleans(),
+)
+@_SETTINGS
+def test_per_commit_drain_agrees_with_inline(
+    rows_r, rows_s, txns, bag, indexed, asynchronous
+):
+    """Un-coalesced drains must reproduce the inline per-commit audit
+    exactly — verdicts and violating-tuple samples — whether the tasks ran
+    inline, on the pool (dispatch_overhead=0 forces fan-out), or mixed."""
+    database = _database(rows_r, rows_s, bag, indexed)
+    controller = _controller()
+    session = Session(database)
+    scheduler = AuditScheduler(
+        controller,
+        database,
+        workers=3,
+        dispatch_overhead=0.0 if asynchronous else 1e9,
+    )
+    inline_expected = {}
+    committed = []
+    for txn in txns:
+        result = session.execute(txn)
+        if not result.committed:
+            continue
+        sequence = database.commit_log.next_sequence - 1
+        committed.append(sequence)
+        tasks = controller.audit_tasks(database, result)
+        inline_names = set(
+            controller.violated_constraints_incremental(database, result)
+        )
+        for task in tasks:
+            violated, sample = task.run()
+            assert violated == (task.rule_name in inline_names)
+            inline_expected[((sequence,), task.rule_name)] = (
+                violated,
+                frozenset(sample),
+            )
+        # Interleaving: drain after every commit so each audit runs
+        # against exactly the state the inline audit saw.
+        if asynchronous:
+            scheduler.drain(asynchronous=True, coalesce=False)
+            outcomes = scheduler.wait()
+        else:
+            outcomes = scheduler.drain(coalesce=False)
+        for key, value in _outcome_key(outcomes).items():
+            assert inline_expected[key] == value, (
+                f"pipeline outcome diverges at {key}: "
+                f"{value} != {inline_expected[key]}"
+            )
+    scheduler.close()
+    assert not scheduler.pending()
+
+
+@given(
+    rows_r=S.ROWS_R,
+    rows_s=S.ROWS_S,
+    txns=TXN_STREAMS,
+    bag=st.booleans(),
+    indexed=st.booleans(),
+)
+@_SETTINGS
+def test_coalesced_drain_equals_inline_audit_of_composed_delta(
+    rows_r, rows_s, txns, bag, indexed
+):
+    """A coalesced drain over N commits must agree with the inline
+    incremental audit of the *composed* net delta: coalescing is delta
+    composition, not a different enforcement semantics."""
+    database = _database(rows_r, rows_s, bag, indexed)
+    controller = _controller()
+    session = Session(database)
+    start = database.commit_log.next_sequence
+    for txn in txns:
+        session.execute(txn)
+    records, lost = database.commit_log.since(start)
+    assert lost == 0
+    composed = coalesce_differentials(records, database)
+    inline = set(
+        controller.violated_constraints_incremental(database, composed)
+    )
+    scheduler = AuditScheduler(
+        controller, database, workers=3, start_sequence=start
+    )
+    outcomes = scheduler.drain(coalesce=True)
+    scheduler.close()
+    assert {o.rule for o in outcomes if o.violated} == inline
+    assert not any(o.failed for o in outcomes)
+
+
+@given(
+    rows_r=S.ROWS_R,
+    rows_s=S.ROWS_S,
+    txns=TXN_STREAMS,
+    bag=st.booleans(),
+)
+@_SETTINGS
+def test_session_commit_sync_equals_incremental(rows_r, rows_s, txns, bag):
+    """``Session.commit(audit="sync")`` verdicts equal what inline
+    ``violated_constraints_incremental`` reports for the same commit."""
+    database = _database(rows_r, rows_s, bag, indexed=False)
+    controller = _controller()
+    session = Session(database, controller)
+    for txn in txns:
+        result = session.commit(txn, audit="sync")
+        if not result.committed:
+            continue
+        inline = set(
+            controller.violated_constraints_incremental(database, result)
+        )
+        assert {o.rule for o in result.audit if o.violated} == inline
+        assert not any(o.failed for o in result.audit)
