@@ -26,6 +26,12 @@ Commands::
 ``python -m repro audit-log [script] [-n N]`` runs a script (or stdin)
 non-interactively and tails the resulting commit log and audit verdicts —
 the debugging window into the concurrent enforcement pipeline.
+
+``python -m repro [--executor inline|thread|process] ...`` selects the
+audit executor the shell's scheduler dispatches fan-out tasks to:
+``inline`` runs every audit on the draining thread, ``thread`` (default)
+overlaps them on a thread pool, ``process`` ships them to worker
+processes holding shared-nothing database replicas (true multi-core).
 """
 
 from __future__ import annotations
@@ -57,14 +63,19 @@ class Shell:
         stdin: Optional[TextIO] = None,
         stdout: Optional[TextIO] = None,
         interactive: bool = True,
+        executor: str = "thread",
     ):
         self.stdin = stdin or sys.stdin
         self.stdout = stdout or sys.stdout
         self.interactive = interactive
+        self.executor = executor
         self.schema = DatabaseSchema()
         self.database = Database(self.schema)
         self.controller = IntegrityController(self.schema)
         self.session = Session(self.database, self.controller)
+        # Pin the executor choice now: the per-database scheduler is created
+        # once (weakly cached) and commit/audit paths reuse it.
+        self.controller.audit_scheduler(self.database, executor=executor)
         self.running = False
 
     # -- i/o helpers -----------------------------------------------------------
@@ -98,19 +109,24 @@ class Shell:
         if self.interactive:
             self.write(f"repro {__version__} — transaction modification shell")
             self.write("type 'help' for commands")
-        while self.running:
-            line = self._read_line(PROMPT)
-            if line is None:
-                break
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            try:
-                self.dispatch(line)
-            except ReproError as error:
-                self.write(f"error: {error}")
-            except Exception as error:  # pragma: no cover - safety net
-                self.write(f"internal error: {error!r}")
+        try:
+            while self.running:
+                line = self._read_line(PROMPT)
+                if line is None:
+                    break
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    self.dispatch(line)
+                except ReproError as error:
+                    self.write(f"error: {error}")
+                except Exception as error:  # pragma: no cover - safety net
+                    self.write(f"internal error: {error!r}")
+        finally:
+            # Deterministic teardown: never leak audit worker threads or
+            # processes past the shell's lifetime.
+            self.controller.close_schedulers()
         return 0
 
     # -- command dispatch -------------------------------------------------------------
@@ -265,11 +281,18 @@ class Shell:
                 f"  #{record.sequence} t={record.pre_time}->"
                 f"{record.post_time} {sizes or '(empty)'}"
             )
-        scheduler = self.controller.audit_scheduler(self.database)
+        scheduler = self.controller.audit_scheduler(
+            self.database, executor=self.executor
+        )
         pending = scheduler.pending()
         if pending:
             self.write(f"auditing {pending} pending commit(s)...")
-            scheduler.drain(coalesce=False)
+            if self.executor == "inline":
+                scheduler.drain(coalesce=False)
+            else:
+                # Exercise the configured pool, then merge deterministically.
+                scheduler.drain(asynchronous=True, coalesce=False)
+                scheduler.wait()
         verdicts = scheduler.history[-limit * 4 :]
         self.write(f"audit verdicts ({len(scheduler.history)} total):")
         if not verdicts:
@@ -283,7 +306,12 @@ class Shell:
                 state = f"VIOLATED ({sample})"
             else:
                 state = "ok"
-            self.write(f"  {span} {outcome.rule}: {state} [{outcome.mode}]")
+            where = (
+                outcome.mode
+                if outcome.executor is None
+                else f"{outcome.mode}/{outcome.executor}"
+            )
+            self.write(f"  {span} {outcome.rule}: {state} [{where}]")
 
     def cmd_show(self, rest: str) -> None:
         what = rest.strip().lower()
@@ -345,7 +373,7 @@ def _parses_as_rule(text: str) -> bool:
         return False
 
 
-def audit_log_main(args: List[str]) -> int:
+def audit_log_main(args: List[str], executor: str = "thread") -> int:
     """``python -m repro audit-log [script] [-n N]``.
 
     Runs the script (or stdin) through a non-interactive shell, then tails
@@ -369,9 +397,10 @@ def audit_log_main(args: List[str]) -> int:
         return 2
     stream = open(paths[0]) if paths else sys.stdin
     try:
-        shell = Shell(stdin=stream, interactive=False)
+        shell = Shell(stdin=stream, interactive=False, executor=executor)
         shell.run()
         shell.cmd_audit_log(str(limit))
+        shell.controller.close_schedulers()
     finally:
         if paths:
             stream.close()
@@ -380,11 +409,30 @@ def audit_log_main(args: List[str]) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro``."""
+    from repro.core.scheduler import EXECUTORS
+
     args = list(sys.argv[1:] if argv is None else argv)
+    executor = "thread"
+    while "--executor" in args:
+        position = args.index("--executor")
+        try:
+            executor = args[position + 1]
+        except IndexError:
+            sys.stderr.write(
+                f"--executor needs a value: one of {', '.join(EXECUTORS)}\n"
+            )
+            return 2
+        del args[position : position + 2]
+    if executor not in EXECUTORS:
+        sys.stderr.write(
+            f"unknown executor {executor!r}; expected one of "
+            f"{', '.join(EXECUTORS)}\n"
+        )
+        return 2
     if args and args[0] == "audit-log":
-        return audit_log_main(args[1:])
+        return audit_log_main(args[1:], executor=executor)
     interactive = sys.stdin.isatty()
-    shell = Shell(interactive=interactive)
+    shell = Shell(interactive=interactive, executor=executor)
     return shell.run()
 
 

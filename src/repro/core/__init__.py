@@ -39,14 +39,17 @@ from repro.core.translation import trans_c, trans_r, calc_to_alg
 from repro.core.optimization import opt_r, opt_c, differential_programs
 from repro.core.modification import mod_t, mod_p, ModificationStats
 from repro.core.programs import IntegrityProgram, IntegrityProgramStore, get_int_p
+from repro.core.procpool import ControllerSpec, ProcessAuditExecutor
 from repro.core.triggering_graph import TriggeringGraph
 from repro.core.subsystem import IntegrityController
 
 __all__ = [
     "ABORT_ACTION",
+    "ControllerSpec",
     "DEL",
     "INS",
     "IntegrityController",
+    "ProcessAuditExecutor",
     "IntegrityProgram",
     "IntegrityProgramStore",
     "IntegrityRule",

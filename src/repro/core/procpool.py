@@ -1,0 +1,350 @@
+"""The process-pool audit executor: true multi-core rule audits.
+
+The thread-based pool in :mod:`repro.core.scheduler` overlaps audit I/O
+and amortizes hash builds, but CPU-bound Python audits serialize on the
+GIL — on an N-core machine the pool still burns one core.  This module
+ships the same ``(rule, Δ)`` task shape across *process* boundaries, the
+way PRISMA/DB shipped simplified checks to the nodes that owned the data:
+
+* **Replicated read-only plans** — each worker process rebuilds the
+  :class:`~repro.core.subsystem.IntegrityController` (rule catalog,
+  integrity-program store, precompiled physical plans) exactly once, from
+  a pickled :class:`ControllerSpec`, at startup.  Per task, only
+  ``(rule name, frozen Δ)`` crosses the pipe.
+* **Shared-nothing database replicas** — each worker owns a full replica
+  of the database, shipped once at pool creation and kept current by
+  replaying the same :class:`~repro.engine.commitlog.CommitRecord` stream
+  the coordinator commits (``apply_deltas`` on the replica, O(|Δ|) per
+  commit).  Because each worker's inbox is FIFO, every audit task runs
+  against exactly the replica state of the drain that produced it — the
+  process arm therefore gives *strict batched* verdicts even under
+  concurrent commits, where the thread arm's verdicts may observe later
+  states.
+* **Nothing silently dropped** — worker exceptions travel back as error
+  strings (the scheduler surfaces them as poisoned
+  :class:`~repro.core.scheduler.AuditOutcome`\\ s), a worker death fails
+  only its own in-flight tasks, and a commit-log truncation gap triggers a
+  full replica resync instead of divergence.
+
+Both ``fork`` and ``spawn`` start methods are supported: the worker
+payload is always explicitly pickled and shipped (never inherited), so the
+serialization path is identical — and property-tested — under either.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue as queue_module
+import threading
+import time
+from typing import Dict, List, Optional
+
+#: Seconds between liveness checks while waiting on a worker result.
+RESULT_POLL_SECONDS = 0.25
+
+#: Protocol used for every cross-process payload.
+PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+def default_start_method() -> str:
+    """``fork`` where the platform offers it (cheap), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class ControllerSpec:
+    """A picklable recipe for rebuilding an IntegrityController.
+
+    The controller itself is not picklable (it weakly caches per-database
+    schedulers); the spec carries what :meth:`build` needs — the schema,
+    the registered rules, and the constructor options — so a worker
+    process reconstructs the full plan cache deterministically: re-adding
+    the same rules in the same order re-derives the same integrity
+    programs, differential variants, and precompiled physical plans.
+    """
+
+    __slots__ = (
+        "schema",
+        "rules",
+        "mode",
+        "optimize",
+        "differential",
+        "allow_fallback",
+        "engine",
+    )
+
+    def __init__(self, controller):
+        self.schema = controller.schema
+        self.rules = list(controller.rules)
+        self.mode = controller.mode
+        self.optimize = controller.optimize
+        self.differential = controller.differential
+        self.allow_fallback = controller.allow_fallback
+        self.engine = controller.engine
+
+    def build(self):
+        from repro.core.subsystem import IntegrityController
+
+        controller = IntegrityController(
+            self.schema,
+            mode=self.mode,
+            optimize=self.optimize,
+            differential=self.differential,
+            allow_fallback=self.allow_fallback,
+            engine=self.engine,
+        )
+        for rule in self.rules:
+            controller.add_rule(rule)
+        return controller
+
+    def __repr__(self) -> str:
+        return f"ControllerSpec({len(self.rules)} rules, mode={self.mode})"
+
+
+def run_rule_audit(controller, database, rule_name, differentials, engine):
+    """Audit one rule against one delta on a (replica) database.
+
+    The worker-side twin of
+    :meth:`~repro.core.subsystem.IntegrityController.audit_tasks`: the
+    per-rule disposition (skip / delta program / full check) is re-derived
+    locally — it is a pure function of the rule store and the delta's
+    performed triggers, so coordinator and worker always agree.  Returns
+    ``(violated, violating_sample)``.
+    """
+    from repro.core.scheduler import RuleAuditTask
+    from repro.core.subsystem import FULL_CHECK
+    from repro.engine.session import DeltaView
+
+    rule = controller.rule(rule_name)
+    performed = DeltaView(database, differentials).performed_triggers()
+    disposition = controller._rule_delta_disposition(rule, performed)
+    if disposition is None:
+        return False, ()
+    program = None if disposition is FULL_CHECK else disposition
+    task = RuleAuditTask(
+        controller, rule, program, database, differentials, engine
+    )
+    return task.run()
+
+
+def _audit_worker(inbox, outbox, payload: bytes) -> None:
+    """Worker main loop: replicate, then audit what the coordinator sends."""
+    spec, database = pickle.loads(payload)
+    controller = spec.build()
+    while True:
+        message = inbox.get()
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "apply":
+            for record in pickle.loads(message[1]):
+                database.apply_deltas(record.differentials, record=False)
+        elif kind == "resync":
+            database = pickle.loads(message[1])
+        elif kind == "task":
+            task_id, rule_name, engine, blob = message[1:]
+            started = time.perf_counter()
+            try:
+                violated, violations = run_rule_audit(
+                    controller, database, rule_name, pickle.loads(blob), engine
+                )
+                outbox.put(
+                    (
+                        task_id,
+                        violated,
+                        tuple(violations),
+                        None,
+                        time.perf_counter() - started,
+                    )
+                )
+            except BaseException as error:  # poison task: ship the failure
+                outbox.put(
+                    (
+                        task_id,
+                        None,
+                        (),
+                        f"{type(error).__name__}: {error}",
+                        time.perf_counter() - started,
+                    )
+                )
+
+
+class _ProcessFuture:
+    """A future resolving to an :class:`~repro.core.scheduler.AuditOutcome`."""
+
+    __slots__ = ("executor", "task_id", "rule", "sequences", "mode", "predicted")
+
+    def __init__(self, executor, task_id, rule, sequences, mode, predicted):
+        self.executor = executor
+        self.task_id = task_id
+        self.rule = rule
+        self.sequences = sequences
+        self.mode = mode
+        self.predicted = predicted
+
+    def result(self):
+        from repro.core.scheduler import AuditOutcome
+
+        violated, violations, error, seconds = self.executor._collect(
+            self.task_id
+        )
+        return AuditOutcome(
+            self.rule,
+            self.sequences,
+            violated,
+            violations=violations,
+            error=error,
+            mode=self.mode,
+            executor="process",
+            seconds=seconds,
+            predicted=self.predicted,
+        )
+
+
+class ProcessAuditExecutor:
+    """A shared-nothing pool of audit worker processes.
+
+    Workers are shipped ``(ControllerSpec, database replica)`` once at
+    construction; thereafter the coordinator streams commit records to
+    every worker (:meth:`replicate`) and ``(rule, Δ)`` tasks to one worker
+    each (:meth:`submit`, round-robin).  FIFO inbox ordering guarantees a
+    task observes exactly the replica state of its drain.
+    """
+
+    def __init__(
+        self,
+        controller,
+        database,
+        workers: int = 4,
+        start_method: Optional[str] = None,
+    ):
+        self.start_method = start_method or default_start_method()
+        self._context = multiprocessing.get_context(self.start_method)
+        self.database = database
+        self.workers = max(int(workers), 1)
+        payload = pickle.dumps(
+            (ControllerSpec(controller), database), protocol=PICKLE_PROTOCOL
+        )
+        # Records with sequence >= this watermark have not yet been shipped
+        # to the replicas (the initial snapshot covers everything before).
+        self._replicated_through = database.commit_log.next_sequence
+        self._outbox = self._context.Queue()
+        self._inboxes = []
+        self._processes = []
+        for index in range(self.workers):
+            inbox = self._context.Queue()
+            process = self._context.Process(
+                target=_audit_worker,
+                args=(inbox, self._outbox, payload),
+                name=f"repro-audit-proc-{index}",
+                daemon=True,
+            )
+            process.start()
+            self._inboxes.append(inbox)
+            self._processes.append(process)
+        self._next_task_id = 0
+        self._next_worker = 0
+        self._owners: Dict[int, int] = {}
+        self._done: Dict[int, tuple] = {}
+        self._reader_lock = threading.Lock()
+        # One coalesced drain submits the same differentials object once
+        # per rule: pickle it once, ship the blob n times.
+        self._delta_cache: Optional[tuple] = None
+        self._closed = False
+
+    # -- replication -----------------------------------------------------------
+
+    def replicate(self, records) -> int:
+        """Ship not-yet-shipped commit records to every worker replica."""
+        fresh = [
+            record
+            for record in records
+            if record.sequence >= self._replicated_through
+        ]
+        if not fresh:
+            return 0
+        blob = pickle.dumps(fresh, protocol=PICKLE_PROTOCOL)
+        for inbox in self._inboxes:
+            inbox.put(("apply", blob))
+        self._replicated_through = fresh[-1].sequence + 1
+        return len(fresh)
+
+    def resync(self, database) -> None:
+        """Ship a full fresh replica (after a commit-log truncation gap)."""
+        blob = pickle.dumps(database, protocol=PICKLE_PROTOCOL)
+        for inbox in self._inboxes:
+            inbox.put(("resync", blob))
+        self._replicated_through = database.commit_log.next_sequence
+
+    # -- task dispatch ---------------------------------------------------------
+
+    def submit(self, task, sequences, mode="async", predicted=None):
+        """Dispatch one audit task to a worker; returns a future."""
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        worker = self._next_worker
+        self._next_worker = (self._next_worker + 1) % self.workers
+        self._owners[task_id] = worker
+        cache = self._delta_cache
+        if cache is not None and cache[0] is task.differentials:
+            blob = cache[1]
+        else:
+            blob = pickle.dumps(task.differentials, protocol=PICKLE_PROTOCOL)
+            self._delta_cache = (task.differentials, blob)
+        self._inboxes[worker].put(
+            ("task", task_id, task.rule_name, task.engine, blob)
+        )
+        return _ProcessFuture(
+            self, task_id, task.rule_name, sequences, mode, predicted
+        )
+
+    def _collect(self, task_id: int) -> tuple:
+        """Block until ``task_id``'s result arrives; store others en route."""
+        while True:
+            with self._reader_lock:
+                if task_id in self._done:
+                    return self._done.pop(task_id)
+                try:
+                    message = self._outbox.get(timeout=RESULT_POLL_SECONDS)
+                except queue_module.Empty:
+                    owner = self._owners.get(task_id)
+                    if owner is not None and not self._processes[owner].is_alive():
+                        self._done[task_id] = (
+                            None,
+                            (),
+                            f"audit worker process {owner} died before "
+                            f"returning a verdict",
+                            0.0,
+                        )
+                    continue
+                self._done[message[0]] = message[1:]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop every worker; in-flight tasks should be collected first."""
+        if self._closed:
+            return
+        self._closed = True
+        for inbox, process in zip(self._inboxes, self._processes):
+            if process.is_alive():
+                try:
+                    inbox.put(("stop",))
+                except (ValueError, OSError):  # pragma: no cover - race
+                    pass
+        if wait:
+            for process in self._processes:
+                process.join(timeout=10.0)
+        for process in self._processes:
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=1.0)
+
+    def __repr__(self) -> str:
+        alive = sum(1 for p in self._processes if p.is_alive())
+        return (
+            f"ProcessAuditExecutor({alive}/{self.workers} workers alive, "
+            f"{self.start_method}, replicated_through="
+            f"#{self._replicated_through})"
+        )

@@ -1,10 +1,24 @@
-"""The audit scheduler: commit log → per-rule audit tasks → worker pool.
+"""The audit scheduler: commit log → per-rule audit tasks → executor.
 
 This is the concurrent half of the enforcement pipeline.  The engine's
 :class:`~repro.engine.commitlog.CommitLog` records every committed net
 delta; this module drains it into independent ``(rule, Δ)`` audit tasks —
 the unit of distributable work Martinenghi's simplified-checking survey
-identifies — and executes them on a thread pool.
+identifies — and executes them on one of three executors:
+
+``inline``
+    Every task runs on the draining thread.  Zero dispatch cost; no
+    overlap.
+``thread``
+    Predicted-expensive tasks fan out to a thread pool.  Overlaps audit
+    work with the committing session, but CPU-bound Python audits still
+    serialize on the GIL.
+``process``
+    Predicted-expensive tasks ship to a pool of worker *processes*
+    (:class:`~repro.core.procpool.ProcessAuditExecutor`), each owning a
+    shared-nothing replica of the database kept current by replaying the
+    commit-record stream.  True multi-core audits, at the price of
+    pickling each Δ across a pipe.
 
 Why this is safe without locking base relations: each task evaluates a
 side-effect-free delta (or fallback) program through its own
@@ -12,21 +26,26 @@ side-effect-free delta (or fallback) program through its own
 by the owning session at commit time.  The *consistency guarantee* is
 therefore per drain: verdicts describe the delta evaluated against the
 database state as of the drain (or later, if the owner keeps committing
-while workers run) — ``audit="sync"`` gives strict per-commit verdicts,
-``deferred``/``async`` give batched, possibly coalesced verdicts.
+while thread workers run; process workers always observe exactly the
+drain-time replica state) — ``audit="sync"`` gives strict per-commit
+verdicts, ``deferred``/``async`` give batched, possibly coalesced
+verdicts.
 
 Scheduling policy: per rule, the scheduler prices the audit with the cost
 model (:func:`repro.parallel.cost_model.predict_audit_time` under the
 observed |Δ|) and runs predicted-cheap audits *inline* on the draining
-thread — a thread-pool handoff costs more than a vacuous or tiny delta
-check — while predicted-expensive audits fan out to workers.  Worker
-exceptions are never dropped: a poisoned task surfaces as an
-:class:`AuditOutcome` with ``error`` set, and commit records evicted from
-the bounded log before being drained surface as an explicit gap outcome.
+thread — a pool handoff costs more than a vacuous or tiny delta check —
+while predicted-expensive audits fan out.  Measured per-task seconds feed
+back into the decision as a per-rule EWMA correction factor on the
+prediction, the same way observed cardinalities already correct plan
+estimates.  Worker exceptions are never dropped: a poisoned task surfaces
+as an :class:`AuditOutcome` with ``error`` set, and commit records evicted
+from the bounded log before being drained surface as an explicit gap
+outcome.
 
 Verdict merging is deterministic: outcomes are ordered by (first covered
 commit sequence, rule registration order), regardless of worker completion
-order.
+order — identical across all three executors.
 """
 
 from __future__ import annotations
@@ -34,7 +53,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.engine.commitlog import (
     batch_sequences,
@@ -49,6 +68,13 @@ DISPATCH_OVERHEAD_SECONDS = 1.5e-4
 
 #: Default worker count for the audit pool.
 DEFAULT_WORKERS = 4
+
+#: The dispatch arms a scheduler can run audit tasks on.
+EXECUTORS = ("inline", "thread", "process")
+
+#: Smoothing for the measured-vs-predicted audit-seconds correction,
+#: mirroring DELTA_EWMA_ALPHA on delta-size observations.
+AUDIT_EWMA_ALPHA = 0.5
 
 
 class RuleAuditTask:
@@ -103,7 +129,14 @@ class RuleAuditTask:
 
 
 class AuditOutcome:
-    """The verdict of one audit task over one commit batch."""
+    """The verdict of one audit task over one commit batch.
+
+    ``mode`` records the audit semantics the task ran under (``"sync"``
+    strict per-commit, ``"async"`` batched/deferred, ``"gap"`` for a
+    commit-log truncation); ``executor`` records the dispatch arm that
+    physically ran it (``"inline"``, ``"thread"``, ``"process"``, or None
+    for synthetic outcomes like gaps).
+    """
 
     __slots__ = (
         "rule",
@@ -112,7 +145,9 @@ class AuditOutcome:
         "violations",
         "error",
         "mode",
+        "executor",
         "seconds",
+        "predicted",
     )
 
     def __init__(
@@ -122,8 +157,10 @@ class AuditOutcome:
         violated: Optional[bool],
         violations: tuple = (),
         error: Optional[str] = None,
-        mode: str = "inline",
+        mode: str = "sync",
+        executor: Optional[str] = "inline",
         seconds: float = 0.0,
+        predicted: Optional[float] = None,
     ):
         self.rule = rule
         self.sequences = sequences
@@ -131,7 +168,9 @@ class AuditOutcome:
         self.violations = violations
         self.error = error
         self.mode = mode
+        self.executor = executor
         self.seconds = seconds
+        self.predicted = predicted
 
     @property
     def failed(self) -> bool:
@@ -156,7 +195,8 @@ class AuditOutcome:
             state = f"VIOLATED ({len(self.violations)} sample tuple(s))"
         else:
             state = "ok"
-        return f"AuditOutcome({self.rule}, {span}, {state}, {self.mode})"
+        where = self.mode if self.executor is None else f"{self.mode}/{self.executor}"
+        return f"AuditOutcome({self.rule}, {span}, {state}, {where})"
 
 
 class AuditScheduler:
@@ -171,20 +211,32 @@ class AuditScheduler:
         cost_model=MODERN_2026,
         dispatch_overhead: float = DISPATCH_OVERHEAD_SECONDS,
         start_sequence: Optional[int] = None,
+        executor: str = "thread",
+        start_method: Optional[str] = None,
     ):
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
         self.controller = controller
         self.database = database
         self.workers = max(int(workers), 1)
         self.coalesce = coalesce
         self.cost_model = cost_model
         self.dispatch_overhead = dispatch_overhead
+        self.executor = executor
+        self.start_method = start_method
         log = database.commit_log
         if start_sequence is None:
             first = log.first_sequence
             start_sequence = first if first is not None else log.next_sequence
         self._cursor = start_sequence
         self._lock = threading.Lock()
-        self._executor: Optional[ThreadPoolExecutor] = None
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._process_pool = None
+        # Per-rule EWMA of measured/predicted audit seconds; multiplies the
+        # next prediction before it meets the dispatch threshold.
+        self._corrections: Dict[str, float] = {}
         # Submission-ordered (future | outcome) slots not yet collected by
         # wait(); preserving submission order is what makes async verdict
         # merging deterministic.
@@ -206,6 +258,12 @@ class AuditScheduler:
         records, lost = self.database.commit_log.since(self._cursor)
         return len(records) + lost
 
+    @property
+    def audit_time_corrections(self) -> Dict[str, float]:
+        """Per-rule EWMA of measured/predicted audit seconds (read-only)."""
+        with self._lock:
+            return dict(self._corrections)
+
     # -- draining ----------------------------------------------------------------
 
     def drain(
@@ -217,11 +275,11 @@ class AuditScheduler:
 
         Synchronous drains (the default) run every task on the calling
         thread and return the completed outcomes.  Asynchronous drains
-        submit predicted-expensive tasks to the worker pool, run
-        predicted-cheap ones inline, and return immediately with the
-        already-completed outcomes; :meth:`wait` collects the rest.  Either
-        way every outcome also lands in :attr:`history`, in deterministic
-        order.
+        submit predicted-expensive tasks to the configured executor's
+        pool, run predicted-cheap ones inline, and return immediately with
+        the already-completed outcomes; :meth:`wait` collects the rest.
+        Either way every outcome also lands in :attr:`history`, in
+        deterministic order.
         """
         if coalesce is None:
             coalesce = self.coalesce
@@ -232,6 +290,14 @@ class AuditScheduler:
             else:
                 self._cursor += lost
             self.drains += 1
+        if self._process_pool is not None:
+            # Keep worker replicas current *before* this drain's tasks are
+            # submitted: FIFO inboxes then guarantee each task observes
+            # exactly the drain-time state.
+            if lost:
+                self._process_pool.resync(self.database)
+            elif records:
+                self._process_pool.replicate(records)
         completed: List[AuditOutcome] = []
         if lost:
             gap = AuditOutcome(
@@ -244,6 +310,7 @@ class AuditScheduler:
                     f"often"
                 ),
                 mode="gap",
+                executor=None,
             )
             completed.append(gap)
             if asynchronous:
@@ -267,17 +334,31 @@ class AuditScheduler:
         completed: List[AuditOutcome] = []
         delta_sizes = _delta_sizes(differentials)
         for task in tasks:
-            if asynchronous and self._prefer_fanout(task, delta_sizes):
+            predicted = (
+                self.predicted_audit_seconds(task, delta_sizes)
+                if asynchronous
+                else None
+            )
+            if (
+                asynchronous
+                and self.executor != "inline"
+                and self._prefer_fanout(task, predicted)
+            ):
                 self.fanned_out += 1
-                future = self._pool().submit(
-                    _execute, task, sequences, "worker"
-                )
+                if self.executor == "process":
+                    future = self._processes().submit(
+                        task, sequences, mode="async", predicted=predicted
+                    )
+                else:
+                    future = self._pool().submit(
+                        _execute, task, sequences, "async", "thread", predicted
+                    )
                 with self._lock:
                     self._outstanding.append(future)
             else:
                 self.ran_inline += 1
-                mode = "inline" if asynchronous else "sync"
-                outcome = _execute(task, sequences, mode)
+                mode = "async" if asynchronous else "sync"
+                outcome = _execute(task, sequences, mode, "inline", predicted)
                 completed.append(outcome)
                 if asynchronous:
                     with self._lock:
@@ -290,7 +371,7 @@ class AuditScheduler:
         """Block until all submitted audits finish; return them in order.
 
         The returned list covers everything handed out by asynchronous
-        drains since the last :meth:`wait` (inline and worker outcomes
+        drains since the last :meth:`wait` (inline and pool outcomes
         alike), ordered by submission — i.e. by (commit sequence, rule
         registration order) — no matter which worker finished first; the
         merged order is also what lands in :attr:`history`.
@@ -306,27 +387,73 @@ class AuditScheduler:
             self._record(outcome)
         return outcomes
 
+    def start(self) -> "AuditScheduler":
+        """Eagerly create the configured executor's pool.
+
+        Useful before timed regions: process-pool creation ships a full
+        database replica and rebuilds every rule plan per worker, a cost
+        that belongs to setup, not to the first drain.
+        """
+        if self.executor == "thread":
+            self._pool()
+        elif self.executor == "process":
+            self._processes()
+        return self
+
     def close(self) -> None:
-        """Shut the worker pool down (outstanding audits complete first)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """Deterministic shutdown: drain in-flight audits, stop executors.
+
+        Outstanding asynchronous tasks are collected into
+        :attr:`history` first (same deterministic order as :meth:`wait`),
+        then whichever pools are live — thread, process, or both — are shut
+        down; no worker threads or processes are leaked.  The scheduler
+        remains usable afterwards: the next drain lazily recreates its
+        pool.
+        """
+        self.wait()
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
+
+    def __enter__(self) -> "AuditScheduler":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     # -- internals -----------------------------------------------------------------
 
     def _pool(self) -> ThreadPoolExecutor:
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(
                 max_workers=self.workers,
                 thread_name_prefix="repro-audit",
             )
-        return self._executor
+        return self._thread_pool
 
-    def _prefer_fanout(self, task: RuleAuditTask, delta_sizes) -> bool:
-        """Fan out iff the predicted audit cost amortizes the dispatch."""
+    def _processes(self):
+        if self._process_pool is None:
+            from repro.core.procpool import ProcessAuditExecutor
+
+            self._process_pool = ProcessAuditExecutor(
+                self.controller,
+                self.database,
+                workers=self.workers,
+                start_method=self.start_method,
+            )
+        return self._process_pool
+
+    def predicted_audit_seconds(
+        self, task: RuleAuditTask, delta_sizes
+    ) -> Optional[float]:
+        """Predicted net task seconds (model prediction minus startup),
+        *before* the EWMA correction; None when the task is unpriceable."""
         program = task.pricing_program()
         if program is None:
-            return True  # unpriceable: assume expensive
+            return None
         try:
             predicted = predict_audit_time(
                 program,
@@ -335,23 +462,55 @@ class AuditScheduler:
                 deltas=delta_sizes,
             )
         except Exception:
-            return True
-        predicted -= self.cost_model.startup
-        return predicted >= self.dispatch_overhead
+            return None
+        return max(predicted - self.cost_model.startup, 0.0)
+
+    def _prefer_fanout(
+        self, task: RuleAuditTask, predicted: Optional[float]
+    ) -> bool:
+        """Fan out iff the corrected predicted cost amortizes the dispatch."""
+        if predicted is None:
+            return True  # unpriceable: assume expensive
+        with self._lock:
+            correction = self._corrections.get(task.rule_name, 1.0)
+        return predicted * correction >= self.dispatch_overhead
 
     def _record(self, outcome: AuditOutcome) -> None:
         with self._lock:
             self.history.append(outcome)
+            if (
+                outcome.rule is not None
+                and not outcome.failed
+                and outcome.predicted is not None
+                and outcome.predicted > 0.0
+                and outcome.seconds > 0.0
+            ):
+                ratio = outcome.seconds / outcome.predicted
+                previous = self._corrections.get(outcome.rule)
+                if previous is None:
+                    self._corrections[outcome.rule] = ratio
+                else:
+                    self._corrections[outcome.rule] = (
+                        AUDIT_EWMA_ALPHA * ratio
+                        + (1.0 - AUDIT_EWMA_ALPHA) * previous
+                    )
 
     def __repr__(self) -> str:
         return (
-            f"AuditScheduler(cursor=#{self._cursor}, workers={self.workers}, "
+            f"AuditScheduler(cursor=#{self._cursor}, "
+            f"executor={self.executor}, workers={self.workers}, "
             f"{len(self.history)} verdicts, inline={self.ran_inline}, "
             f"fanned_out={self.fanned_out})"
         )
 
 
-def _execute(task: RuleAuditTask, sequences: tuple, mode: str) -> AuditOutcome:
+def _execute(
+    task: RuleAuditTask,
+    sequences: tuple,
+    mode: str,
+    executor: str = "inline",
+    predicted: Optional[float] = None,
+) -> AuditOutcome:
     """Run one task, converting any exception into an audit failure."""
     started = time.perf_counter()
     try:
@@ -362,7 +521,9 @@ def _execute(task: RuleAuditTask, sequences: tuple, mode: str) -> AuditOutcome:
             violated,
             violations=violations,
             mode=mode,
+            executor=executor,
             seconds=time.perf_counter() - started,
+            predicted=predicted,
         )
     except BaseException as error:  # poison task: surface, never drop
         return AuditOutcome(
@@ -371,7 +532,9 @@ def _execute(task: RuleAuditTask, sequences: tuple, mode: str) -> AuditOutcome:
             None,
             error=f"{type(error).__name__}: {error}",
             mode=mode,
+            executor=executor,
             seconds=time.perf_counter() - started,
+            predicted=predicted,
         )
 
 

@@ -518,6 +518,17 @@ class IntegrityController:
             self._schedulers[database] = scheduler
         return scheduler
 
+    def close_schedulers(self) -> None:
+        """Deterministically close every cached audit scheduler.
+
+        Each close drains in-flight audits into that scheduler's history
+        and shuts down its worker pool (thread or process), so callers —
+        tests, the CLI — never leak workers.  Schedulers stay cached and
+        usable; the next drain lazily recreates its pool.
+        """
+        for scheduler in list(self._schedulers.values()):
+            scheduler.close()
+
     def install_indexes(
         self, database: Database, min_benefit: float = 0.0
     ) -> List[tuple]:

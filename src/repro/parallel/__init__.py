@@ -36,6 +36,7 @@ from repro.parallel.enforcement import (
     Strategy,
 )
 from repro.parallel.bridge import ParallelRuleEnforcer
+from repro.parallel.procpool import ProcessFragmentPool
 
 __all__ = [
     "CostModel",
@@ -47,6 +48,7 @@ __all__ = [
     "POOMA_1992",
     "ParallelEnforcer",
     "ParallelRuleEnforcer",
+    "ProcessFragmentPool",
     "RangeFragmentation",
     "RoundRobinFragmentation",
     "Strategy",

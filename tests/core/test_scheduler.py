@@ -105,7 +105,8 @@ class TestScheduler:
             ("fk_ref", False),
             ("fk_id", False),
         ]
-        assert all(o.mode == "worker" for o in outcomes)
+        assert all(o.mode == "async" for o in outcomes)
+        assert all(o.executor == "thread" for o in outcomes)
         assert scheduler.fanned_out == 2
         scheduler.close()
 
@@ -116,7 +117,8 @@ class TestScheduler:
         _commit(db, "begin insert(fk, (100, 3)); end")
         scheduler.drain(asynchronous=True)
         outcomes = scheduler.wait()
-        assert all(o.mode == "inline" for o in outcomes)
+        assert all(o.mode == "async" for o in outcomes)
+        assert all(o.executor == "inline" for o in outcomes)
         assert scheduler.fanned_out == 0
         scheduler.close()
 
@@ -139,9 +141,10 @@ class TestScheduler:
         )
         from repro.core.scheduler import _execute
 
-        outcome = _execute(poison, (0,), "worker")
+        outcome = _execute(poison, (0,), "async", "thread")
         assert outcome.failed
         assert outcome.violated is None
+        assert outcome.mode == "async" and outcome.executor == "thread"
         assert "RuntimeError: worker exploded" in outcome.error
 
     def test_truncation_gap_reaches_async_wait(self, controller):
@@ -156,6 +159,7 @@ class TestScheduler:
         # Eviction must not become a silent drop on the async path: the
         # gap outcome travels through wait() like every other verdict.
         assert outcomes[0].failed and outcomes[0].mode == "gap"
+        assert outcomes[0].executor is None
         assert {o.rule for o in outcomes[1:]} == set(RULES)
         scheduler.close()
 
@@ -184,6 +188,193 @@ class TestScheduler:
         scheduler.drain(asynchronous=True)
         scheduler.wait()
         assert len(scheduler.history) == 4
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("executor", ["inline", "thread", "process"])
+    def test_async_drain_verdicts_identical_across_executors(
+        self, db, controller, executor
+    ):
+        with AuditScheduler(
+            controller,
+            db,
+            workers=2,
+            dispatch_overhead=0.0,
+            executor=executor,
+        ) as scheduler:
+            _commit(db, "begin insert(fk, (100, 3)); end")
+            _commit(db, "begin insert(fk, (101, 55)); end")
+            scheduler.drain(asynchronous=True, coalesce=False)
+            outcomes = scheduler.wait()
+            assert [(o.rule, o.sequences, o.violated, o.violations) for o in outcomes] == [
+                ("fk_ref", (0,), False, ()),
+                ("fk_id", (0,), False, ()),
+                ("fk_ref", (1,), True, ((101, 55),)),
+                ("fk_id", (1,), False, ()),
+            ]
+            assert {o.executor for o in outcomes} == {executor}
+            assert {o.mode for o in outcomes} == {"async"}
+
+    def test_unknown_executor_rejected(self, db, controller):
+        with pytest.raises(ValueError, match="unknown executor"):
+            AuditScheduler(controller, db, executor="gpu")
+
+    def test_process_replicas_track_later_commits(self, db, controller):
+        # The pool snapshots the database at creation; commits recorded
+        # afterwards must reach the worker replicas through the commit-log
+        # stream before their audit tasks run.
+        with AuditScheduler(
+            controller,
+            db,
+            workers=2,
+            dispatch_overhead=0.0,
+            executor="process",
+        ) as scheduler:
+            scheduler.start()
+            # Commit a new pk target, then a fk row referencing it: the
+            # second audit is only clean if the replica applied the first.
+            _commit(db, "begin insert(pk, (77,)); end")
+            scheduler.drain(asynchronous=True, coalesce=False)
+            _commit(db, "begin insert(fk, (200, 77)); end")
+            scheduler.drain(asynchronous=True, coalesce=False)
+            outcomes = scheduler.wait()
+            assert [(o.rule, o.violated) for o in outcomes] == [
+                ("fk_ref", False),
+                ("fk_id", False),
+            ]
+
+    def test_process_gap_triggers_replica_resync(self, controller):
+        database = Database(schema())
+        database.load("pk", [(k,) for k in range(10)])
+        database.commit_log = CommitLog(capacity=1)
+        with AuditScheduler(
+            controller,
+            database,
+            workers=2,
+            dispatch_overhead=0.0,
+            executor="process",
+        ) as scheduler:
+            scheduler.start()
+            # Two commits, capacity-1 log: the first is evicted before the
+            # drain, so replicas cannot replay it — they must resync.
+            _commit(database, "begin insert(pk, (55,)); end")
+            _commit(database, "begin insert(fk, (1, 55)); end")
+            scheduler.drain(asynchronous=True, coalesce=False)
+            outcomes = scheduler.wait()
+            assert outcomes[0].mode == "gap" and outcomes[0].executor is None
+            # Audited on the resynced replica: (1, 55) finds target 55.
+            assert [(o.rule, o.violated) for o in outcomes[1:]] == [
+                ("fk_ref", False),
+                ("fk_id", False),
+            ]
+
+    def test_poison_task_surfaces_from_process_worker(self, db, controller):
+        # A rule name the worker's rebuilt controller doesn't know poisons
+        # the task remotely; the failure must come back as an outcome, not
+        # hang or vanish.
+        from repro.core.procpool import ProcessAuditExecutor
+
+        result = _commit(db, "begin insert(fk, (100, 3)); end")
+
+        class Poison:
+            rule_name = "no_such_rule"
+            engine = None
+            differentials = result.differentials
+
+        pool = ProcessAuditExecutor(controller, db, workers=1)
+        try:
+            outcome = pool.submit(Poison(), (0,)).result()
+            assert outcome.failed
+            assert outcome.executor == "process"
+            assert outcome.rule == "no_such_rule"
+        finally:
+            pool.shutdown()
+
+    def test_context_manager_closes_executors(self, db, controller):
+        with AuditScheduler(
+            controller, db, workers=2, dispatch_overhead=0.0
+        ) as scheduler:
+            _commit(db, "begin insert(fk, (100, 3)); end")
+            scheduler.drain(asynchronous=True)
+            assert scheduler._thread_pool is not None
+        # __exit__ drained in-flight tasks into history and shut the pool.
+        assert scheduler._thread_pool is None
+        assert len(scheduler.history) == 2
+        assert not scheduler._outstanding
+
+    def test_close_drains_in_flight_tasks(self, db, controller):
+        scheduler = AuditScheduler(
+            controller, db, workers=2, dispatch_overhead=0.0, executor="process"
+        )
+        _commit(db, "begin insert(fk, (101, 55)); end")
+        scheduler.drain(asynchronous=True)
+        scheduler.close()  # no wait() first: close must collect, not drop
+        assert scheduler._process_pool is None
+        assert ("fk_ref", True) in [
+            (o.rule, o.violated) for o in scheduler.history
+        ]
+
+    def test_close_schedulers_closes_every_cached_pool(self, db, controller):
+        scheduler = controller.audit_scheduler(db, dispatch_overhead=0.0)
+        _commit(db, "begin insert(fk, (100, 3)); end")
+        scheduler.drain(asynchronous=True)
+        controller.close_schedulers()
+        assert scheduler._thread_pool is None
+        assert not scheduler._outstanding
+
+
+class TestEwmaCorrection:
+    def test_measured_seconds_update_corrections(self, db, controller):
+        with AuditScheduler(
+            controller, db, workers=2, dispatch_overhead=0.0
+        ) as scheduler:
+            _commit(db, "begin insert(fk, (100, 3)); end")
+            scheduler.drain(asynchronous=True, coalesce=False)
+            scheduler.wait()
+            corrections = scheduler.audit_time_corrections
+            # Every priced, executed rule now has an observed/predicted
+            # ratio on file.
+            assert set(corrections) == set(RULES)
+            assert all(ratio > 0.0 for ratio in corrections.values())
+
+    def test_correction_steers_dispatch(self, db, controller):
+        scheduler = AuditScheduler(
+            controller, db, workers=2, dispatch_overhead=1e-3
+        )
+        _commit(db, "begin insert(fk, (100, 3)); end")
+        # A history claiming audits run vastly slower than predicted flips
+        # the cheap tasks over the dispatch threshold...
+        scheduler._corrections = {name: 1e12 for name in RULES}
+        scheduler.drain(asynchronous=True, coalesce=False)
+        scheduler.wait()
+        assert scheduler.fanned_out == len(RULES)
+        # ...and a vastly-faster-than-predicted history keeps them inline.
+        _commit(db, "begin insert(fk, (101, 3)); end")
+        scheduler._corrections = {name: 1e-12 for name in RULES}
+        scheduler.drain(asynchronous=True, coalesce=False)
+        scheduler.wait()
+        assert scheduler.fanned_out == len(RULES)  # unchanged
+        scheduler.close()
+
+    def test_ewma_smooths_successive_ratios(self, db, controller):
+        from repro.core.scheduler import AuditOutcome
+
+        scheduler = AuditScheduler(controller, db)
+        for seconds in (4.0, 2.0):
+            scheduler._record(
+                AuditOutcome(
+                    "fk_ref",
+                    (0,),
+                    False,
+                    mode="async",
+                    executor="thread",
+                    seconds=seconds,
+                    predicted=1.0,
+                )
+            )
+        # First observation seeds the EWMA (4.0); the second folds in at
+        # alpha=0.5: 0.5*2.0 + 0.5*4.0.
+        assert scheduler.audit_time_corrections["fk_ref"] == pytest.approx(3.0)
 
 
 class TestSessionCommit:

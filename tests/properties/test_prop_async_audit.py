@@ -161,6 +161,132 @@ def test_coalesced_drain_equals_inline_audit_of_composed_delta(
     assert not any(o.failed for o in outcomes)
 
 
+_PROCESS_SETTINGS = settings(
+    max_examples=6,  # a pool per example: keep the fleet small
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(
+    rows_r=S.ROWS_R,
+    rows_s=S.ROWS_S,
+    txns=TXN_STREAMS,
+    bag=st.booleans(),
+)
+@_SETTINGS
+def test_commit_record_pickle_round_trip_replays_identically(
+    rows_r, rows_s, txns, bag
+):
+    """Commit records survive pickling: a replica bootstrapped from a
+    pickled snapshot and fed pickled records converges to the coordinator
+    state — the exact path the process executor's replication takes."""
+    import pickle
+    from collections import Counter
+
+    database = _database(rows_r, rows_s, bag, indexed=False)
+    replica = pickle.loads(pickle.dumps(database, pickle.HIGHEST_PROTOCOL))
+    session = Session(database)
+    start = database.commit_log.next_sequence
+    for txn in txns:
+        session.execute(txn)
+    records, lost = database.commit_log.since(start)
+    assert lost == 0
+    for record in records:
+        clone = pickle.loads(pickle.dumps(record, pickle.HIGHEST_PROTOCOL))
+        assert clone.sequence == record.sequence
+        assert set(clone.differentials) == set(record.differentials)
+        for base, (plus, minus) in record.differentials.items():
+            clone_plus, clone_minus = clone.differentials[base]
+            for side, clone_side in ((plus, clone_plus), (minus, clone_minus)):
+                if side is None:
+                    assert clone_side is None
+                else:
+                    assert Counter(clone_side.rows()) == Counter(side.rows())
+        replica.apply_deltas(clone.differentials, record=False)
+    for name in ("r", "s"):
+        assert Counter(replica.relation(name).rows()) == Counter(
+            database.relation(name).rows()
+        )
+
+
+@given(
+    rows_r=S.ROWS_R,
+    rows_s=S.ROWS_S,
+    txns=TXN_STREAMS,
+    bag=st.booleans(),
+)
+@_SETTINGS
+def test_controller_spec_rebuild_preserves_verdicts(rows_r, rows_s, txns, bag):
+    """A controller rebuilt from its pickled :class:`ControllerSpec` — the
+    worker-process bootstrap path — audits every committed delta exactly
+    like the original."""
+    import pickle
+
+    from repro.core.procpool import ControllerSpec
+
+    database = _database(rows_r, rows_s, bag, indexed=False)
+    controller = _controller()
+    spec = pickle.loads(
+        pickle.dumps(ControllerSpec(controller), pickle.HIGHEST_PROTOCOL)
+    )
+    rebuilt = spec.build()
+    assert [r.name for r in rebuilt.rules] == [
+        r.name for r in controller.rules
+    ]
+    session = Session(database)
+    for txn in txns:
+        result = session.execute(txn)
+        if not result.committed:
+            continue
+        assert set(
+            rebuilt.violated_constraints_incremental(database, result)
+        ) == set(controller.violated_constraints_incremental(database, result))
+
+
+@given(
+    rows_r=S.ROWS_R,
+    rows_s=S.ROWS_S,
+    txns=TXN_STREAMS,
+    bag=st.booleans(),
+    start_method=st.sampled_from(["fork", "spawn"]),
+)
+@_PROCESS_SETTINGS
+def test_process_executor_agrees_with_inline(
+    rows_r, rows_s, txns, bag, start_method
+):
+    """Process-pool verdicts (under fork AND spawn — the payloads always
+    ship explicitly pickled, never fork-inherited) equal the inline
+    per-commit incremental audit."""
+    import multiprocessing
+
+    if start_method not in multiprocessing.get_all_start_methods():
+        return  # platform without fork: the spawn draw still runs
+    database = _database(rows_r, rows_s, bag, indexed=False)
+    controller = _controller()
+    session = Session(database)
+    with AuditScheduler(
+        controller,
+        database,
+        workers=2,
+        dispatch_overhead=0.0,
+        executor="process",
+        start_method=start_method,
+    ) as scheduler:
+        for txn in txns:
+            result = session.execute(txn)
+            if not result.committed:
+                continue
+            inline = set(
+                controller.violated_constraints_incremental(database, result)
+            )
+            scheduler.drain(asynchronous=True, coalesce=False)
+            outcomes = scheduler.wait()
+            assert not any(o.failed for o in outcomes)
+            assert all(o.executor == "process" for o in outcomes)
+            assert {o.rule for o in outcomes if o.violated} == inline
+
+
 @given(
     rows_r=S.ROWS_R,
     rows_s=S.ROWS_S,
