@@ -30,9 +30,13 @@ post-hoc operator traces.
 
 from __future__ import annotations
 
+from collections import Counter as _Counter
 from dataclasses import dataclass
+from itertools import chain, compress
+from operator import itemgetter as _itemgetter, not_ as _not
 from typing import Dict, Optional, Tuple
 
+from repro.algebra import columnar
 from repro.algebra import predicates as P
 from repro.algebra.expressions import (
     Project,
@@ -116,10 +120,47 @@ def _distinct_keys(cards, name: str, attrs) -> Optional[float]:
     return float(distinct)
 
 
+class _SchemaLRU(dict):
+    """A small bounded mapping for per-schema compiled state.
+
+    Operator instances cache bound closures / derived schemas keyed by
+    their input schema.  Plans live for the process lifetime (the plan
+    cache holds them), while schemas churn — every generalized projection
+    mints a fresh output schema and every transaction can introduce
+    temporaries — so an unbounded dict grows monotonically.  Structural
+    schema hashing keeps the hit rate high; the LRU merely caps the tail.
+    """
+
+    __slots__ = ("maxsize",)
+
+    def __init__(self, maxsize: int = 32):
+        super().__init__()
+        self.maxsize = maxsize
+
+    def get(self, key, default=None):
+        value = super().get(key, default)
+        if value is not default and len(self) > 1:
+            # Move-to-end so eviction drops the coldest schema.
+            del self[key]
+            self[key] = value
+        return value
+
+    def __setitem__(self, key, value):
+        super().__setitem__(key, value)
+        if len(self) > self.maxsize:
+            del self[next(iter(self))]
+
+
 class PhysicalOperator:
     """Base class of physical operators: ``execute(context) -> Relation``."""
 
     op_name = "?"
+
+    #: Set by :func:`annotate_batch_eligibility` after lowering: operators
+    #: whose estimated input cardinality clears
+    #: :data:`repro.algebra.columnar.BATCH_ESTIMATE_ROWS` run their
+    #: whole-column batch path (subject to the runtime row-count guard).
+    batch_eligible = False
 
     def execute(self, context) -> Relation:
         raise NotImplementedError
@@ -160,7 +201,7 @@ class _KeySide:
     def __init__(self, exprs, side: str):
         self.exprs = tuple(_strip_side(expr, side) for expr in exprs)
         self.plain = all(isinstance(expr, P.ColRef) for expr in self.exprs)
-        self._bound: Dict[RelationSchema, tuple] = {}
+        self._bound: Dict[RelationSchema, tuple] = _SchemaLRU()
 
     @property
     def attrs(self) -> Optional[tuple]:
@@ -214,7 +255,7 @@ class _CombinedSchemaCache:
 
     def __init__(self, suffix: str):
         self.suffix = suffix
-        self._cache: dict = {}
+        self._cache: dict = _SchemaLRU()
 
     def get(self, left_schema, right_schema) -> RelationSchema:
         key = (left_schema, right_schema)
@@ -271,11 +312,12 @@ def _hash_buckets(relation: Relation, key_side: "_KeySide", need_rows: bool):
 class _PredicateCache:
     """Compiled-closure cache for a predicate, keyed by input schema(s)."""
 
-    __slots__ = ("predicate", "_compiled")
+    __slots__ = ("predicate", "_compiled", "_kernels")
 
     def __init__(self, predicate: P.Predicate):
         self.predicate = predicate
-        self._compiled: dict = {}
+        self._compiled: dict = _SchemaLRU()
+        self._kernels: dict = _SchemaLRU()
 
     @property
     def is_true(self) -> bool:
@@ -288,6 +330,63 @@ class _PredicateCache:
             fn = P.compile_predicate(self.predicate, schema, right_schema)
             self._compiled[key] = fn
         return fn
+
+    def bind_kernel(self, schema):
+        """The whole-column twin of :meth:`bind` (unary contexts only)."""
+        kernel = self._kernels.get(schema)
+        if kernel is None:
+            kernel = columnar.compile_predicate_kernel(self.predicate, schema)
+            self._kernels[schema] = kernel
+        return kernel
+
+
+def _batch_mode(op: "PhysicalOperator", input_rows: int) -> bool:
+    """Should ``op`` take its whole-column path for this execution?
+
+    ``auto`` (the default) requires both the planner's eligibility flag
+    (estimated input ≥ :data:`~repro.algebra.columnar.BATCH_ESTIMATE_ROWS`,
+    so Δ-scans stay row-at-a-time) and an actual input large enough to
+    amortize batch setup.  ``always``/``never`` let tests and benchmarks
+    pin either path and assert parity.
+    """
+    policy = columnar.batch_policy()
+    if policy == "auto":
+        return op.batch_eligible and input_rows >= columnar.BATCH_MIN_ROWS
+    return policy == "always"
+
+
+_BATCH_OPERATORS: tuple = ()  # filled after the operator classes are defined
+
+
+def annotate_batch_eligibility(plan: "PhysicalOperator", cards=None) -> None:
+    """Flag batch-capable operators whose estimated input is large enough.
+
+    Called once per lowering (plans are cached and shared, so the flag is
+    set before a plan becomes visible to concurrent executors and never
+    mutated afterwards).  The per-operator decision reads the *input*
+    estimate — a filter over a default base scan (1000 rows) batches, a
+    filter over a Δ-scan (default |Δ| = 16) stays row-at-a-time.
+    """
+    for op in _walk_plan(plan):
+        if not isinstance(op, _BATCH_OPERATORS):
+            continue
+        if isinstance(op, (FilterOp, ProjectOp)):
+            feeder = op.child
+        elif isinstance(op, (UnionOp, DifferenceOp)):
+            feeder = op.right  # the side the row path loops over in Python
+        else:  # joins and semi/antijoins batch their probe (left) loop
+            feeder = op.left
+        op.batch_eligible = (
+            feeder.estimate(cards).rows >= columnar.BATCH_ESTIMATE_ROWS
+        )
+
+
+def _walk_plan(plan):
+    stack = [plan]
+    while stack:
+        op = stack.pop()
+        yield op
+        stack.extend(op.children())
 
 
 # ---------------------------------------------------------------------------
@@ -407,8 +506,16 @@ class FilterOp(PhysicalOperator):
 
     def execute(self, context) -> Relation:
         source = self.child.execute(context)
-        test = self._pred.bind(source.schema)
-        result = source.filtered(lambda row: test(row) is True)
+        src_rows = source._rows
+        if _batch_mode(self, len(src_rows)):
+            mask = self._pred.bind_kernel(source.schema)(list(src_rows))
+            result = Relation(source.schema, bag=source.bag)
+            # compress keeps truthy mask entries — exactly the ``is True``
+            # rule of three-valued logic (False and None both drop).
+            result._rows = dict(compress(src_rows.items(), mask))
+        else:
+            test = self._pred.bind(source.schema)
+            result = source.filtered(lambda row: test(row) is True)
         _trace(context, "select", len(source), len(result))
         return result
 
@@ -451,7 +558,7 @@ class IndexSelectOp(PhysicalOperator):
         self._residual = _PredicateCache(residual)
         # The full predicate, for the no-index fallback.
         self._full = _PredicateCache(full_predicate)
-        self._positions: Dict[RelationSchema, tuple] = {}
+        self._positions: Dict[RelationSchema, tuple] = _SchemaLRU()
 
     def _bind_positions(self, schema: RelationSchema) -> tuple:
         positions = self._positions.get(schema)
@@ -515,7 +622,7 @@ class ProjectOp(PhysicalOperator):
     def __init__(self, child: PhysicalOperator, items: tuple):
         self.child = child
         self.items = items
-        self._bound: Dict[RelationSchema, tuple] = {}
+        self._bound: Dict[RelationSchema, tuple] = _SchemaLRU()
 
     def children(self) -> tuple:
         return (self.child,)
@@ -528,17 +635,54 @@ class ProjectOp(PhysicalOperator):
                 Project._output_attribute(item, schema) for item in self.items
             ]
             out_schema = _fresh_schema(f"{schema.name}_proj", attributes)
-            bound = (compiled, out_schema)
+            if all(isinstance(item.expr, P.ColRef) for item in self.items):
+                positions = tuple(
+                    P._resolve_position(item.expr, schema, None)[1]
+                    for item in self.items
+                )
+                if len(positions) == 1:
+                    getter = _itemgetter(positions[0])
+                    # zip with a single iterable wraps each value in a
+                    # 1-tuple at C speed.
+                    row_maker = lambda rows: list(zip(map(getter, rows)))
+                else:
+                    getter = _itemgetter(*positions)
+                    row_maker = lambda rows: list(map(getter, rows))
+            else:
+                kernels = [
+                    columnar.compile_scalar_kernel(item.expr, schema)
+                    for item in self.items
+                ]
+                row_maker = lambda rows: list(
+                    zip(*(kernel(rows) for kernel in kernels))
+                )
+            bound = (compiled, out_schema, row_maker)
             self._bound[schema] = bound
         return bound
 
     def execute(self, context) -> Relation:
         source = self.child.execute(context)
-        compiled, out_schema = self._bind(source.schema)
+        compiled, out_schema, row_maker = self._bind(source.schema)
         result = Relation(out_schema, bag=source.bag)
-        insert = result.insert
-        for row in source:
-            insert(tuple(fn(row) for fn in compiled), _validated=True)
+        src_rows = source._rows
+        if _batch_mode(self, len(src_rows)):
+            rows, counts = source.rows_and_counts()
+            out_rows = row_maker(rows)
+            if counts is None:
+                if source.bag:
+                    result._rows = dict(_Counter(out_rows))
+                else:
+                    result._rows = dict.fromkeys(out_rows, 1)
+            else:
+                merged: dict = {}
+                get = merged.get
+                for row, count in zip(out_rows, counts):
+                    merged[row] = get(row, 0) + count
+                result._rows = merged
+        else:
+            insert = result.insert
+            for row in source:
+                insert(tuple(fn(row) for fn in compiled), _validated=True)
         _trace(context, "project", len(source), len(result))
         return result
 
@@ -567,7 +711,7 @@ class RenameOp(PhysicalOperator):
         self.child = child
         self.name = name
         self.attributes = attributes
-        self._schemas: Dict[RelationSchema, RelationSchema] = {}
+        self._schemas: Dict[RelationSchema, RelationSchema] = _SchemaLRU()
 
     def children(self) -> tuple:
         return (self.child,)
@@ -725,13 +869,18 @@ class UnionOp(_BinaryOp):
         _check_compatible(left, right, "union")
         if left.schema.is_union_compatible(right.schema):
             result = Relation(left.schema, bag=left.bag)
-            merged = dict(left._rows)
             if result.bag:
+                merged = dict(left._rows)
                 for row, count in right._rows.items():
                     merged[row] = merged.get(row, 0) + (
                         count if right.bag else 1
                     )
+            elif _batch_mode(self, len(right._rows)):
+                # Set mode: every multiplicity is 1, so the whole union is
+                # one C-level pass (first occurrence wins, like setdefault).
+                merged = dict.fromkeys(chain(left._rows, right._rows), 1)
             else:
+                merged = dict(left._rows)
                 for row in right._rows:
                     merged.setdefault(row, 1)
             result._rows = merged
@@ -774,6 +923,22 @@ class DifferenceOp(_BinaryOp):
         right = self.right.execute(context)
         _check_compatible(left, right, "difference")
         result = Relation(left.schema, bag=left.bag)
+        if (
+            not left.bag
+            and not right.bag
+            and len(right._rows) > len(left._rows)
+            and _batch_mode(self, len(right._rows))
+        ):
+            # Subtracting a big set from a small one: scan the small side
+            # with membership tests instead of popping per right row.
+            right_rows = right._rows
+            result._rows = {
+                row: count
+                for row, count in left._rows.items()
+                if row not in right_rows
+            }
+            _trace(context, "difference", len(left) + len(right), len(result))
+            return result
         remaining = dict(left._rows)
         if result.bag:
             for row, count in right._rows.items():
@@ -902,8 +1067,52 @@ class HashJoinOp(_BinaryOp):
         )
         buckets = _hash_buckets(right, self.right_keys, need_rows=True)
         left_key, _ = self.left_keys.bind(left.schema)
-        insert = result.insert
         get_bucket = buckets.get
+        if not left.bag and _batch_mode(self, left.distinct_count()):
+            # Whole-column probe: the key column is extracted in one map
+            # pass and the output pairs materialize in one comprehension +
+            # bulk dict fill instead of a bound-method insert per pair.
+            # Every output pair has multiplicity 1 (distinct left rows x
+            # distinct bucket rows, and the left prefix makes pairs
+            # unique), so dict.fromkeys is exact even for a bag result.
+            lrows = list(left._rows)
+            _, positions = self.left_keys.bind(left.schema)
+            if self._residual.is_true:
+                if positions is not None and len(positions) == 1:
+                    p = positions[0]
+                    pairs = [
+                        lrow + rrow
+                        for lrow in lrows
+                        for rrow in get_bucket(lrow[p]) or ()
+                    ]
+                else:
+                    extract = (
+                        _itemgetter(*positions)
+                        if positions is not None
+                        else left_key
+                    )
+                    pairs = [
+                        lrow + rrow
+                        for lrow, key in zip(lrows, map(extract, lrows))
+                        for rrow in get_bucket(key) or ()
+                    ]
+            else:
+                residual = self._residual.bind(left.schema, right.schema)
+                extract = (
+                    _itemgetter(*positions)
+                    if positions is not None
+                    else left_key
+                )
+                pairs = [
+                    lrow + rrow
+                    for lrow, key in zip(lrows, map(extract, lrows))
+                    for rrow in get_bucket(key) or ()
+                    if residual(lrow, rrow) is True
+                ]
+            result._rows = dict.fromkeys(pairs, 1)
+            _trace(context, "join", len(left) + len(right), len(result))
+            return result
+        insert = result.insert
         if self._residual.is_true:
             for lrow in left:
                 bucket = get_bucket(left_key(lrow))
@@ -1044,6 +1253,31 @@ class HashSemiJoinOp(_BinaryOp):
             buckets = _hash_buckets(right, self.right_keys, need_rows=True)
             residual = self._residual.bind(left.schema, right.schema)
             get_bucket = buckets.get
+            if _batch_mode(self, left.distinct_count()):
+                src_rows = left._rows
+                # itemgetter extracts plain-column keys at C speed with the
+                # same convention as key_fn (bare value / tuple).
+                extract = (
+                    _itemgetter(*positions) if positions is not None else left_key
+                )
+                keys = map(extract, src_rows)
+                result = Relation(left.schema, bag=left.bag)
+                result._rows = {
+                    lrow: count
+                    for (lrow, count), key in zip(src_rows.items(), keys)
+                    if (
+                        not _key_has_null(key)
+                        and any(
+                            residual(lrow, rrow) is True
+                            for rrow in get_bucket(key) or ()
+                        )
+                    )
+                    is keep
+                }
+                _trace(
+                    context, self.op_name, len(left) + len(right), len(result)
+                )
+                return result
 
             def has_match(lrow: tuple) -> bool:
                 key = left_key(lrow)
@@ -1083,6 +1317,20 @@ class HashSemiJoinOp(_BinaryOp):
                         selected[row] = count_of(row)
             result = Relation(left.schema, bag=left.bag)
             result._rows = selected
+        elif _batch_mode(self, left.distinct_count()):
+            src_rows = left._rows
+            # Key extraction, membership, and the dict fill all run as
+            # chained C iterators (map/compress); only a NULL-matching
+            # quirk would differ, and regime 2 matches NULL by identity
+            # exactly like the row path's hash membership.
+            extract = (
+                _itemgetter(*positions) if positions is not None else left_key
+            )
+            mask = map(right_keys.__contains__, map(extract, src_rows))
+            if not keep:
+                mask = map(_not, mask)
+            result = Relation(left.schema, bag=left.bag)
+            result._rows = dict(compress(src_rows.items(), mask))
         elif keep:
             result = left.filtered(lambda row: left_key(row) in right_keys)
         else:
@@ -1160,3 +1408,15 @@ class NestedLoopSemiOp(_BinaryOp):
 class NestedLoopAntiOp(NestedLoopSemiOp):
     op_name = "antijoin"
     keep_matching = False
+
+
+#: Operators carrying a whole-column batch path (HashAntiJoinOp is covered
+#: through its HashSemiJoinOp base).
+_BATCH_OPERATORS = (
+    FilterOp,
+    ProjectOp,
+    HashJoinOp,
+    HashSemiJoinOp,
+    UnionOp,
+    DifferenceOp,
+)

@@ -132,10 +132,20 @@ def _const_equalities(predicate: P.Predicate):
 def compile_expression(
     expression: E.Expression, optimize: bool = True
 ) -> X.PhysicalOperator:
-    """Lower an expression tree into a physical operator DAG."""
+    """Lower an expression tree into a physical operator DAG.
+
+    Lowering also decides, per operator, whether the whole-column batch
+    path is worth taking (:func:`~repro.algebra.physical.
+    annotate_batch_eligibility`): operators whose estimated input
+    cardinality clears the batch floor get flagged before the plan is
+    published to the (shared, concurrently executed) plan cache; Δ-scans
+    price at |Δ| and stay row-at-a-time.
+    """
     if optimize:
         expression = optimize_expression(expression)
-    return _lower(expression)
+    plan = _lower(expression)
+    X.annotate_batch_eligibility(plan)
+    return plan
 
 
 def _lower(expr: E.Expression) -> X.PhysicalOperator:
@@ -825,7 +835,13 @@ def plan_estimate(
     cached = per_database.get(expression)
     if cached is not None and not cached[0].drifted(stats, drift_threshold):
         return cached[1]
-    estimate = get_plan(expression).estimate(stats)
+    plan = get_plan(expression)
+    estimate = plan.estimate(stats)
+    # The same drift event refreshes the plan's batch-vs-row choices from
+    # the observed cardinalities (a "big" base relation that is actually
+    # tiny stops batching; a fat observed |Δ| EWMA starts).  Safe on shared
+    # plans: both paths are verdict-identical, the flags only steer cost.
+    X.annotate_batch_eligibility(plan, stats)
     if len(per_database) >= _ESTIMATE_CACHE_LIMIT:
         per_database.pop(next(iter(per_database)))
     per_database[expression] = (stats, estimate)

@@ -40,6 +40,12 @@ import threading
 import time
 from typing import Dict, List, Optional
 
+from repro.core import shm as shm_transport
+from repro.algebra.columnar import (
+    decode_differentials,
+    encode_differentials,
+)
+
 #: Seconds between liveness checks while waiting on a worker result.
 RESULT_POLL_SECONDS = 0.25
 
@@ -128,6 +134,19 @@ def run_rule_audit(controller, database, rule_name, differentials, engine):
     return task.run()
 
 
+def _load_blob(outbox, descriptor) -> bytes:
+    """Materialize a pipe/shm shipment, acking shm segments immediately.
+
+    The ack travels on the shared outbox (``("shm", name)``): the
+    coordinator decrements the segment's reader count as it collects
+    results, so a drained batch leaves no segment behind.
+    """
+    blob, ack = shm_transport.load(descriptor)
+    if ack is not None:
+        outbox.put(("shm", ack))
+    return blob
+
+
 def _audit_worker(inbox, outbox, payload: bytes) -> None:
     """Worker main loop: replicate, then audit what the coordinator sends."""
     spec, database = pickle.loads(payload)
@@ -138,16 +157,23 @@ def _audit_worker(inbox, outbox, payload: bytes) -> None:
         if kind == "stop":
             break
         if kind == "apply":
-            for record in pickle.loads(message[1]):
-                database.apply_deltas(record.differentials, record=False)
+            for _sequence, encoded in pickle.loads(
+                _load_blob(outbox, message[1])
+            ):
+                database.apply_deltas(
+                    decode_differentials(encoded), record=False
+                )
         elif kind == "resync":
-            database = pickle.loads(message[1])
+            database = pickle.loads(_load_blob(outbox, message[1]))
         elif kind == "task":
-            task_id, rule_name, engine, blob = message[1:]
+            task_id, rule_name, engine, descriptor = message[1:]
             started = time.perf_counter()
             try:
+                differentials = decode_differentials(
+                    pickle.loads(_load_blob(outbox, descriptor))
+                )
                 violated, violations = run_rule_audit(
-                    controller, database, rule_name, pickle.loads(blob), engine
+                    controller, database, rule_name, differentials, engine
                 )
                 outbox.put(
                     (
@@ -218,11 +244,19 @@ class ProcessAuditExecutor:
         database,
         workers: int = 4,
         start_method: Optional[str] = None,
+        shm_min_bytes: Optional[int] = None,
     ):
         self.start_method = start_method or default_start_method()
         self._context = multiprocessing.get_context(self.start_method)
         self.database = database
         self.workers = max(int(workers), 1)
+        self._transport = shm_transport.ShmTransport(
+            min_bytes=(
+                shm_transport.SHM_MIN_BYTES
+                if shm_min_bytes is None
+                else shm_min_bytes
+            )
+        )
         payload = pickle.dumps(
             (ControllerSpec(controller), database), protocol=PICKLE_PROTOCOL
         )
@@ -264,17 +298,25 @@ class ProcessAuditExecutor:
         ]
         if not fresh:
             return 0
-        blob = pickle.dumps(fresh, protocol=PICKLE_PROTOCOL)
+        blob = pickle.dumps(
+            [
+                (record.sequence, encode_differentials(record.differentials))
+                for record in fresh
+            ],
+            protocol=PICKLE_PROTOCOL,
+        )
+        descriptor = self._transport.ship(blob, readers=self.workers)
         for inbox in self._inboxes:
-            inbox.put(("apply", blob))
+            inbox.put(("apply", descriptor))
         self._replicated_through = fresh[-1].sequence + 1
         return len(fresh)
 
     def resync(self, database) -> None:
         """Ship a full fresh replica (after a commit-log truncation gap)."""
         blob = pickle.dumps(database, protocol=PICKLE_PROTOCOL)
+        descriptor = self._transport.ship(blob, readers=self.workers)
         for inbox in self._inboxes:
-            inbox.put(("resync", blob))
+            inbox.put(("resync", descriptor))
         self._replicated_through = database.commit_log.next_sequence
 
     # -- task dispatch ---------------------------------------------------------
@@ -289,11 +331,19 @@ class ProcessAuditExecutor:
         cache = self._delta_cache
         if cache is not None and cache[0] is task.differentials:
             blob = cache[1]
+            descriptor = self._transport.reship(cache[2], readers=1)
+            if descriptor is None:  # segment already drained: ship again
+                descriptor = self._transport.ship(blob, readers=1)
+                self._delta_cache = (task.differentials, blob, descriptor)
         else:
-            blob = pickle.dumps(task.differentials, protocol=PICKLE_PROTOCOL)
-            self._delta_cache = (task.differentials, blob)
+            blob = pickle.dumps(
+                encode_differentials(task.differentials),
+                protocol=PICKLE_PROTOCOL,
+            )
+            descriptor = self._transport.ship(blob, readers=1)
+            self._delta_cache = (task.differentials, blob, descriptor)
         self._inboxes[worker].put(
-            ("task", task_id, task.rule_name, task.engine, blob)
+            ("task", task_id, task.rule_name, task.engine, descriptor)
         )
         return _ProcessFuture(
             self, task_id, task.rule_name, sequences, mode, predicted
@@ -318,7 +368,23 @@ class ProcessAuditExecutor:
                             0.0,
                         )
                     continue
+                if message[0] == "shm":
+                    self._transport.ack(message[1])
+                    continue
                 self._done[message[0]] = message[1:]
+
+    def reap_acks(self) -> None:
+        """Drain pending shared-memory acks without blocking on results."""
+        while True:
+            with self._reader_lock:
+                try:
+                    message = self._outbox.get_nowait()
+                except queue_module.Empty:
+                    return
+                if message[0] == "shm":
+                    self._transport.ack(message[1])
+                else:
+                    self._done[message[0]] = message[1:]
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -340,6 +406,11 @@ class ProcessAuditExecutor:
             if process.is_alive():  # pragma: no cover - stuck worker
                 process.terminate()
                 process.join(timeout=1.0)
+        try:
+            self.reap_acks()
+        except (ValueError, OSError):  # pragma: no cover - closed queue race
+            pass
+        self._transport.release_all()
 
     def __repr__(self) -> str:
         alive = sum(1 for p in self._processes if p.is_alive())

@@ -1,0 +1,150 @@
+"""Shared-memory blob transport for the process audit executor.
+
+Commit-record replication and coalesced Δ blobs cross the coordinator →
+worker boundary as pickles.  Below a size threshold a pipe send is
+cheapest; above it, every pipe transfer pays an extra copy per worker
+through the OS pipe buffer.  :class:`ShmTransport` ships large blobs
+once into a :class:`multiprocessing.shared_memory.SharedMemory` segment
+and sends only a ``(name, size)`` descriptor down the pipe; each worker
+attaches, copies the bytes out, and acknowledges.
+
+Reference counting: a segment shipped to N readers carries ``remaining
+= N`` (plus one per re-ship of a cached blob); every worker ack
+decrements it, and the coordinator unlinks the segment when it reaches
+zero — so segments live exactly as long as a drain is in flight.
+:meth:`release_all` force-unlinks whatever is left (worker death,
+shutdown), and the tests assert no segment survives a drained pool.
+
+Workers attach with ``track=False`` where the runtime supports it
+(3.13+); earlier CPython registers an attached segment with the
+*worker's* resource tracker, which would try to unlink it again at
+worker exit — :func:`load` unregisters the attachment to keep ownership
+solely with the coordinator.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+try:  # pragma: no cover - exercised by presence, not absence
+    from multiprocessing import resource_tracker, shared_memory
+
+    SHM_AVAILABLE = True
+except ImportError:  # pragma: no cover - platforms without shm
+    resource_tracker = None
+    shared_memory = None
+    SHM_AVAILABLE = False
+
+#: Blobs at or above this many bytes ship via shared memory; smaller ones
+#: stay on the pipe (descriptor + attach overhead would dominate).
+SHM_MIN_BYTES = 1 << 16
+
+_ATTACH_TRACKS = None  # lazily probed: does SharedMemory accept track=?
+
+
+def _attach(name: str):
+    """Attach to an existing segment without adopting tracker ownership."""
+    global _ATTACH_TRACKS
+    if _ATTACH_TRACKS is None:
+        try:
+            segment = shared_memory.SharedMemory(name=name, track=False)
+            _ATTACH_TRACKS = True
+            return segment
+        except TypeError:
+            _ATTACH_TRACKS = False
+    if _ATTACH_TRACKS:
+        return shared_memory.SharedMemory(name=name, track=False)
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker API drift
+        pass
+    return segment
+
+
+def load(descriptor) -> Tuple[bytes, Optional[str]]:
+    """Worker side: materialize a shipped blob.
+
+    Returns ``(blob, ack)`` where ``ack`` is the segment name to
+    acknowledge back to the coordinator (None for pipe shipments).
+    """
+    kind = descriptor[0]
+    if kind == "pipe":
+        return descriptor[1], None
+    _, name, size = descriptor
+    segment = _attach(name)
+    try:
+        blob = bytes(segment.buf[:size])
+    finally:
+        segment.close()
+    return blob, name
+
+
+class ShmTransport:
+    """Coordinator-side segment bookkeeping (create / reship / ack / drop)."""
+
+    def __init__(self, min_bytes: int = SHM_MIN_BYTES, enabled: bool = True):
+        self.min_bytes = min_bytes
+        self.enabled = enabled and SHM_AVAILABLE
+        self._segments: Dict[str, list] = {}  # name -> [segment, remaining]
+        self._lock = threading.Lock()
+        #: Total bytes that went through shared memory (for benchmarks).
+        self.bytes_shipped = 0
+
+    def ship(self, blob: bytes, readers: int):
+        """Wrap ``blob`` for ``readers`` recipients; returns a descriptor."""
+        if not self.enabled or len(blob) < self.min_bytes or readers < 1:
+            return ("pipe", blob)
+        try:
+            segment = shared_memory.SharedMemory(create=True, size=len(blob))
+        except Exception:  # pragma: no cover - /dev/shm full or missing
+            return ("pipe", blob)
+        segment.buf[: len(blob)] = blob
+        with self._lock:
+            self._segments[segment.name] = [segment, readers]
+            self.bytes_shipped += len(blob)
+        return ("shm", segment.name, len(blob))
+
+    def reship(self, descriptor, readers: int = 1):
+        """Send an already-shipped descriptor to ``readers`` more recipients."""
+        if descriptor[0] != "shm":
+            return descriptor
+        with self._lock:
+            entry = self._segments.get(descriptor[1])
+            if entry is None:  # already drained: blob must be re-shipped
+                return None
+            entry[1] += readers
+        return descriptor
+
+    def ack(self, name: str) -> None:
+        """One reader finished with ``name``; unlink at zero."""
+        with self._lock:
+            entry = self._segments.get(name)
+            if entry is None:
+                return
+            entry[1] -= 1
+            if entry[1] > 0:
+                return
+            del self._segments[name]
+        self._destroy(entry[0])
+
+    def live_segments(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._segments)
+
+    def release_all(self) -> None:
+        """Force-unlink every outstanding segment (shutdown path)."""
+        with self._lock:
+            entries = list(self._segments.values())
+            self._segments.clear()
+        for segment, _ in entries:
+            self._destroy(segment)
+
+    @staticmethod
+    def _destroy(segment) -> None:
+        try:
+            segment.close()
+            segment.unlink()
+        except Exception:  # pragma: no cover - double unlink race
+            pass

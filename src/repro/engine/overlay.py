@@ -169,6 +169,17 @@ class OverlayRelation(Relation):
             - self.minus._rows.get(row, 0)
         )
 
+    def rows_and_counts(self):
+        """Batch iteration without materializing untouched overlays.
+
+        Audits routinely scan overlay wrappers whose delta is empty (the
+        transaction touched other relations); delegating straight to the
+        base skips building a merged copy of the whole row dict.
+        """
+        if not self.plus._rows and not self.minus._rows:
+            return self.base.rows_and_counts()
+        return Relation.rows_and_counts(self)
+
     # -- mutation (differential-only) ------------------------------------------
 
     def insert(self, row: tuple, _validated: bool = False) -> bool:

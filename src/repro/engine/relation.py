@@ -297,3 +297,23 @@ class Relation:
     def items(self):
         """(row, multiplicity) pairs."""
         return self._rows.items()
+
+    def rows_and_counts(self):
+        """Batch iteration surface: ``(row_list, counts_or_None)``.
+
+        ``counts`` is ``None`` when every multiplicity is 1 (always in set
+        mode), letting columnar consumers use bulk ``dict.fromkeys`` paths.
+        """
+        rows = self._rows
+        if not self.bag:
+            return list(rows), None
+        counts = list(rows.values())
+        if all(count == 1 for count in counts):
+            return list(rows), None
+        return list(rows), counts
+
+    def column_batch(self):
+        """This relation decomposed into per-attribute columns."""
+        from repro.algebra.columnar import ColumnBatch
+
+        return ColumnBatch.from_relation(self)

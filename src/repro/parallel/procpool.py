@@ -18,7 +18,11 @@ relations in the coordinator process.  This module makes the nodes real:
 
 The coordinator serializes each payload exactly once (a broadcast reuses
 one blob for all nodes), so reported ``bytes_shipped`` is the real pickle
-cost of the movement, not an estimate.
+cost of the movement, not an estimate.  Relations at or above
+``columnar.WIRE_MIN_ROWS`` distinct rows ship as
+:class:`~repro.algebra.columnar.ColumnBatch` payloads — per-attribute
+typed arrays pickle substantially smaller than per-row tuple dicts —
+and workers decode them back to relations on arrival.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ import multiprocessing
 import pickle
 from typing import Dict, List, Optional, Sequence
 
+from repro.algebra.columnar import decode_relation, encode_relation
 from repro.engine.relation import Relation
 from repro.errors import FragmentationError
 
@@ -46,9 +51,9 @@ def _fragment_worker(node: int, inbox, outbox) -> None:
         if kind == "stop":
             break
         if kind == "install":
-            owned[message[1]] = pickle.loads(message[2])
+            owned[message[1]] = decode_relation(pickle.loads(message[2]))
         elif kind == "bind":
-            bound[message[1]] = pickle.loads(message[2])
+            bound[message[1]] = decode_relation(pickle.loads(message[2]))
         elif kind == "clear":
             bound.clear()
         elif kind == "execute":
@@ -112,7 +117,9 @@ class ProcessFragmentPool:
             )
         sent = 0
         for inbox, fragment in zip(self._inboxes, fragments):
-            blob = pickle.dumps(fragment, protocol=PICKLE_PROTOCOL)
+            blob = pickle.dumps(
+                encode_relation(fragment), protocol=PICKLE_PROTOCOL
+            )
             inbox.put(("install", name, blob))
             sent += len(blob)
         self.installed.add(name)
@@ -137,14 +144,16 @@ class ProcessFragmentPool:
         """Ship ``fragments[i]`` to node ``i`` as a per-check binding."""
         sent = 0
         for inbox, fragment in zip(self._inboxes, fragments):
-            blob = pickle.dumps(fragment, protocol=PICKLE_PROTOCOL)
+            blob = pickle.dumps(
+                encode_relation(fragment), protocol=PICKLE_PROTOCOL
+            )
             inbox.put(("bind", name, blob))
             sent += len(blob)
         return sent
 
     def broadcast_bind(self, name: str, relation: Relation) -> int:
         """Replicate one relation to every node (one blob, n shipments)."""
-        blob = pickle.dumps(relation, protocol=PICKLE_PROTOCOL)
+        blob = pickle.dumps(encode_relation(relation), protocol=PICKLE_PROTOCOL)
         for inbox in self._inboxes:
             inbox.put(("bind", name, blob))
         return len(blob) * self.nodes

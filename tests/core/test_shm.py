@@ -1,0 +1,183 @@
+"""Shared-memory transport: descriptors, refcounting, executor leak checks."""
+
+import time
+
+import pytest
+
+from repro.core import shm
+from repro.core.shm import ShmTransport
+
+
+def make_transport(**kwargs):
+    kwargs.setdefault("min_bytes", 1)
+    return ShmTransport(**kwargs)
+
+
+class TestShipAndLoad:
+    def test_small_blobs_stay_on_the_pipe(self):
+        transport = ShmTransport(min_bytes=1 << 20)
+        descriptor = transport.ship(b"tiny", readers=3)
+        assert descriptor == ("pipe", b"tiny")
+        assert transport.live_segments() == ()
+        assert transport.bytes_shipped == 0
+        blob, ack = shm.load(descriptor)
+        assert (blob, ack) == (b"tiny", None)
+
+    def test_disabled_transport_always_pipes(self):
+        transport = ShmTransport(min_bytes=1, enabled=False)
+        assert transport.ship(b"x" * 1000, readers=2)[0] == "pipe"
+
+    @pytest.mark.skipif(not shm.SHM_AVAILABLE, reason="no shared memory")
+    def test_large_blobs_go_through_a_segment(self):
+        transport = make_transport()
+        payload = b"y" * 4096
+        descriptor = transport.ship(payload, readers=1)
+        try:
+            assert descriptor[0] == "shm" and descriptor[2] == len(payload)
+            assert transport.bytes_shipped == len(payload)
+            assert transport.live_segments() == (descriptor[1],)
+            blob, ack = shm.load(descriptor)
+            assert blob == payload and ack == descriptor[1]
+        finally:
+            transport.release_all()
+
+
+@pytest.mark.skipif(not shm.SHM_AVAILABLE, reason="no shared memory")
+class TestRefcounting:
+    def test_segment_unlinks_after_last_ack(self):
+        transport = make_transport()
+        descriptor = transport.ship(b"z" * 100, readers=2)
+        name = descriptor[1]
+        transport.ack(name)
+        assert transport.live_segments() == (name,)
+        transport.ack(name)
+        assert transport.live_segments() == ()
+        # Attaching a drained segment must fail: it is gone, not leaked.
+        with pytest.raises(FileNotFoundError):
+            shm._attach(name)
+
+    def test_reship_extends_lifetime(self):
+        transport = make_transport()
+        descriptor = transport.ship(b"w" * 100, readers=1)
+        assert transport.reship(descriptor, readers=1) == descriptor
+        transport.ack(descriptor[1])
+        assert transport.live_segments() == (descriptor[1],)
+        transport.ack(descriptor[1])
+        assert transport.live_segments() == ()
+
+    def test_reship_after_drain_signals_reshipment_needed(self):
+        transport = make_transport()
+        descriptor = transport.ship(b"v" * 100, readers=1)
+        transport.ack(descriptor[1])
+        assert transport.reship(descriptor) is None
+
+    def test_reship_passes_pipe_descriptors_through(self):
+        transport = make_transport()
+        assert transport.reship(("pipe", b"k")) == ("pipe", b"k")
+
+    def test_stale_ack_is_ignored(self):
+        transport = make_transport()
+        transport.ack("no-such-segment")  # must not raise
+
+    def test_release_all_force_unlinks(self):
+        transport = make_transport()
+        first = transport.ship(b"a" * 100, readers=5)
+        second = transport.ship(b"b" * 100, readers=5)
+        transport.release_all()
+        assert transport.live_segments() == ()
+        for descriptor in (first, second):
+            with pytest.raises(FileNotFoundError):
+                shm._attach(descriptor[1])
+
+
+@pytest.mark.skipif(not shm.SHM_AVAILABLE, reason="no shared memory")
+class TestExecutorIntegration:
+    """End-to-end: the process executor drains every segment it ships."""
+
+    def _fixture(self):
+        from repro.core.subsystem import IntegrityController
+        from repro.engine import Database, DatabaseSchema, RelationSchema
+        from repro.engine.types import INT
+
+        db_schema = DatabaseSchema(
+            [
+                RelationSchema("fk", [("id", INT), ("ref", INT)]),
+                RelationSchema("pk", [("key", INT)]),
+            ]
+        )
+        database = Database(db_schema)
+        database.load("pk", [(k,) for k in range(10)])
+        database.load("fk", [(i, i % 10) for i in range(20)])
+        controller = IntegrityController(db_schema)
+        controller.add_constraint(
+            "fk_ref",
+            "(forall x)(x in fk => (exists y)(y in pk and x.ref = y.key))",
+        )
+        controller.add_constraint(
+            "fk_id", "(forall x)(x in fk => x.id >= 0)"
+        )
+        return database, controller
+
+    def test_no_segment_survives_a_drained_pool(self):
+        from repro.core.procpool import ProcessAuditExecutor
+        from repro.engine import Session
+
+        database, controller = self._fixture()
+        result = Session(database).execute("begin insert(fk, (100, 3)); end")
+        assert result.committed
+        records, _ = database.commit_log.since(0)
+        pool = ProcessAuditExecutor(
+            controller, database, workers=2, shm_min_bytes=1
+        )
+        try:
+            pool.replicate(records)
+            tasks = controller.audit_tasks(database, result)
+            futures = [
+                pool.submit(task, (records[-1].sequence,)) for task in tasks
+            ]
+            outcomes = [future.result() for future in futures]
+            assert [outcome.failed for outcome in outcomes] == [False, False]
+            assert pool._transport.bytes_shipped > 0
+            # Replication fanned out to both workers; tasks each shipped
+            # once more.  Every segment must drain as acks come back.
+            deadline = time.monotonic() + 10.0
+            while pool._transport.live_segments():
+                assert time.monotonic() < deadline, (
+                    f"leaked segments: {pool._transport.live_segments()}"
+                )
+                pool.reap_acks()
+                time.sleep(0.01)
+        finally:
+            pool.shutdown()
+        assert pool._transport.live_segments() == ()
+
+    def test_verdicts_identical_with_and_without_shm(self):
+        from repro.core.procpool import ProcessAuditExecutor
+        from repro.engine import Session
+
+        verdicts = {}
+        for min_bytes in (1, 1 << 30):  # everything-shm vs everything-pipe
+            database, controller = self._fixture()
+            result = Session(database).execute(
+                "begin insert(fk, (7, 55)); end"
+            )
+            assert result.committed
+            records, _ = database.commit_log.since(0)
+            pool = ProcessAuditExecutor(
+                controller, database, workers=1, shm_min_bytes=min_bytes
+            )
+            try:
+                pool.replicate(records)
+                tasks = controller.audit_tasks(database, result)
+                outcomes = [
+                    pool.submit(task, (records[-1].sequence,)).result()
+                    for task in tasks
+                ]
+                verdicts[min_bytes] = sorted(
+                    (o.rule, o.violated, o.failed) for o in outcomes
+                )
+            finally:
+                pool.shutdown()
+        assert verdicts[1] == verdicts[1 << 30]
+        # (7, 55) references a missing pk key: the referential rule fires.
+        assert ("fk_ref", True, False) in verdicts[1]

@@ -1,0 +1,255 @@
+"""Property: batch execution is result-equivalent to row execution.
+
+For random algebra expressions and random database states, running the
+*same* physical plan with the batch policy forced on must produce the
+exact same relation — tuples *and* multiplicities — as with batching
+forced off, in set mode and bag mode, with and without hash indexes, over
+plain and overlay inputs, and over NULL-bearing columns.  When one path
+raises, the other must raise too.
+
+Also: :class:`~repro.algebra.columnar.ColumnBatch` must survive a pickle
+round-trip (the wire format of both process executors), including across
+fork- and spawn-started child processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import columnar, planner
+from repro.algebra.evaluation import StandaloneContext
+from repro.engine import Database, DatabaseSchema, Relation, RelationSchema
+from repro.engine.overlay import OverlayRelation
+from repro.engine.schema import Attribute
+from repro.engine.types import ANY, INT, NULL
+from repro.errors import ReproError
+
+from . import strategies as S
+
+_SETTINGS = settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+MAYBE_NULL = st.one_of(S.VALUES, st.just(NULL))
+NULL_ROWS = st.lists(st.tuples(MAYBE_NULL, MAYBE_NULL), max_size=8)
+
+
+def _database(rows_r, rows_s, bag: bool) -> Database:
+    database = Database(S.rs_schema(), bag=bag)
+    database.load("r", rows_r)
+    database.load("s", rows_s)
+    return database
+
+
+def _nullable_rs_schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "r",
+                [Attribute("a", INT, nullable=True), Attribute("b", INT, nullable=True)],
+            ),
+            RelationSchema(
+                "s",
+                [Attribute("c", INT, nullable=True), Attribute("d", INT, nullable=True)],
+            ),
+        ]
+    )
+
+
+def _run(fn):
+    try:
+        return fn(), None
+    except ReproError as error:
+        return None, error
+
+
+def _assert_policies_agree(expression, relations):
+    """Execute the planned backend twice: batching off, then forced on."""
+    plan = planner.get_plan(expression)
+    context = StandaloneContext(relations, engine="planned")
+    previous = columnar.set_batch_policy("never")
+    try:
+        row_result, row_error = _run(lambda: plan.execute(context))
+        columnar.set_batch_policy("always")
+        batch_result, batch_error = _run(lambda: plan.execute(context))
+    finally:
+        columnar.set_batch_policy(previous)
+    if row_error is not None or batch_error is not None:
+        assert row_error is not None and batch_error is not None, (
+            f"error divergence on {expression!r}: "
+            f"row={row_error!r} batch={batch_error!r}"
+        )
+        return
+    assert row_result == batch_result, (
+        f"result divergence on {expression!r}:\n"
+        f"  row:   {row_result.sorted_rows()}\n"
+        f"  batch: {batch_result.sorted_rows()}"
+    )
+    assert len(row_result) == len(batch_result)
+
+
+@given(
+    expression=S.algebra_queries(),
+    rows_r=S.ROWS_R,
+    rows_s=S.ROWS_S,
+    bag=st.booleans(),
+)
+@_SETTINGS
+def test_batch_equals_row(expression, rows_r, rows_s, bag):
+    database = _database(rows_r, rows_s, bag)
+    _assert_policies_agree(
+        expression,
+        {"r": database.relation("r"), "s": database.relation("s")},
+    )
+
+
+@given(
+    expression=S.algebra_queries(),
+    rows_r=S.ROWS_R,
+    rows_s=S.ROWS_S,
+    bag=st.booleans(),
+)
+@_SETTINGS
+def test_batch_equals_row_with_indexes(expression, rows_r, rows_s, bag):
+    """Same property with hash indexes installed on every column.
+
+    Indexed regimes (bucket-lookup selection, distinct-key semijoin
+    probing) must stay byte-identical regardless of the batch policy.
+    """
+    database = _database(rows_r, rows_s, bag)
+    database.create_index("r", ["a"])
+    database.create_index("s", ["d"])
+    _assert_policies_agree(
+        expression,
+        {"r": database.relation("r"), "s": database.relation("s")},
+    )
+
+
+@given(
+    expression=S.algebra_queries(),
+    rows_r=S.ROWS_R,
+    extra_r=st.lists(st.tuples(S.VALUES, S.VALUES), max_size=4),
+    gone_r=st.lists(st.tuples(S.VALUES, S.VALUES), max_size=4),
+    rows_s=S.ROWS_S,
+    bag=st.booleans(),
+)
+@_SETTINGS
+def test_batch_equals_row_over_overlays(
+    expression, rows_r, extra_r, gone_r, rows_s, bag
+):
+    """Same property when ``r`` is an uncommitted transaction overlay."""
+    database = _database(rows_r, rows_s, bag)
+    base = database.relation("r")
+    plus = Relation(base.schema, bag=bag)
+    minus = Relation(base.schema, bag=bag)
+    for row in extra_r:
+        if row not in base:
+            plus.insert(row)
+    for row in gone_r:
+        if row in base and row not in plus:
+            minus.insert(row)
+    overlay = OverlayRelation(base, plus, minus)
+    _assert_policies_agree(
+        expression, {"r": overlay, "s": database.relation("s")}
+    )
+
+
+@given(
+    expression=S.algebra_queries(),
+    rows_r=NULL_ROWS,
+    rows_s=NULL_ROWS,
+    bag=st.booleans(),
+)
+@_SETTINGS
+def test_batch_equals_row_with_nulls(expression, rows_r, rows_s, bag):
+    """Same property over nullable columns with NULL-bearing rows.
+
+    Exercises the kernels' three-valued-logic branches: NULL propagation
+    through arithmetic, unknown comparison outcomes, and the Kleene
+    connectives' short-circuit row subsets.
+    """
+    database = Database(_nullable_rs_schema(), bag=bag)
+    database.load("r", rows_r)
+    database.load("s", rows_s)
+    _assert_policies_agree(
+        expression,
+        {"r": database.relation("r"), "s": database.relation("s")},
+    )
+
+
+# -- wire-format round-trips ---------------------------------------------------
+
+MIXED_VALUES = st.one_of(
+    st.integers(min_value=-(1 << 40), max_value=1 << 40),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=6),
+    st.booleans(),
+    st.just(NULL),
+)
+
+
+def _mixed_relation(rows, counts, bag: bool) -> Relation:
+    schema = RelationSchema(
+        "m",
+        [Attribute("a", ANY, nullable=True), Attribute("b", ANY, nullable=True)],
+    )
+    relation = Relation(schema, bag=bag)
+    for row, count in zip(rows, counts):
+        for _ in range(count if bag else 1):
+            relation.insert(row)
+    return relation
+
+
+@given(
+    rows=st.lists(st.tuples(MIXED_VALUES, MIXED_VALUES), max_size=10, unique=True),
+    counts=st.lists(st.integers(min_value=1, max_value=3), min_size=10, max_size=10),
+    bag=st.booleans(),
+)
+@_SETTINGS
+def test_column_batch_pickle_round_trip(rows, counts, bag):
+    relation = _mixed_relation(rows, counts, bag)
+    relation.declare_index((0,))
+    batch = columnar.ColumnBatch.from_relation(relation)
+    revived = pickle.loads(pickle.dumps(batch)).to_relation()
+    assert revived == relation
+    assert len(revived) == len(relation)
+    # Values must round-trip with exact types (bool stays bool, int stays
+    # int), not merely dict-key-equal ones.
+    assert {
+        tuple(map(type, row)) for row in revived.rows()
+    } == {tuple(map(type, row)) for row in relation.rows()}
+    assert tuple(revived.indexes.specs()) == ((0,),)
+
+
+def _echo_batch(blob, queue):
+    batch = pickle.loads(blob)
+    queue.put(pickle.dumps(batch))
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_column_batch_pickle_across_start_methods(start_method):
+    """The wire format survives both process start methods end to end."""
+    if start_method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"{start_method} unavailable on this platform")
+    relation = _mixed_relation(
+        [(1, "x"), (2.5, NULL), (True, -300), (1 << 50, 0)], [2, 1, 3, 1], True
+    )
+    batch = columnar.ColumnBatch.from_relation(relation)
+    context = multiprocessing.get_context(start_method)
+    queue = context.Queue()
+    worker = context.Process(
+        target=_echo_batch, args=(pickle.dumps(batch), queue)
+    )
+    worker.start()
+    try:
+        echoed = pickle.loads(queue.get(timeout=30))
+    finally:
+        worker.join(timeout=10)
+    assert echoed.to_relation() == relation
