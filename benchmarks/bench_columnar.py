@@ -2,22 +2,28 @@
 
 PRs 1-6 removed the asymptotic waste from enforcement; what remained was
 the constant factor of per-tuple Python interpretation inside the
-physical operators.  This benchmark runs the *same compiled plans* twice
-— batch policy forced off, then forced on — over identical data and
-asserts both the verdict parity and the speedup the issue gates on:
+physical operators.  This benchmark runs the *same compiled plans* three
+times — row-at-a-time, whole-column kernels per operator, and fused
+pipeline regions — over identical data and asserts both the verdict
+parity and the speedups the issue gates on:
 
 * an operator ladder (large-scan selection, computed projection, hash
   join, select-project-join composite) at 100k rows, reported row vs
-  batch;
+  batch vs fused, so fusion's own win over per-operator batching is
+  visible in the artifact;
+* the **select-project-join chain** gated at >= 2x fused-over-row (the
+  boundary materialization cost fusion exists to remove);
 * the **audit-shaped violation query** ``π[a](r ⊳ σ[d<1000](s))`` — the
   antijoin against qualified targets that referential integrity rules
-  compile to (violators = rows with no valid target) — gated at >= 2x;
+  compile to (violators = rows with no valid target) — gated at >= 2x
+  on the per-operator batch path (the PR 7 gate, unchanged);
 * the wire format: a 100k-row broadcast through the real
   :class:`~repro.parallel.procpool.ProcessFragmentPool` must ship at
   least 1.5x fewer bytes with columnar pickling than the per-row form.
 
 Measured numbers are emitted as ``benchmarks/bench_columnar.json`` for
-the CI build artifact.
+the CI build artifact; ``python -m benchmarks.report --strict`` turns
+any gate miss into a non-zero exit.
 """
 
 from __future__ import annotations
@@ -42,9 +48,15 @@ EXPERIMENT = "E10 / columnar batch execution"
 ROWS_R = 100_000
 ROWS_S = 50_000
 ROUNDS = 4
-#: The audit-shaped select-project-join must run >= this much faster
-#: batched; the single-operator ladder rows are informational.
+#: The audit-shaped plan must run >= this much faster on the
+#: per-operator batch path; the single-operator ladder rows are
+#: informational.
 COMPOSITE_SPEEDUP_FLOOR = 2.0
+#: The select-project-join chain must run >= this much faster fused
+#: (one kernel per region, tuples built only at the boundary) than
+#: row-at-a-time.
+CHAIN_SPEEDUP_FLOOR = 2.0
+CHAIN_PLAN = "select-project-join"
 #: The 100k-row broadcast must pickle >= this much smaller column-wise.
 WIRE_RATIO_FLOOR = 1.5
 BROADCAST_NODES = 4
@@ -140,13 +152,24 @@ def _timed(plan, context) -> tuple:
     return best, result
 
 
+#: (batch policy, fusion policy) per execution mode.  "row" is the
+#: differential oracle; "batch" runs whole-column kernels but still
+#: materializes a relation at every operator boundary; "fused" compiles
+#: eligible scan/join→select→project chains into one kernel.
+MODES = {
+    "row": ("never", "never"),
+    "batch": ("always", "never"),
+    "fused": ("always", "always"),
+}
+
+
 @pytest.mark.benchmark(group="columnar")
 def test_batch_operator_ladder(benchmark):
     report.experiment(
         EXPERIMENT,
         f"the same compiled plans over r({ROWS_R:,}) / s({ROWS_S:,}), "
-        "row-at-a-time vs whole-column kernels",
-        ["plan", "row (ms)", "batch (ms)", "speedup"],
+        "row-at-a-time vs whole-column kernels vs fused pipelines",
+        ["plan", "row (ms)", "batch (ms)", "fused (ms)", "batch", "fused"],
     )
 
     def run():
@@ -155,54 +178,79 @@ def test_batch_operator_ladder(benchmark):
         measured = {}
         for name, expression in PLANS.items():
             plan = planner.get_plan(expression)
-            previous = columnar.set_batch_policy("never")
+            timings = {}
+            results = {}
+            prev_batch = columnar.batch_policy()
+            prev_fusion = columnar.fusion_policy()
             try:
-                row_seconds, row_result = _timed(plan, context)
-                columnar.set_batch_policy("always")
-                batch_seconds, batch_result = _timed(plan, context)
+                for mode, (batch, fusion) in MODES.items():
+                    columnar.set_batch_policy(batch)
+                    columnar.set_fusion_policy(fusion)
+                    timings[mode], results[mode] = _timed(plan, context)
             finally:
-                columnar.set_batch_policy(previous)
-            assert batch_result == row_result, f"parity broken on {name!r}"
-            measured[name] = (row_seconds, batch_seconds, len(row_result))
+                columnar.set_batch_policy(prev_batch)
+                columnar.set_fusion_policy(prev_fusion)
+            assert results["batch"] == results["row"], (
+                f"batch parity broken on {name!r}"
+            )
+            assert results["fused"] == results["row"], (
+                f"fused parity broken on {name!r}"
+            )
+            measured[name] = (timings, len(results["row"]))
         return measured
 
     measured = benchmark.pedantic(run, rounds=1, iterations=1)
     ladder = {}
-    for name, (row_seconds, batch_seconds, cardinality) in measured.items():
-        speedup = row_seconds / batch_seconds
+    for name, (timings, cardinality) in measured.items():
+        speedup = timings["row"] / timings["batch"]
+        fused_speedup = timings["row"] / timings["fused"]
         ladder[name] = {
-            "row_seconds": row_seconds,
-            "batch_seconds": batch_seconds,
+            "row_seconds": timings["row"],
+            "batch_seconds": timings["batch"],
+            "fused_seconds": timings["fused"],
             "output_rows": cardinality,
             "speedup": speedup,
+            "fused_speedup": fused_speedup,
+            "fused_over_batch": timings["batch"] / timings["fused"],
         }
         report.record(
             EXPERIMENT,
             name,
-            f"{row_seconds * 1000:.2f}",
-            f"{batch_seconds * 1000:.2f}",
+            f"{timings['row'] * 1000:.2f}",
+            f"{timings['batch'] * 1000:.2f}",
+            f"{timings['fused'] * 1000:.2f}",
             f"{speedup:.2f}x",
+            f"{fused_speedup:.2f}x",
         )
     report.note(
         EXPERIMENT,
-        "identical physical plans; the batch path only swaps the operator "
-        "inner loops for whole-column kernels, so verdict parity is "
-        "asserted on every plan before timing is reported",
+        "identical physical plans; the batch path swaps the operator inner "
+        "loops for whole-column kernels and the fused path additionally "
+        "skips relation materialization between region operators, so "
+        "three-way verdict parity is asserted on every plan before any "
+        "timing is reported",
     )
     composite = ladder["audit plan (gated)"]["speedup"]
+    chain = ladder[CHAIN_PLAN]["fused_speedup"]
     _merge_json(
         {
             "experiment": EXPERIMENT,
             "rows_r": ROWS_R,
             "rows_s": ROWS_S,
             "composite_speedup_floor": COMPOSITE_SPEEDUP_FLOOR,
+            "chain_speedup_floor": CHAIN_SPEEDUP_FLOOR,
             "ladder": ladder,
             "composite_speedup": composite,
+            "chain_speedup": chain,
         }
     )
     assert composite >= COMPOSITE_SPEEDUP_FLOOR, (
         f"audit-shaped plan batched at {composite:.2f}x, below the "
         f"{COMPOSITE_SPEEDUP_FLOOR}x floor"
+    )
+    assert chain >= CHAIN_SPEEDUP_FLOOR, (
+        f"select-project-join fused at {chain:.2f}x over row, below the "
+        f"{CHAIN_SPEEDUP_FLOOR}x floor"
     )
 
 

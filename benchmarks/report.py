@@ -77,7 +77,10 @@ def render_all() -> str:
 
 def _render_one(identifier: str, data: dict) -> str:
     header = [data["columns"]]
-    rows = data["rows"]
+    # Rows may carry fewer cells than the header (e.g. a wire-bytes row
+    # inside a timing experiment); pad so alignment never fails.
+    arity = len(data["columns"])
+    rows = [row + [""] * (arity - len(row)) for row in data["rows"]]
     widths = [
         max(len(row[i]) for row in header + rows)
         for i in range(len(data["columns"]))
@@ -145,6 +148,20 @@ def _artifact_rows(name: str, data: dict) -> List[list]:
                 data.get("composite_speedup_floor") if gated else None,
             ]
         )
+        if "fused_speedup" in stats:
+            chain_gated = plan == "select-project-join"
+            rows.append(
+                [
+                    name,
+                    f"fused vs row: {plan}",
+                    stats.get("fused_speedup"),
+                    data.get("chain_speedup_floor") if chain_gated else None,
+                ]
+            )
+        if "fused_over_batch" in stats:
+            rows.append(
+                [name, f"fused vs batch: {plan}", stats.get("fused_over_batch"), None]
+            )
     if "wire_ratio" in data:
         rows.append(
             [
@@ -157,8 +174,8 @@ def _artifact_rows(name: str, data: dict) -> List[list]:
     return rows
 
 
-def summarize_artifacts(directory: Path | str | None = None) -> str:
-    """One gate-status table over every ``bench_*.json`` present on disk."""
+def _gate_table(directory: Path | str | None = None) -> List[List[str]]:
+    """Rendered gate rows for every ``bench_*.json`` present on disk."""
     base = Path(directory) if directory is not None else Path(__file__).parent
     rows: List[List[str]] = []
     for filename in _ARTIFACTS:
@@ -187,6 +204,12 @@ def summarize_artifacts(directory: Path | str | None = None) -> str:
                     status,
                 ]
             )
+    return rows
+
+
+def summarize_artifacts(directory: Path | str | None = None) -> str:
+    """One gate-status table over every ``bench_*.json`` present on disk."""
+    rows = _gate_table(directory)
     if not rows:
         return "no benchmark artifacts found"
     data = {
@@ -197,5 +220,43 @@ def summarize_artifacts(directory: Path | str | None = None) -> str:
     return _render_one("benchmark summary", data)
 
 
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point: print the gate table, optionally enforce it.
+
+    ``--strict`` exits non-zero when any gated dimension is below its
+    floor (or when no artifacts exist at all), so CI can end a benchmark
+    job with one authoritative pass/fail over every emitted artifact.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.report",
+        description="Summarize bench_*.json gate status.",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 if any gate failed or no artifacts were found",
+    )
+    parser.add_argument(
+        "--directory",
+        default=None,
+        help="directory holding bench_*.json artifacts (default: benchmarks/)",
+    )
+    options = parser.parse_args(argv)
+    rows = _gate_table(options.directory)
+    print(summarize_artifacts(options.directory))
+    if not options.strict:
+        return 0
+    if not rows:
+        print("strict mode: no artifacts found")
+        return 1
+    failed = [row for row in rows if row[-1] == "FAIL"]
+    if failed:
+        print(f"strict mode: {len(failed)} gate(s) below floor")
+        return 1
+    return 0
+
+
 if __name__ == "__main__":
-    print(summarize_artifacts())
+    raise SystemExit(main())

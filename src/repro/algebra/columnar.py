@@ -36,11 +36,16 @@ Batch execution is governed by a module-level policy (``"auto"`` /
 ``"always"`` / ``"never"``): ``auto`` follows the planner's per-operator
 eligibility flags plus a runtime row-count guard, while the other two
 exist so tests and benchmarks can force either path and assert parity.
+A second, independent policy (:func:`fusion_policy`) governs whether the
+planner's *fused pipeline regions* execute as one kernel; keeping the
+two separate lets tests pin three-way equivalence (row vs unfused batch
+vs fused) over the same compiled plan.
 """
 
 from __future__ import annotations
 
 from array import array
+from collections import Counter
 from operator import itemgetter
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -74,6 +79,8 @@ __all__ = [
     "decode_differentials",
     "batch_policy",
     "set_batch_policy",
+    "fusion_policy",
+    "set_fusion_policy",
     "BATCH_ESTIMATE_ROWS",
     "BATCH_MIN_ROWS",
     "WIRE_MIN_ROWS",
@@ -111,6 +118,31 @@ def set_batch_policy(policy: str) -> str:
         raise ValueError(f"unknown batch policy {policy!r}")
     previous = _policy
     _policy = policy
+    return previous
+
+
+_fusion = "auto"
+
+
+def fusion_policy() -> str:
+    """The current pipeline-fusion policy (``auto``/``always``/``never``).
+
+    ``auto`` runs a fused region as one kernel whenever the region's
+    source operator is batch-eligible; ``never`` makes every
+    :class:`~repro.algebra.physical.FusedPipelineOp` fall back to
+    operator-at-a-time execution (which still honours the batch policy),
+    so tests can compare fused vs unfused execution of one plan.
+    """
+    return _fusion
+
+
+def set_fusion_policy(policy: str) -> str:
+    """Set the fusion policy; returns the previous value."""
+    global _fusion
+    if policy not in _POLICIES:
+        raise ValueError(f"unknown fusion policy {policy!r}")
+    previous = _fusion
+    _fusion = policy
     return previous
 
 
@@ -188,14 +220,34 @@ def _unpack_column(packed: tuple) -> list:
 class ColumnBatch:
     """A relation decomposed into per-attribute columns.
 
-    ``columns[j][i]`` is attribute ``j`` of distinct row ``i``; ``counts``
-    is the parallel multiplicity vector, or ``None`` when every
-    multiplicity is 1 (always true in set mode).  ``index_specs`` carries
-    the relation's *declared* index positions so a decoded relation
-    rebuilds its indexes lazily, exactly like a freshly copied one.
+    The batch holds the data in whichever form it was built from — a row
+    list (fused pipelines hand rows between stages) or a column tuple
+    (the wire format unpickles columns) — and converts lazily on first
+    access of the other view, so a batch that only ever flows along a
+    fused pipeline never pays for column extraction and a batch that
+    only ships over a pipe never pays for row reassembly.
+
+    ``columns[j][i]`` is attribute ``j`` of row ``i``; ``counts`` is the
+    parallel multiplicity vector, or ``None`` when every multiplicity is
+    1.  A *normalized* batch has distinct rows with merged counts (the
+    shape a Relation stores); interior pipeline batches may carry
+    duplicate rows and per-occurrence counts (``normalized=False``) and
+    defer the merge to :meth:`to_relation` at the region boundary.
+    ``index_specs`` carries the relation's *declared* index positions so
+    a decoded relation rebuilds its indexes lazily, exactly like a
+    freshly copied one.
     """
 
-    __slots__ = ("schema", "bag", "columns", "counts", "index_specs", "row_count")
+    __slots__ = (
+        "schema",
+        "bag",
+        "_columns",
+        "_rows",
+        "counts",
+        "index_specs",
+        "row_count",
+        "normalized",
+    )
 
     def __init__(
         self,
@@ -208,48 +260,115 @@ class ColumnBatch:
     ):
         self.schema = schema
         self.bag = bag
-        self.columns = tuple(columns)
+        self._columns = tuple(columns)
+        self._rows = None
         self.counts = counts
         self.index_specs = tuple(index_specs)
         if row_count is None:
-            row_count = len(self.columns[0]) if self.columns else 0
+            row_count = len(self._columns[0]) if self._columns else 0
         self.row_count = row_count
+        self.normalized = True
 
     # -- conversion --------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: RelationSchema,
+        bag: bool,
+        rows: list,
+        counts: Optional[list] = None,
+        index_specs: Tuple[tuple, ...] = (),
+        normalized: bool = True,
+    ) -> "ColumnBatch":
+        """Wrap an existing row list without extracting columns."""
+        batch = cls.__new__(cls)
+        batch.schema = schema
+        batch.bag = bag
+        batch._columns = None
+        batch._rows = rows
+        batch.counts = counts
+        batch.index_specs = tuple(index_specs)
+        batch.row_count = len(rows)
+        batch.normalized = normalized
+        return batch
 
     @classmethod
     def from_relation(cls, relation) -> "ColumnBatch":
         """Decompose a Relation or OverlayRelation (via its merged rows)."""
         rows, counts = relation.rows_and_counts()
-        if rows:
-            columns = [list(column) for column in zip(*rows)]
-        else:
-            columns = [[] for _ in relation.schema.attributes]
         indexes = getattr(relation, "_indexes", None)
         specs = tuple(indexes.specs()) if indexes is not None else ()
-        return cls(
+        return cls.from_rows(
             relation.schema,
             relation.bag,
-            columns,
+            list(rows),
             list(counts) if counts is not None else None,
             specs,
-            row_count=len(rows),
         )
 
+    @property
+    def columns(self) -> tuple:
+        """Per-attribute column lists (built lazily from rows)."""
+        if self._columns is None:
+            rows = self._rows
+            if rows:
+                self._columns = tuple(list(column) for column in zip(*rows))
+            else:
+                self._columns = tuple([] for _ in self.schema.attributes)
+        return self._columns
+
+    def rows_list(self) -> list:
+        """The batch's rows as tuples (built lazily from columns)."""
+        if self._rows is None:
+            self._rows = list(zip(*self._columns))
+        return self._rows
+
     def to_relation(self):
-        """Reassemble a plain :class:`~repro.engine.relation.Relation`."""
+        """Reassemble a plain :class:`~repro.engine.relation.Relation`.
+
+        Non-normalized batches merge here: set mode keeps the first
+        occurrence of each row (matching the row path's ``setdefault``),
+        bag mode sums multiplicities.
+        """
         from repro.engine.relation import Relation
 
         relation = Relation(self.schema, bag=self.bag)
         if self.row_count:
-            rows = zip(*self.columns)
-            if self.counts is None:
-                relation._rows = dict.fromkeys(rows, 1)
-            else:
-                relation._rows = dict(zip(rows, self.counts))
+            relation._rows = self._merged_rows()
         for positions in self.index_specs:
             relation.declare_index(positions)
         return relation
+
+    def _merged_rows(self) -> dict:
+        """The batch contents as a ``{row: count}`` dict."""
+        rows = self.rows_list()
+        counts = self.counts
+        if not self.bag or counts is None:
+            if self.normalized or not self.bag:
+                return dict.fromkeys(rows, 1)
+            return dict(Counter(rows))
+        if self.normalized:
+            return dict(zip(rows, counts))
+        merged: dict = {}
+        get = merged.get
+        for row, count in zip(rows, counts):
+            merged[row] = get(row, 0) + count
+        return merged
+
+    def _normalized(self) -> "ColumnBatch":
+        """An equivalent batch with distinct rows and merged counts."""
+        if self.normalized:
+            return self
+        merged = self._merged_rows()
+        all_ones = not self.bag or all(c == 1 for c in merged.values())
+        return ColumnBatch.from_rows(
+            self.schema,
+            self.bag,
+            list(merged),
+            None if all_ones else list(merged.values()),
+            self.index_specs,
+        )
 
     def column(self, position: int) -> list:
         """The column at 0-based ``position``."""
@@ -269,35 +388,38 @@ class ColumnBatch:
         kind = "bag" if self.bag else "set"
         return (
             f"ColumnBatch({self.schema.name}, {kind}, "
-            f"{len(self.columns)} cols x {self.row_count} rows)"
+            f"{len(self.schema.attributes)} cols x {self.row_count} rows)"
         )
 
     # -- pickling ----------------------------------------------------------
 
     def __getstate__(self):
-        counts = self.counts
+        batch = self._normalized()
+        counts = batch.counts
         packed_counts = None
         if counts is not None:
             packed_counts = _pack_column(counts)
         return (
-            self.schema,
-            self.bag,
-            tuple(_pack_column(column) for column in self.columns),
+            batch.schema,
+            batch.bag,
+            tuple(_pack_column(column) for column in batch.columns),
             packed_counts,
-            self.index_specs,
-            self.row_count,
+            batch.index_specs,
+            batch.row_count,
         )
 
     def __setstate__(self, state):
         schema, bag, packed, packed_counts, specs, row_count = state
         self.schema = schema
         self.bag = bag
-        self.columns = tuple(_unpack_column(column) for column in packed)
+        self._columns = tuple(_unpack_column(column) for column in packed)
+        self._rows = None
         self.counts = (
             _unpack_column(packed_counts) if packed_counts is not None else None
         )
         self.index_specs = specs
         self.row_count = row_count
+        self.normalized = True
 
 
 # ---------------------------------------------------------------------------
@@ -306,17 +428,35 @@ class ColumnBatch:
 
 
 def encode_relation(relation, min_rows: int = WIRE_MIN_ROWS):
-    """Columnar form when large enough to pay off, else the relation."""
+    """Columnar form when large enough to pay off, else the relation.
+
+    Goes through :meth:`Relation.column_batch` when available so a
+    read-mostly relation that already caches its columnar form (or is
+    columnar-backed outright) ships without re-decomposing.
+    """
     if relation is None:
         return None
     if relation.distinct_count() >= min_rows:
+        column_batch = getattr(relation, "column_batch", None)
+        if column_batch is not None:
+            return column_batch()
         return ColumnBatch.from_relation(relation)
     return relation
 
 
-def decode_relation(obj):
-    """Inverse of :func:`encode_relation`."""
+def decode_relation(obj, lazy: bool = False):
+    """Inverse of :func:`encode_relation`.
+
+    With ``lazy=True`` a columnar payload decodes into a
+    :class:`~repro.engine.relation.ColumnarRelation` — scans read its
+    columns directly and the row dict only materializes if something
+    mutates or row-iterates it.
+    """
     if isinstance(obj, ColumnBatch):
+        if lazy:
+            from repro.engine.relation import ColumnarRelation
+
+            return ColumnarRelation(obj)
         return obj.to_relation()
     return obj
 
@@ -332,10 +472,10 @@ def encode_differentials(differentials, min_rows: int = WIRE_MIN_ROWS):
     }
 
 
-def decode_differentials(encoded):
+def decode_differentials(encoded, lazy: bool = False):
     """Inverse of :func:`encode_differentials`."""
     return {
-        name: (decode_relation(plus), decode_relation(minus))
+        name: (decode_relation(plus, lazy), decode_relation(minus, lazy))
         for name, (plus, minus) in encoded.items()
     }
 

@@ -162,8 +162,22 @@ class PhysicalOperator:
     #: whole-column batch path (subject to the runtime row-count guard).
     batch_eligible = False
 
+    #: Set by :func:`annotate_batch_eligibility` on :class:`FusedPipelineOp`
+    #: regions whose source estimate clears the same floor.
+    fuse_eligible = False
+
     def execute(self, context) -> Relation:
         raise NotImplementedError
+
+    def produce_batch(self, context) -> "columnar.ColumnBatch":
+        """Execute and hand the result upward as a :class:`ColumnBatch`.
+
+        Operators inside a fused pipeline region override this so a
+        batch flows from child to parent directly — no ``to_relation`` /
+        ``from_relation`` round-trip per operator boundary.  The default
+        wraps :meth:`execute`, so any operator can source a region.
+        """
+        return columnar.ColumnBatch.from_relation(self.execute(context))
 
     def estimate(self, cards=None) -> PlanEstimate:
         raise NotImplementedError
@@ -309,6 +323,34 @@ def _hash_buckets(relation: Relation, key_side: "_KeySide", need_rows: bool):
     return buckets
 
 
+def _restricted_buckets(relation: Relation, key_side: "_KeySide", rows):
+    """Build-side buckets restricted to a survivor subset: ``(buckets, allowed)``.
+
+    The fused-region pushdown path knows (from a right-side filter) which
+    build rows can contribute pairs at all.  Index-usage accounting must
+    not depend on the execution mode, so a persistent index on the key
+    columns is touched exactly as :func:`_hash_buckets` would and its full
+    buckets are returned with the restriction as a membership set
+    (``allowed``); without an index, only the surviving rows are hashed —
+    the ephemeral build pass shrinks with the filter's selectivity.
+    """
+    key_fn, positions = key_side.bind(relation.schema)
+    if positions is not None:
+        index = relation.amortized_index(positions)
+        if index is not None:
+            index.touch("build")
+            return index.buckets, frozenset(rows)
+    buckets: dict = {}
+    for row in rows:
+        key = key_fn(row)
+        bucket = buckets.get(key)
+        if bucket is None:
+            buckets[key] = [row]
+        else:
+            bucket.append(row)
+    return buckets, None
+
+
 class _PredicateCache:
     """Compiled-closure cache for a predicate, keyed by input schema(s)."""
 
@@ -358,6 +400,21 @@ def _batch_mode(op: "PhysicalOperator", input_rows: int) -> bool:
 _BATCH_OPERATORS: tuple = ()  # filled after the operator classes are defined
 
 
+def _fuse_mode(op: "PhysicalOperator") -> bool:
+    """Should this fused region execute as one batch kernel?
+
+    ``auto`` requires the planner's region eligibility (the source
+    operator's estimated output clears the batch floor, so Δ-shaped
+    regions stay row-at-a-time) and defers to a ``never`` batch policy;
+    ``always``/``never`` let tests pin fused vs unfused execution of the
+    same plan.
+    """
+    policy = columnar.fusion_policy()
+    if policy == "auto":
+        return op.fuse_eligible and columnar.batch_policy() != "never"
+    return policy == "always"
+
+
 def annotate_batch_eligibility(plan: "PhysicalOperator", cards=None) -> None:
     """Flag batch-capable operators whose estimated input is large enough.
 
@@ -365,9 +422,16 @@ def annotate_batch_eligibility(plan: "PhysicalOperator", cards=None) -> None:
     set before a plan becomes visible to concurrent executors and never
     mutated afterwards).  The per-operator decision reads the *input*
     estimate — a filter over a default base scan (1000 rows) batches, a
-    filter over a Δ-scan (default |Δ| = 16) stays row-at-a-time.
+    filter over a Δ-scan (default |Δ| = 16) stays row-at-a-time.  Fused
+    pipeline regions are flagged from their source operator's estimate
+    under the same floor.
     """
     for op in _walk_plan(plan):
+        if isinstance(op, FusedPipelineOp):
+            op.fuse_eligible = (
+                op.source.estimate(cards).rows >= columnar.BATCH_ESTIMATE_ROWS
+            )
+            continue
         if not isinstance(op, _BATCH_OPERATORS):
             continue
         if isinstance(op, (FilterOp, ProjectOp)):
@@ -405,6 +469,11 @@ class ScanOp(PhysicalOperator):
     def execute(self, context) -> Relation:
         return context.resolve(self.name)
 
+    def produce_batch(self, context):
+        # The relation's cached columnar form: scans inside a fused
+        # region start from columns without a per-execution decompose.
+        return context.resolve(self.name).column_batch()
+
     def estimate(self, cards=None) -> PlanEstimate:
         return PlanEstimate(rows=_card(cards, self.name))
 
@@ -438,6 +507,9 @@ class DeltaScanOp(PhysicalOperator):
 
     def execute(self, context) -> Relation:
         return context.resolve(self.name)
+
+    def produce_batch(self, context):
+        return context.resolve(self.name).column_batch()
 
     def estimate(self, cards=None) -> PlanEstimate:
         if cards is not None and self.name in cards:
@@ -518,6 +590,33 @@ class FilterOp(PhysicalOperator):
             result = source.filtered(lambda row: test(row) is True)
         _trace(context, "select", len(source), len(result))
         return result
+
+    def produce_batch(self, context):
+        return self.apply_batch(self.child.produce_batch(context), context)
+
+    def apply_batch(self, batch, context):
+        """Apply the stage to an already-produced batch.
+
+        Fused regions that restructure the chain (join-side predicate
+        pushdown) drive the surviving stages directly instead of pulling
+        through ``produce_batch``.
+        """
+        rows = batch.rows_list()
+        mask = self._pred.bind_kernel(batch.schema)(rows)
+        out_rows = list(compress(rows, mask))
+        counts = batch.counts
+        out_counts = (
+            list(compress(counts, mask)) if counts is not None else None
+        )
+        out = columnar.ColumnBatch.from_rows(
+            batch.schema,
+            batch.bag,
+            out_rows,
+            out_counts,
+            normalized=batch.normalized,
+        )
+        _trace(context, "select", len(batch), len(out))
+        return out
 
     def estimate(self, cards=None) -> PlanEstimate:
         child = self.child.estimate(cards)
@@ -685,6 +784,25 @@ class ProjectOp(PhysicalOperator):
                 insert(tuple(fn(row) for fn in compiled), _validated=True)
         _trace(context, "project", len(source), len(result))
         return result
+
+    def produce_batch(self, context):
+        return self.apply_batch(self.child.produce_batch(context), context)
+
+    def apply_batch(self, batch, context):
+        """Apply the stage to an already-produced batch (see FilterOp)."""
+        _, out_schema, row_maker = self._bind(batch.schema)
+        out_rows = row_maker(batch.rows_list())
+        # Projection can collapse rows; the merge (bag count summation,
+        # set first-occurrence-wins) is deferred to the region boundary.
+        out = columnar.ColumnBatch.from_rows(
+            out_schema,
+            batch.bag,
+            out_rows,
+            batch.counts,
+            normalized=False,
+        )
+        _trace(context, "project", len(batch), len(out))
+        return out
 
     def estimate(self, cards=None) -> PlanEstimate:
         child = self.child.estimate(cards)
@@ -1058,6 +1176,128 @@ class HashJoinOp(_BinaryOp):
         self._residual = _PredicateCache(residual)
         self._schemas = _CombinedSchemaCache("_join")
 
+    def _probe_pairs(
+        self,
+        left: Relation,
+        right: Relation,
+        probe: Optional[tuple] = None,
+        right_restrict=None,
+    ):
+        """Whole-column probe kernel: ``(pairs, pair_counts_or_None)``.
+
+        The key column is extracted in one map pass and the output pairs
+        materialize in one comprehension instead of a bound-method insert
+        per pair.  Pairs are unique (distinct left rows x distinct bucket
+        rows, and the left prefix keeps them apart), so multiplicity-1
+        inputs need no counts at all; a bag-mode left input gets the
+        counts-aware variant, where every pair inherits its left row's
+        multiplicity (build sides hash *distinct* right rows, so right
+        multiplicities never contribute — the row path's convention).
+
+        ``probe`` and ``right_restrict`` serve fused-region predicate
+        pushdown: ``probe`` replaces the probe side's ``(rows, counts)``
+        with a pre-filtered pair, and ``right_restrict`` lists the build
+        rows a pushed right-side filter kept, so filtered-out pairs are
+        never concatenated (see :func:`_restricted_buckets`).
+        ``right_restrict`` is only honoured on the residual-free paths
+        (the fused caller gates on a true residual).
+        """
+        if right_restrict is None:
+            buckets = _hash_buckets(right, self.right_keys, need_rows=True)
+            allowed = None
+        else:
+            buckets, allowed = _restricted_buckets(
+                right, self.right_keys, right_restrict
+            )
+        left_key, positions = self.left_keys.bind(left.schema)
+        get_bucket = buckets.get
+        if probe is None:
+            lrows, lcounts = left.rows_and_counts()
+        else:
+            lrows, lcounts = probe
+        extract = (
+            _itemgetter(*positions) if positions is not None else left_key
+        )
+        if lcounts is not None:
+            pairs: list = []
+            pair_counts: list = []
+            extend_pairs = pairs.extend
+            extend_counts = pair_counts.extend
+            if self._residual.is_true:
+                if allowed is None:
+                    for lrow, key, count in zip(
+                        lrows, map(extract, lrows), lcounts
+                    ):
+                        bucket = get_bucket(key)
+                        if bucket:
+                            extend_pairs(lrow + rrow for rrow in bucket)
+                            extend_counts([count] * len(bucket))
+                else:
+                    for lrow, key, count in zip(
+                        lrows, map(extract, lrows), lcounts
+                    ):
+                        matched = [
+                            lrow + rrow
+                            for rrow in get_bucket(key) or ()
+                            if rrow in allowed
+                        ]
+                        if matched:
+                            extend_pairs(matched)
+                            extend_counts([count] * len(matched))
+            else:
+                residual = self._residual.bind(left.schema, right.schema)
+                for lrow, key, count in zip(
+                    lrows, map(extract, lrows), lcounts
+                ):
+                    matched = [
+                        lrow + rrow
+                        for rrow in get_bucket(key) or ()
+                        if residual(lrow, rrow) is True
+                    ]
+                    if matched:
+                        extend_pairs(matched)
+                        extend_counts([count] * len(matched))
+            return pairs, pair_counts
+        if self._residual.is_true:
+            if allowed is not None:
+                if positions is not None and len(positions) == 1:
+                    p = positions[0]
+                    pairs = [
+                        lrow + rrow
+                        for lrow in lrows
+                        for rrow in get_bucket(lrow[p]) or ()
+                        if rrow in allowed
+                    ]
+                else:
+                    pairs = [
+                        lrow + rrow
+                        for lrow, key in zip(lrows, map(extract, lrows))
+                        for rrow in get_bucket(key) or ()
+                        if rrow in allowed
+                    ]
+            elif positions is not None and len(positions) == 1:
+                p = positions[0]
+                pairs = [
+                    lrow + rrow
+                    for lrow in lrows
+                    for rrow in get_bucket(lrow[p]) or ()
+                ]
+            else:
+                pairs = [
+                    lrow + rrow
+                    for lrow, key in zip(lrows, map(extract, lrows))
+                    for rrow in get_bucket(key) or ()
+                ]
+        else:
+            residual = self._residual.bind(left.schema, right.schema)
+            pairs = [
+                lrow + rrow
+                for lrow, key in zip(lrows, map(extract, lrows))
+                for rrow in get_bucket(key) or ()
+                if residual(lrow, rrow) is True
+            ]
+        return pairs, None
+
     def execute(self, context) -> Relation:
         left = self.left.execute(context)
         right = self.right.execute(context)
@@ -1065,53 +1305,17 @@ class HashJoinOp(_BinaryOp):
             self._schemas.get(left.schema, right.schema),
             bag=left.bag or right.bag,
         )
+        if _batch_mode(self, left.distinct_count()):
+            pairs, pair_counts = self._probe_pairs(left, right)
+            if pair_counts is None:
+                result._rows = dict.fromkeys(pairs, 1)
+            else:
+                result._rows = dict(zip(pairs, pair_counts))
+            _trace(context, "join", len(left) + len(right), len(result))
+            return result
         buckets = _hash_buckets(right, self.right_keys, need_rows=True)
         left_key, _ = self.left_keys.bind(left.schema)
         get_bucket = buckets.get
-        if not left.bag and _batch_mode(self, left.distinct_count()):
-            # Whole-column probe: the key column is extracted in one map
-            # pass and the output pairs materialize in one comprehension +
-            # bulk dict fill instead of a bound-method insert per pair.
-            # Every output pair has multiplicity 1 (distinct left rows x
-            # distinct bucket rows, and the left prefix makes pairs
-            # unique), so dict.fromkeys is exact even for a bag result.
-            lrows = list(left._rows)
-            _, positions = self.left_keys.bind(left.schema)
-            if self._residual.is_true:
-                if positions is not None and len(positions) == 1:
-                    p = positions[0]
-                    pairs = [
-                        lrow + rrow
-                        for lrow in lrows
-                        for rrow in get_bucket(lrow[p]) or ()
-                    ]
-                else:
-                    extract = (
-                        _itemgetter(*positions)
-                        if positions is not None
-                        else left_key
-                    )
-                    pairs = [
-                        lrow + rrow
-                        for lrow, key in zip(lrows, map(extract, lrows))
-                        for rrow in get_bucket(key) or ()
-                    ]
-            else:
-                residual = self._residual.bind(left.schema, right.schema)
-                extract = (
-                    _itemgetter(*positions)
-                    if positions is not None
-                    else left_key
-                )
-                pairs = [
-                    lrow + rrow
-                    for lrow, key in zip(lrows, map(extract, lrows))
-                    for rrow in get_bucket(key) or ()
-                    if residual(lrow, rrow) is True
-                ]
-            result._rows = dict.fromkeys(pairs, 1)
-            _trace(context, "join", len(left) + len(right), len(result))
-            return result
         insert = result.insert
         if self._residual.is_true:
             for lrow in left:
@@ -1129,6 +1333,31 @@ class HashJoinOp(_BinaryOp):
                             insert(lrow + rrow, _validated=True)
         _trace(context, "join", len(left) + len(right), len(result))
         return result
+
+    def produce_batch(self, context):
+        left = self.left.execute(context)
+        right = self.right.execute(context)
+        return self.produce_batch_from(context, left, right)
+
+    def produce_batch_from(
+        self, context, left, right, probe=None, right_restrict=None
+    ):
+        """Batch production over already-executed inputs.
+
+        Fused regions execute the join's children themselves so they can
+        compute side-pushdown masks between child execution and the
+        probe; ``probe``/``right_restrict`` carry those masks down into
+        :meth:`_probe_pairs`.
+        """
+        pairs, pair_counts = self._probe_pairs(left, right, probe, right_restrict)
+        out = columnar.ColumnBatch.from_rows(
+            self._schemas.get(left.schema, right.schema),
+            left.bag or right.bag,
+            pairs,
+            pair_counts,
+        )
+        _trace(context, "join", len(left) + len(right), len(out))
+        return out
 
     def estimate(self, cards=None) -> PlanEstimate:
         left = self.left.estimate(cards)
@@ -1244,16 +1473,22 @@ class HashSemiJoinOp(_BinaryOp):
         self.right_keys = _KeySide(right_keys, "right")
         self._residual = _PredicateCache(residual)
 
-    def execute(self, context) -> Relation:
-        left = self.left.execute(context)
-        right = self.right.execute(context)
+    def _probe_dict(self, left: Relation, right: Relation, batch: bool) -> dict:
+        """The selected ``{row: count}`` dict, shared by both result forms.
+
+        ``batch`` picks the whole-column inner loops; regime selection and
+        every index interaction (build touches, amortization accounting,
+        probe touches) are identical either way, which is what keeps
+        ``IndexUsage`` ledgers byte-identical across row, batch, and fused
+        execution.
+        """
         keep = self.keep_matching
         left_key, positions = self.left_keys.bind(left.schema)
         if not self._residual.is_true:
             buckets = _hash_buckets(right, self.right_keys, need_rows=True)
             residual = self._residual.bind(left.schema, right.schema)
             get_bucket = buckets.get
-            if _batch_mode(self, left.distinct_count()):
+            if batch:
                 src_rows = left._rows
                 # itemgetter extracts plain-column keys at C speed with the
                 # same convention as key_fn (bare value / tuple).
@@ -1261,8 +1496,7 @@ class HashSemiJoinOp(_BinaryOp):
                     _itemgetter(*positions) if positions is not None else left_key
                 )
                 keys = map(extract, src_rows)
-                result = Relation(left.schema, bag=left.bag)
-                result._rows = {
+                return {
                     lrow: count
                     for (lrow, count), key in zip(src_rows.items(), keys)
                     if (
@@ -1274,10 +1508,6 @@ class HashSemiJoinOp(_BinaryOp):
                     )
                     is keep
                 }
-                _trace(
-                    context, self.op_name, len(left) + len(right), len(result)
-                )
-                return result
 
             def has_match(lrow: tuple) -> bool:
                 key = left_key(lrow)
@@ -1288,12 +1518,11 @@ class HashSemiJoinOp(_BinaryOp):
                     return False
                 return any(residual(lrow, rrow) is True for rrow in bucket)
 
-            if keep:
-                result = left.filtered(has_match)
-            else:
-                result = left.filtered(lambda row: not has_match(row))
-            _trace(context, self.op_name, len(left) + len(right), len(result))
-            return result
+            return {
+                row: count
+                for row, count in left._rows.items()
+                if has_match(row) is keep
+            }
         right_keys = _hash_buckets(right, self.right_keys, need_rows=False)
         # Row-wise probing forgoes one key computation + membership test per
         # distinct left row; charge that against a declared left index so a
@@ -1315,9 +1544,8 @@ class HashSemiJoinOp(_BinaryOp):
                 if (key in right_keys) == keep:
                     for row in bucket:
                         selected[row] = count_of(row)
-            result = Relation(left.schema, bag=left.bag)
-            result._rows = selected
-        elif _batch_mode(self, left.distinct_count()):
+            return selected
+        if batch:
             src_rows = left._rows
             # Key extraction, membership, and the dict fill all run as
             # chained C iterators (map/compress); only a NULL-matching
@@ -1329,14 +1557,40 @@ class HashSemiJoinOp(_BinaryOp):
             mask = map(right_keys.__contains__, map(extract, src_rows))
             if not keep:
                 mask = map(_not, mask)
-            result = Relation(left.schema, bag=left.bag)
-            result._rows = dict(compress(src_rows.items(), mask))
-        elif keep:
-            result = left.filtered(lambda row: left_key(row) in right_keys)
-        else:
-            result = left.filtered(lambda row: left_key(row) not in right_keys)
+            return dict(compress(src_rows.items(), mask))
+        if keep:
+            return {
+                row: count
+                for row, count in left._rows.items()
+                if left_key(row) in right_keys
+            }
+        return {
+            row: count
+            for row, count in left._rows.items()
+            if left_key(row) not in right_keys
+        }
+
+    def execute(self, context) -> Relation:
+        left = self.left.execute(context)
+        right = self.right.execute(context)
+        batch = _batch_mode(self, left.distinct_count())
+        result = Relation(left.schema, bag=left.bag)
+        result._rows = self._probe_dict(left, right, batch)
         _trace(context, self.op_name, len(left) + len(right), len(result))
         return result
+
+    def produce_batch(self, context):
+        left = self.left.execute(context)
+        right = self.right.execute(context)
+        selected = self._probe_dict(left, right, batch=True)
+        counts = None
+        if left.bag and any(count != 1 for count in selected.values()):
+            counts = list(selected.values())
+        out = columnar.ColumnBatch.from_rows(
+            left.schema, left.bag, list(selected), counts
+        )
+        _trace(context, self.op_name, len(left) + len(right), len(out))
+        return out
 
     def estimate(self, cards=None) -> PlanEstimate:
         left = self.left.estimate(cards)
@@ -1420,3 +1674,313 @@ _BATCH_OPERATORS = (
     UnionOp,
     DifferenceOp,
 )
+
+
+# ---------------------------------------------------------------------------
+# Fused pipeline regions
+# ---------------------------------------------------------------------------
+
+
+def _pushdown_columns(node, schema: RelationSchema, columns: list) -> bool:
+    """Collect the 0-based columns a predicate reads; False = not pushable.
+
+    A filter directly above an equi hash join can run *before* pair
+    construction when every column it reads resolves positionally against
+    the combined schema and no subexpression can raise.  Division
+    disqualifies: pushed predicates are evaluated on probe/build rows the
+    join would never have matched, so a divide-by-zero there would raise
+    where the row path raises nothing.  Everything else in the paper's
+    expression language (comparisons, +,-,*, boolean connectives, IS
+    NULL) is total under three-valued logic, so pre- and post-join
+    evaluation agree row for row.
+    """
+    if isinstance(node, (P.TruePred, P.FalsePred, P.Const)):
+        return True
+    if isinstance(node, P.ColRef):
+        try:
+            which, position = P._resolve_position(node, schema, None)
+        except Exception:
+            return False
+        if which != 0:
+            return False
+        columns.append(position)
+        return True
+    if isinstance(node, (P.Comparison, P.Arith, P.And, P.Or)):
+        if isinstance(node, P.Arith) and node.op == "/":
+            return False
+        return _pushdown_columns(
+            node.left, schema, columns
+        ) and _pushdown_columns(node.right, schema, columns)
+    if isinstance(node, (P.Not, P.IsNull)):
+        return _pushdown_columns(node.operand, schema, columns)
+    return False
+
+
+def _conjuncts(node) -> list:
+    """Flatten a predicate's top-level conjunction (planner-merged selects)."""
+    if isinstance(node, P.And):
+        return _conjuncts(node.left) + _conjuncts(node.right)
+    return [node]
+
+
+def _conjoin(conjuncts):
+    predicate = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        predicate = P.And(predicate, conjunct)
+    return predicate
+
+
+def _shift_predicate(node, schema: RelationSchema, shift: int):
+    """Rebind a single-side predicate onto that side's own schema.
+
+    Every column reference becomes a positional (1-based) reference
+    shifted down by the left arity, so the compiled kernel runs directly
+    on bare probe/build rows instead of concatenated pairs.
+    """
+    if isinstance(node, (P.TruePred, P.FalsePred, P.Const)):
+        return node
+    if isinstance(node, P.ColRef):
+        _, position = P._resolve_position(node, schema, None)
+        return P.ColRef(position - shift + 1)
+    if isinstance(node, P.Comparison):
+        return P.Comparison(
+            node.op,
+            _shift_predicate(node.left, schema, shift),
+            _shift_predicate(node.right, schema, shift),
+        )
+    if isinstance(node, P.Arith):
+        return P.Arith(
+            node.op,
+            _shift_predicate(node.left, schema, shift),
+            _shift_predicate(node.right, schema, shift),
+        )
+    if isinstance(node, P.And):
+        return P.And(
+            _shift_predicate(node.left, schema, shift),
+            _shift_predicate(node.right, schema, shift),
+        )
+    if isinstance(node, P.Or):
+        return P.Or(
+            _shift_predicate(node.left, schema, shift),
+            _shift_predicate(node.right, schema, shift),
+        )
+    if isinstance(node, P.Not):
+        return P.Not(_shift_predicate(node.operand, schema, shift))
+    if isinstance(node, P.IsNull):
+        return P.IsNull(_shift_predicate(node.operand, schema, shift))
+    raise EvaluationError(f"cannot rebind {node!r} for pushdown")
+
+
+class FusedPipelineOp(PhysicalOperator):
+    """A maximal select/project chain executed as one batch kernel.
+
+    ``root`` is the chain's topmost stage operator; ``source`` is the
+    operator feeding the chain (scan, Δ-scan, hash join, or hash
+    semi/antijoin).  The region executes by asking the root for a
+    :class:`ColumnBatch` — each stage pulls its child's batch, applies
+    its kernel to the row list, and hands the batch upward — so output
+    tuples and the result dict are built exactly once, at the region
+    boundary, instead of per operator.  The stage chain stays intact
+    underneath (``children()`` exposes it), so plan walks (explain,
+    hints, eligibility annotation) and the unfused fallback see the
+    original operators.
+
+    Over an equi hash-join source the region goes one step further:
+    filter stages adjacent to the join whose predicate reads only one
+    side (and cannot raise — see :func:`_pushdown_columns`) are compiled
+    against that side's own schema and applied *before* pair
+    construction.  A left-side predicate shrinks the probe rows; a
+    right-side predicate shrinks the build side to its survivors (or, if
+    a persistent index serves the build, becomes a survivor set consulted
+    during bucket expansion) — so pairs that a stage would immediately
+    discard are never concatenated at all, and index usage accounting
+    stays identical to the row path's.
+    """
+
+    op_name = "fused"
+
+    def __init__(
+        self,
+        root: PhysicalOperator,
+        source: PhysicalOperator,
+        stages: Tuple[PhysicalOperator, ...],
+    ):
+        self.root = root
+        self.source = source
+        self.stages = stages
+        # The run of filter stages adjacent to the source, nearest first —
+        # pushdown candidates when the source is a residual-free hash
+        # join.  Filters commute (total mask intersection), so any subset
+        # of the run may move below the pair construction.
+        tail = []
+        for stage in reversed(stages):
+            if not isinstance(stage, FilterOp):
+                break
+            tail.append(stage)
+        self._tail_filters = tuple(tail)
+        self._pushdown: dict = _SchemaLRU()
+
+    def children(self) -> tuple:
+        return (self.root,)
+
+    def execute(self, context) -> Relation:
+        if not _fuse_mode(self):
+            return self.root.execute(context)
+        source = self.source
+        if (
+            self._tail_filters
+            and isinstance(source, HashJoinOp)
+            and source._residual.is_true
+        ):
+            left = source.left.execute(context)
+            right = source.right.execute(context)
+            pushed, remaining = self._join_pushdown(left.schema, right.schema)
+            batch = self._pushed_join_batch(context, source, left, right, pushed)
+            for stage in reversed(remaining):
+                batch = stage.apply_batch(batch, context)
+            return batch.to_relation()
+        return self.root.produce_batch(context).to_relation()
+
+    def _join_pushdown(self, left_schema, right_schema):
+        """``(pushed, remaining)`` for this schema pair, cached.
+
+        ``pushed`` is a tuple of ``(side, kernel)`` mask kernels bound to
+        the side schemas; ``remaining`` is the stage chain (top-down)
+        minus the pushed filters.
+        """
+        key = (left_schema, right_schema)
+        plan = self._pushdown.get(key)
+        if plan is None:
+            plan = self._analyze_pushdown(left_schema, right_schema)
+            self._pushdown[key] = plan
+        return plan
+
+    def _analyze_pushdown(self, left_schema, right_schema):
+        combined = self.source._schemas.get(left_schema, right_schema)
+        larity = left_schema.arity
+        pushed = []
+        # id(stage) -> residual FilterOp over the unpushed conjuncts, or
+        # None when the whole predicate moved below the join.  In Kleene
+        # logic A∧B is True iff both conjuncts are, so splitting a
+        # planner-merged conjunction into sequential keep-if-True masks
+        # is exact.
+        replacements: dict = {}
+        for stage in self._tail_filters:
+            sides = {"left": [], "right": []}
+            rest = []
+            for conjunct in _conjuncts(stage._pred.predicate):
+                columns: list = []
+                if not _pushdown_columns(conjunct, combined, columns):
+                    rest.append(conjunct)
+                elif not columns:
+                    rest.append(conjunct)  # constant: nothing to gain
+                elif all(position < larity for position in columns):
+                    sides["left"].append(conjunct)
+                elif all(position >= larity for position in columns):
+                    sides["right"].append(conjunct)
+                else:
+                    rest.append(conjunct)  # reads both sides
+            if not sides["left"] and not sides["right"]:
+                continue
+            for side, shift, schema in (
+                ("left", 0, left_schema),
+                ("right", larity, right_schema),
+            ):
+                if sides[side]:
+                    remapped = _shift_predicate(
+                        _conjoin(sides[side]), combined, shift
+                    )
+                    pushed.append(
+                        (side, columnar.compile_predicate_kernel(remapped, schema))
+                    )
+            replacements[id(stage)] = (
+                FilterOp(stage.child, _conjoin(rest)) if rest else None
+            )
+        remaining = []
+        for stage in self.stages:
+            if id(stage) in replacements:
+                residual = replacements[id(stage)]
+                if residual is not None:
+                    remaining.append(residual)
+            else:
+                remaining.append(stage)
+        return tuple(pushed), tuple(remaining)
+
+    @staticmethod
+    def _pushed_join_batch(context, source, left, right, pushed):
+        lrows = lcounts = None
+        survivors = None
+        for side, kernel in pushed:
+            if side == "left":
+                if lrows is None:
+                    lrows, lcounts = left.rows_and_counts()
+                mask = kernel(lrows)
+                lrows = list(compress(lrows, mask))
+                if lcounts is not None:
+                    lcounts = list(compress(lcounts, mask))
+            else:
+                if survivors is None:
+                    survivors = list(right.rows())
+                mask = kernel(survivors)
+                survivors = list(compress(survivors, mask))
+        probe = None if lrows is None else (lrows, lcounts)
+        return source.produce_batch_from(context, left, right, probe, survivors)
+
+    def estimate(self, cards=None) -> PlanEstimate:
+        return self.root.estimate(cards)
+
+    def describe(self) -> str:
+        names = [op.op_name for op in self.stages]
+        names.append(self.source.op_name)
+        return f"fused[{'<-'.join(names)}]"
+
+
+#: Stage operators a fused region may chain above its source.
+_FUSE_STAGES = (FilterOp, ProjectOp)
+
+#: Operators that may source a region.  Everything else — index selects
+#: (bucket lookups are already sub-linear), renames (schema-only), set
+#: operators, nested-loop fallbacks — declines fusion and bounds a region.
+_FUSE_SOURCES = (ScanOp, DeltaScanOp, HashJoinOp, HashSemiJoinOp)
+
+
+def fuse_pipelines(plan: PhysicalOperator) -> PhysicalOperator:
+    """Wrap maximal select/project pipeline chains in fused regions.
+
+    A chain of :data:`_FUSE_STAGES` operators over a :data:`_FUSE_SOURCES`
+    operator forms a region when fusion can actually skip an operator
+    boundary: join/semi sources pay the dominant cost in output-tuple
+    construction, so one stage suffices; scan sources only win once two
+    stages collapse (a single stage over a scan already runs its whole
+    batch kernel without an intermediate).  Runs at compile time, before
+    the plan enters the cache.
+    """
+    return _fuse(plan)
+
+
+def _fuse(op: PhysicalOperator) -> PhysicalOperator:
+    if isinstance(op, _FUSE_STAGES):
+        stages = [op]
+        cursor = op.child
+        while isinstance(cursor, _FUSE_STAGES):
+            stages.append(cursor)
+            cursor = cursor.child
+        if isinstance(cursor, _FUSE_SOURCES):
+            needed = 1 if isinstance(cursor, _BinaryOp) else 2
+            if len(stages) >= needed:
+                _fuse_children(cursor)
+                return FusedPipelineOp(op, cursor, tuple(stages))
+        # No region at this chain; regions may still form below it.
+        stages[-1].child = _fuse(cursor)
+        return op
+    _fuse_children(op)
+    return op
+
+
+def _fuse_children(op: PhysicalOperator) -> None:
+    child = getattr(op, "child", None)
+    if child is not None:
+        op.child = _fuse(child)
+    elif isinstance(op, _BinaryOp):
+        op.left = _fuse(op.left)
+        op.right = _fuse(op.right)

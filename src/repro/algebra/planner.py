@@ -134,16 +134,19 @@ def compile_expression(
 ) -> X.PhysicalOperator:
     """Lower an expression tree into a physical operator DAG.
 
-    Lowering also decides, per operator, whether the whole-column batch
-    path is worth taking (:func:`~repro.algebra.physical.
-    annotate_batch_eligibility`): operators whose estimated input
-    cardinality clears the batch floor get flagged before the plan is
-    published to the (shared, concurrently executed) plan cache; Δ-scans
-    price at |Δ| and stay row-at-a-time.
+    Lowering also forms fused pipeline regions (:func:`~repro.algebra.
+    physical.fuse_pipelines` — maximal select/project chains over a
+    scan/join/semijoin source execute as one batch kernel) and decides,
+    per operator, whether the whole-column batch path is worth taking
+    (:func:`~repro.algebra.physical.annotate_batch_eligibility`):
+    operators whose estimated input cardinality clears the batch floor
+    get flagged before the plan is published to the (shared, concurrently
+    executed) plan cache; Δ-scans price at |Δ| and stay row-at-a-time,
+    and Δ-sourced regions likewise stay unfused.
     """
     if optimize:
         expression = optimize_expression(expression)
-    plan = _lower(expression)
+    plan = X.fuse_pipelines(_lower(expression))
     X.annotate_batch_eligibility(plan)
     return plan
 

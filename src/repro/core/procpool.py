@@ -169,8 +169,11 @@ def _audit_worker(inbox, outbox, payload: bytes) -> None:
             task_id, rule_name, engine, descriptor = message[1:]
             started = time.perf_counter()
             try:
+                # Task deltas decode lazily: the audit's delta plans scan
+                # the differentials column-wise, so the row dicts only
+                # materialize if a row-at-a-time path actually needs them.
                 differentials = decode_differentials(
-                    pickle.loads(_load_blob(outbox, descriptor))
+                    pickle.loads(_load_blob(outbox, descriptor)), lazy=True
                 )
                 violated, violations = run_rule_audit(
                     controller, database, rule_name, differentials, engine

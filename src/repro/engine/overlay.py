@@ -65,6 +65,7 @@ class OverlayRelation(Relation):
         self.schema = base.schema
         self.bag = base.bag
         self._indexes = None
+        self._batch = None
         self.base = base
         self.plus = plus
         self.minus = minus
@@ -180,6 +181,12 @@ class OverlayRelation(Relation):
             return self.base.rows_and_counts()
         return Relation.rows_and_counts(self)
 
+    def column_batch(self):
+        """Columnar view; untouched overlays share the base's cached batch."""
+        if not self.plus._rows and not self.minus._rows:
+            return self.base.column_batch()
+        return Relation.column_batch(self)
+
     # -- mutation (differential-only) ------------------------------------------
 
     def insert(self, row: tuple, _validated: bool = False) -> bool:
@@ -193,6 +200,7 @@ class OverlayRelation(Relation):
             if count is not None and self.minus._rows.get(row, 0) < count:
                 return False
         self._materialized = None
+        self._batch = None
         if not self.minus.delete(row):
             self.plus.insert(row, _validated=True)
         return True
@@ -202,12 +210,14 @@ class OverlayRelation(Relation):
         if row not in self:
             return False
         self._materialized = None
+        self._batch = None
         if not self.plus.delete(row):
             self.minus.insert(row, _validated=True)
         return True
 
     def clear(self) -> None:
         self._materialized = None
+        self._batch = None
         self.plus.clear()
         self.minus.replace_contents(self.base)
         # Wholesale replacement invalidated the delta-side indexes backing

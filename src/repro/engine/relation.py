@@ -47,7 +47,7 @@ def row_sort_key(row: tuple) -> tuple:
 class Relation:
     """A relation state: a (multi)set of typed tuples over a schema."""
 
-    __slots__ = ("schema", "bag", "_rows", "_indexes")
+    __slots__ = ("schema", "bag", "_rows", "_indexes", "_batch")
 
     def __init__(
         self,
@@ -60,6 +60,7 @@ class Relation:
         self.bag = bag
         self._rows: dict = {}
         self._indexes = None  # lazily an engine.indexes.IndexSet
+        self._batch = None  # lazily a cached algebra.columnar.ColumnBatch
         for row in rows:
             self.insert(row, _validated=_validated)
 
@@ -147,12 +148,14 @@ class Relation:
         if self.bag:
             count = self._rows.get(row, 0)
             self._rows[row] = count + 1
+            self._batch = None
             if count == 0 and self._indexes is not None:
                 self._indexes.row_added(row)
             return True
         if row in self._rows:
             return False
         self._rows[row] = 1
+        self._batch = None
         if self._indexes is not None:
             self._indexes.row_added(row)
         return True
@@ -172,6 +175,7 @@ class Relation:
             del self._rows[row]
             if self._indexes is not None:
                 self._indexes.row_removed(row)
+        self._batch = None
         return True
 
     def insert_many(self, rows: Iterable[tuple]) -> int:
@@ -184,12 +188,14 @@ class Relation:
 
     def clear(self) -> None:
         self._rows.clear()
+        self._batch = None
         if self._indexes is not None:
             self._indexes.invalidate()
 
     def replace_contents(self, other: "Relation") -> None:
         """Overwrite this relation's rows with those of ``other``."""
         self._rows = dict(other._rows)
+        self._batch = None
         if self._indexes is not None:
             self._indexes.invalidate()
 
@@ -206,7 +212,12 @@ class Relation:
 
         if self._indexes is None:
             self._indexes = IndexSet()
-        self._indexes.declare(tuple(positions))
+        positions = tuple(positions)
+        if self._indexes.get(positions) is None:
+            # A cached batch carries the declared specs; drop it so the
+            # next one ships the new declaration too.
+            self._invalidate_batch()
+        self._indexes.declare(positions)
 
     def index_on(self, positions):
         """The built hash index on 0-based ``positions`` (building lazily).
@@ -218,7 +229,10 @@ class Relation:
 
         if self._indexes is None:
             self._indexes = IndexSet()
-        return self._indexes.ensure_built(tuple(positions), self._rows)
+        positions = tuple(positions)
+        if self._indexes.get(positions) is None:
+            self._invalidate_batch()
+        return self._indexes.ensure_built(positions, self._rows)
 
     def built_index(self, positions):
         """The built index on ``positions`` if one exists, else None."""
@@ -313,7 +327,114 @@ class Relation:
         return list(rows), counts
 
     def column_batch(self):
-        """This relation decomposed into per-attribute columns."""
-        from repro.algebra.columnar import ColumnBatch
+        """This relation decomposed into per-attribute columns.
 
-        return ColumnBatch.from_relation(self)
+        The batch is cached until the next mutation, so read-mostly
+        relations pay the decomposition once across scans and wire
+        encodes.
+        """
+        batch = self._batch
+        if batch is None:
+            from repro.algebra.columnar import ColumnBatch
+
+            batch = self._batch = ColumnBatch.from_relation(self)
+        return batch
+
+    def _invalidate_batch(self) -> None:
+        self._batch = None
+
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self):
+        # The cached batch duplicates the row data; never pickle it.
+        state = object.__getstate__(self)
+        state[1].pop("_batch", None)
+        return state
+
+    def __setstate__(self, state):
+        for key, value in state[1].items():
+            setattr(self, key, value)
+        self._batch = None
+
+
+class ColumnarRelation(Relation):
+    """A relation backed by a :class:`ColumnBatch`, rows materialized lazily.
+
+    Decoded wire payloads (fragment installs, Δ task blobs) arrive as
+    column batches; wrapping them in a ``ColumnarRelation`` means a scan
+    or wire re-encode reads the columns directly and the ``{row: count}``
+    dict only ever materializes when something row-iterates, probes, or
+    mutates the relation.  After the first mutation the dict is
+    authoritative and the relation behaves exactly like a plain
+    :class:`Relation`.
+    """
+
+    __slots__ = ("_materialized",)
+
+    def __init__(self, batch):
+        self.schema = batch.schema
+        self.bag = batch.bag
+        self._indexes = None
+        self._materialized = None
+        self._batch = None
+        for positions in batch.index_specs:
+            self.declare_index(positions)
+        # Set last: declare_index invalidates the cached batch.
+        self._batch = batch._normalized()
+
+    @property
+    def _rows(self) -> dict:
+        rows = self._materialized
+        if rows is None:
+            batch = self._batch
+            rows = batch._merged_rows() if batch is not None else {}
+            self._materialized = rows
+        return rows
+
+    def _invalidate_batch(self) -> None:
+        if self._materialized is None and self._batch is not None:
+            # The batch is still the backing store; materialize first.
+            self._materialized = self._batch._merged_rows()
+        self._batch = None
+
+    def __len__(self) -> int:
+        batch = self._batch
+        if batch is not None and self._materialized is None:
+            return len(batch)
+        return Relation.__len__(self)
+
+    def distinct_count(self) -> int:
+        batch = self._batch
+        if batch is not None and self._materialized is None:
+            return batch.row_count
+        return Relation.distinct_count(self)
+
+    def __bool__(self) -> bool:
+        batch = self._batch
+        if batch is not None and self._materialized is None:
+            return batch.row_count > 0
+        return Relation.__bool__(self)
+
+    def rows_and_counts(self):
+        batch = self._batch
+        if batch is not None and self._materialized is None:
+            counts = batch.counts
+            if self.bag and counts is not None:
+                return list(batch.rows_list()), list(counts)
+            return list(batch.rows_list()), None
+        return Relation.rows_and_counts(self)
+
+    def clear(self) -> None:
+        self._materialized = {}
+        self._batch = None
+        if self._indexes is not None:
+            self._indexes.invalidate()
+
+    def replace_contents(self, other: "Relation") -> None:
+        self._materialized = dict(other._rows)
+        self._batch = None
+        if self._indexes is not None:
+            self._indexes.invalidate()
+
+    def __reduce__(self):
+        return (ColumnarRelation, (self.column_batch(),))

@@ -51,9 +51,15 @@ def _fragment_worker(node: int, inbox, outbox) -> None:
         if kind == "stop":
             break
         if kind == "install":
-            owned[message[1]] = decode_relation(pickle.loads(message[2]))
+            # Lazy decode: fragments stay columnar until an operator needs
+            # rows — scans and re-ships start straight from the columns.
+            owned[message[1]] = decode_relation(
+                pickle.loads(message[2]), lazy=True
+            )
         elif kind == "bind":
-            bound[message[1]] = decode_relation(pickle.loads(message[2]))
+            bound[message[1]] = decode_relation(
+                pickle.loads(message[2]), lazy=True
+            )
         elif kind == "clear":
             bound.clear()
         elif kind == "execute":

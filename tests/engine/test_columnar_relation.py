@@ -1,0 +1,121 @@
+"""Columnar-backed relations: lazy rows over a ColumnBatch backing store."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.algebra.columnar import ColumnBatch
+from repro.engine import Relation, RelationSchema
+from repro.engine.relation import ColumnarRelation
+from repro.engine.types import INT
+
+
+@pytest.fixture
+def schema() -> RelationSchema:
+    return RelationSchema("t", [("a", INT), ("b", INT)])
+
+
+def _source(schema, bag=False, rows=((1, 10), (2, 20), (3, 30))) -> Relation:
+    relation = Relation(schema, bag=bag)
+    for row in rows:
+        relation.insert(row)
+    return relation
+
+
+def _backed(schema, bag=False, **kwargs) -> ColumnarRelation:
+    return ColumnarRelation(ColumnBatch.from_relation(_source(schema, bag, **kwargs)))
+
+
+class TestLaziness:
+    def test_cheap_surfaces_answer_from_the_batch(self, schema):
+        backed = _backed(schema)
+        assert len(backed) == 3
+        assert backed.distinct_count() == 3
+        assert bool(backed) is True
+        rows, counts = backed.rows_and_counts()
+        assert sorted(rows) == [(1, 10), (2, 20), (3, 30)]
+        assert counts is None
+        # None of the above touched the row dict.
+        assert backed._materialized is None
+
+    def test_row_iteration_materializes_once(self, schema):
+        backed = _backed(schema)
+        assert sorted(backed) == [(1, 10), (2, 20), (3, 30)]
+        assert backed._materialized is not None
+        assert backed == _source(schema)
+
+    def test_bag_counts_survive(self, schema):
+        source = Relation(schema, bag=True)
+        for row in [(1, 10), (1, 10), (2, 20)]:
+            source.insert(row)
+        backed = ColumnarRelation(ColumnBatch.from_relation(source))
+        assert len(backed) == 3
+        assert backed.distinct_count() == 2
+        rows, counts = backed.rows_and_counts()
+        assert dict(zip(rows, counts)) == {(1, 10): 2, (2, 20): 1}
+        assert backed.multiplicity((1, 10)) == 2
+        assert backed == source
+
+    def test_empty_batch(self, schema):
+        backed = _backed(schema, rows=())
+        assert len(backed) == 0
+        assert not backed
+        assert list(backed.rows()) == []
+
+
+class TestMutation:
+    def test_insert_materializes_then_behaves_like_a_relation(self, schema):
+        backed = _backed(schema)
+        assert backed.insert((4, 40)) is True
+        assert len(backed) == 4
+        assert (4, 40) in backed
+        assert backed.delete((1, 10)) is True
+        assert sorted(backed.rows()) == [(2, 20), (3, 30), (4, 40)]
+
+    def test_clear_and_replace_contents(self, schema):
+        backed = _backed(schema)
+        backed.clear()
+        assert len(backed) == 0
+        replacement = _source(schema, rows=((9, 90),))
+        backed2 = _backed(schema)
+        backed2.replace_contents(replacement)
+        assert sorted(backed2.rows()) == [(9, 90)]
+
+    def test_declaring_a_new_index_does_not_lose_rows(self, schema):
+        # declare_index invalidates the cached batch; on a still-lazy
+        # columnar relation the batch IS the data, so it must be
+        # materialized first, not dropped.
+        backed = _backed(schema)
+        backed.declare_index((0,))
+        assert len(backed) == 3
+        assert sorted(backed.rows()) == [(1, 10), (2, 20), (3, 30)]
+        index = backed.index_on((0,))
+        assert index.lookup(2) == ((2, 20),)
+
+
+class TestWireFormat:
+    def test_index_specs_carry_over_from_the_batch(self, schema):
+        source = _source(schema)
+        source.declare_index((1,))
+        backed = ColumnarRelation(ColumnBatch.from_relation(source))
+        assert tuple(backed.indexes.specs()) == ((1,),)
+
+    def test_reduce_reships_columns(self, schema):
+        backed = _backed(schema)
+        revived = pickle.loads(pickle.dumps(backed))
+        assert isinstance(revived, ColumnarRelation)
+        assert revived._materialized is None
+        assert revived == _source(schema)
+
+    def test_column_batch_is_reused_while_lazy(self, schema):
+        backed = _backed(schema)
+        assert backed.column_batch() is backed.column_batch()
+
+    def test_mutated_relation_reencodes_current_rows(self, schema):
+        backed = _backed(schema)
+        backed.insert((4, 40))
+        revived = pickle.loads(pickle.dumps(backed))
+        assert revived == backed
+        assert (4, 40) in revived

@@ -12,9 +12,12 @@ This is a deliberate deviation from multiplicity-correct bag joins
 emptiness and distinct violating tuples, persistent hash indexes hold
 distinct rows (so the distinct-level convention lets plans reuse them), and
 the convention makes set mode a special case of bag mode.  What matters is
-that *both* backends implement the same convention — asserted here on
+that *every* backend implements the same convention — asserted here on
 duplicate-heavy inputs, which maximize the observable difference between
-the conventions.
+the conventions.  The planned backend is additionally pinned in all
+three execution modes (row, per-operator batch, fused), because the
+counts-aware batch pair kernel is exactly where a multiplicity-correct
+implementation would silently diverge from the convention.
 """
 
 from __future__ import annotations
@@ -22,8 +25,8 @@ from __future__ import annotations
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.algebra import columnar, planner
 from repro.algebra import expressions as E
-from repro.algebra import planner
 from repro.algebra import predicates as P
 from repro.algebra.evaluation import StandaloneContext
 from repro.engine import Relation
@@ -90,15 +93,31 @@ def test_bag_join_convention_agrees_on_duplicate_heavy_inputs(
         expression = E.Intersection(E.RelationRef("r"), E.RelationRef("s"))
     context = StandaloneContext({"r": r, "s": s})
     naive = expression.evaluate(context)
-    planned = planner.get_plan(expression).execute(context)
-    assert naive == planned, (
-        f"bag convention divergence on {op} (residual={residual}):\n"
-        f"  naive:   {naive.sorted_rows()}\n"
-        f"  planned: {planned.sorted_rows()}"
-    )
-    # The convention itself: every distinct matching pair appears exactly
-    # probe-side-multiplicity times, independent of right multiplicities.
-    if op == "join":
-        for row in planned.rows():
-            left_part = row[: schema.relation("r").arity]
-            assert planned.multiplicity(row) == r.multiplicity(left_part)
+    plan = planner.get_plan(expression)
+    previous_batch = columnar.batch_policy()
+    previous_fusion = columnar.fusion_policy()
+    try:
+        for mode, batch, fusion in (
+            ("row", "never", "never"),
+            ("batch", "always", "never"),
+            ("fused", "always", "always"),
+        ):
+            columnar.set_batch_policy(batch)
+            columnar.set_fusion_policy(fusion)
+            planned = plan.execute(context)
+            assert naive == planned, (
+                f"bag convention divergence on {op} "
+                f"(residual={residual}, mode={mode}):\n"
+                f"  naive:   {naive.sorted_rows()}\n"
+                f"  planned: {planned.sorted_rows()}"
+            )
+            # The convention itself: every distinct matching pair appears
+            # exactly probe-side-multiplicity times, independent of right
+            # multiplicities.
+            if op == "join":
+                for row in planned.rows():
+                    left_part = row[: schema.relation("r").arity]
+                    assert planned.multiplicity(row) == r.multiplicity(left_part)
+    finally:
+        columnar.set_batch_policy(previous_batch)
+        columnar.set_fusion_policy(previous_fusion)

@@ -1,15 +1,21 @@
-"""Property: batch execution is result-equivalent to row execution.
+"""Property: batch and fused execution are result-equivalent to row execution.
 
 For random algebra expressions and random database states, running the
-*same* physical plan with the batch policy forced on must produce the
-exact same relation — tuples *and* multiplicities — as with batching
-forced off, in set mode and bag mode, with and without hash indexes, over
-plain and overlay inputs, and over NULL-bearing columns.  When one path
-raises, the other must raise too.
+*same* physical plan in all three execution modes — row-at-a-time (the
+differential oracle), per-operator whole-column kernels, and fused
+pipeline regions — must produce the exact same relation — tuples *and*
+multiplicities — in set mode and bag mode, with and without hash
+indexes, over plain and overlay inputs, and over NULL-bearing columns.
+When one mode raises, every mode must raise.  Each mode starts from a
+freshly loaded database, and the index usage ledgers
+(:class:`~repro.engine.indexes.IndexUsage`) must end identical: the
+batch and fused paths may not silently change which regimes touch which
+indexes how often.
 
-Also: :class:`~repro.algebra.columnar.ColumnBatch` must survive a pickle
-round-trip (the wire format of both process executors), including across
-fork- and spawn-started child processes.
+Also: :class:`~repro.algebra.columnar.ColumnBatch` and columnar-backed
+relations (:class:`~repro.engine.relation.ColumnarRelation`) must
+survive a pickle round-trip (the wire format of both process
+executors), including across fork- and spawn-started child processes.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from repro.algebra import columnar, planner
 from repro.algebra.evaluation import StandaloneContext
 from repro.engine import Database, DatabaseSchema, Relation, RelationSchema
 from repro.engine.overlay import OverlayRelation
+from repro.engine.relation import ColumnarRelation
 from repro.engine.schema import Attribute
 from repro.engine.types import ANY, INT, NULL
 from repro.errors import ReproError
@@ -70,29 +77,73 @@ def _run(fn):
         return None, error
 
 
-def _assert_policies_agree(expression, relations):
-    """Execute the planned backend twice: batching off, then forced on."""
+#: (mode, batch policy, fusion policy) — row is the differential oracle.
+_MODES = (
+    ("row", "never", "never"),
+    ("batch", "always", "never"),
+    ("fused", "always", "always"),
+)
+
+
+def _usage_snapshot(relations) -> dict:
+    """Every index's full usage ledger, keyed by (relation, positions)."""
+    snapshot = {}
+    for name, relation in relations.items():
+        indexes = getattr(relation, "indexes", None)
+        if indexes is None:
+            continue
+        for index in indexes:
+            snapshot[(name, index.positions)] = (
+                index.usage.uses,
+                index.usage.keys,
+                index.usage.by_kind,
+                index.built,
+            )
+    return snapshot
+
+
+def _assert_policies_agree(expression, make_relations):
+    """Execute the planned backend in every mode over fresh inputs.
+
+    ``make_relations`` builds an identical relation dict per call, so
+    each mode starts from the same state (index builds during one run
+    cannot leak into the next) and the usage ledgers are comparable.
+    """
     plan = planner.get_plan(expression)
-    context = StandaloneContext(relations, engine="planned")
-    previous = columnar.set_batch_policy("never")
+    outcomes = {}
+    previous_batch = columnar.batch_policy()
+    previous_fusion = columnar.fusion_policy()
     try:
-        row_result, row_error = _run(lambda: plan.execute(context))
-        columnar.set_batch_policy("always")
-        batch_result, batch_error = _run(lambda: plan.execute(context))
+        for mode, batch, fusion in _MODES:
+            columnar.set_batch_policy(batch)
+            columnar.set_fusion_policy(fusion)
+            relations = make_relations()
+            context = StandaloneContext(relations, engine="planned")
+            result, error = _run(lambda: plan.execute(context))
+            outcomes[mode] = (result, error, _usage_snapshot(relations))
     finally:
-        columnar.set_batch_policy(previous)
-    if row_error is not None or batch_error is not None:
-        assert row_error is not None and batch_error is not None, (
-            f"error divergence on {expression!r}: "
-            f"row={row_error!r} batch={batch_error!r}"
+        columnar.set_batch_policy(previous_batch)
+        columnar.set_fusion_policy(previous_fusion)
+    row_result, row_error, row_usage = outcomes["row"]
+    for mode in ("batch", "fused"):
+        result, error, usage = outcomes[mode]
+        if row_error is not None or error is not None:
+            assert row_error is not None and error is not None, (
+                f"error divergence on {expression!r}: "
+                f"row={row_error!r} {mode}={error!r}"
+            )
+            continue
+        assert result == row_result, (
+            f"result divergence on {expression!r}:\n"
+            f"  row:   {row_result.sorted_rows()}\n"
+            f"  {mode}: {result.sorted_rows()}"
         )
-        return
-    assert row_result == batch_result, (
-        f"result divergence on {expression!r}:\n"
-        f"  row:   {row_result.sorted_rows()}\n"
-        f"  batch: {batch_result.sorted_rows()}"
-    )
-    assert len(row_result) == len(batch_result)
+        assert len(result) == len(row_result)
+        assert usage == row_usage, (
+            f"index usage divergence on {expression!r}:\n"
+            f"  row:   {row_usage}\n"
+            f"  {mode}: {usage}"
+        )
 
 
 @given(
@@ -103,11 +154,11 @@ def _assert_policies_agree(expression, relations):
 )
 @_SETTINGS
 def test_batch_equals_row(expression, rows_r, rows_s, bag):
-    database = _database(rows_r, rows_s, bag)
-    _assert_policies_agree(
-        expression,
-        {"r": database.relation("r"), "s": database.relation("s")},
-    )
+    def make_relations():
+        database = _database(rows_r, rows_s, bag)
+        return {"r": database.relation("r"), "s": database.relation("s")}
+
+    _assert_policies_agree(expression, make_relations)
 
 
 @given(
@@ -121,15 +172,17 @@ def test_batch_equals_row_with_indexes(expression, rows_r, rows_s, bag):
     """Same property with hash indexes installed on every column.
 
     Indexed regimes (bucket-lookup selection, distinct-key semijoin
-    probing) must stay byte-identical regardless of the batch policy.
+    probing) must stay byte-identical regardless of the batch and fusion
+    policies — including the usage ledgers the index advisor reads.
     """
-    database = _database(rows_r, rows_s, bag)
-    database.create_index("r", ["a"])
-    database.create_index("s", ["d"])
-    _assert_policies_agree(
-        expression,
-        {"r": database.relation("r"), "s": database.relation("s")},
-    )
+
+    def make_relations():
+        database = _database(rows_r, rows_s, bag)
+        database.create_index("r", ["a"])
+        database.create_index("s", ["d"])
+        return {"r": database.relation("r"), "s": database.relation("s")}
+
+    _assert_policies_agree(expression, make_relations)
 
 
 @given(
@@ -145,20 +198,22 @@ def test_batch_equals_row_over_overlays(
     expression, rows_r, extra_r, gone_r, rows_s, bag
 ):
     """Same property when ``r`` is an uncommitted transaction overlay."""
-    database = _database(rows_r, rows_s, bag)
-    base = database.relation("r")
-    plus = Relation(base.schema, bag=bag)
-    minus = Relation(base.schema, bag=bag)
-    for row in extra_r:
-        if row not in base:
-            plus.insert(row)
-    for row in gone_r:
-        if row in base and row not in plus:
-            minus.insert(row)
-    overlay = OverlayRelation(base, plus, minus)
-    _assert_policies_agree(
-        expression, {"r": overlay, "s": database.relation("s")}
-    )
+
+    def make_relations():
+        database = _database(rows_r, rows_s, bag)
+        base = database.relation("r")
+        plus = Relation(base.schema, bag=bag)
+        minus = Relation(base.schema, bag=bag)
+        for row in extra_r:
+            if row not in base:
+                plus.insert(row)
+        for row in gone_r:
+            if row in base and row not in plus:
+                minus.insert(row)
+        overlay = OverlayRelation(base, plus, minus)
+        return {"r": overlay, "s": database.relation("s")}
+
+    _assert_policies_agree(expression, make_relations)
 
 
 @given(
@@ -175,13 +230,107 @@ def test_batch_equals_row_with_nulls(expression, rows_r, rows_s, bag):
     through arithmetic, unknown comparison outcomes, and the Kleene
     connectives' short-circuit row subsets.
     """
-    database = Database(_nullable_rs_schema(), bag=bag)
-    database.load("r", rows_r)
-    database.load("s", rows_s)
-    _assert_policies_agree(
-        expression,
-        {"r": database.relation("r"), "s": database.relation("s")},
-    )
+
+    def make_relations():
+        database = Database(_nullable_rs_schema(), bag=bag)
+        database.load("r", rows_r)
+        database.load("s", rows_s)
+        return {"r": database.relation("r"), "s": database.relation("s")}
+
+    _assert_policies_agree(expression, make_relations)
+
+
+# -- fusion-shaped chains --------------------------------------------------------
+
+
+@st.composite
+def chain_queries(draw):
+    """Region-shaped expressions: select/project stages over scan or join.
+
+    These are exactly the shapes the planner's ``fuse_pipelines`` pass
+    targets, so drawing them directly (instead of waiting for
+    ``algebra_queries`` to stumble onto one) keeps the fused kernel under
+    constant pressure — including bag-mode joins through the counts-aware
+    pair kernel, indexed semijoin regimes, and multi-stage stacks.
+    """
+    from repro.algebra import expressions as E
+    from repro.algebra import predicates as P
+
+    kind = draw(st.integers(min_value=0, max_value=3))
+    if kind == 0:
+        expression: E.Expression = E.RelationRef(draw(st.sampled_from(["r", "s"])))
+        arity = 2
+    elif kind == 1:
+        expression = E.Join(
+            E.RelationRef("r"), E.RelationRef("s"), draw(S.join_predicates())
+        )
+        arity = 4
+    else:
+        ctor = E.SemiJoin if kind == 2 else E.AntiJoin
+        expression = ctor(
+            E.RelationRef("r"), E.RelationRef("s"), draw(S.join_predicates())
+        )
+        arity = 2
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        if draw(st.booleans()):
+            expression = E.Select(expression, draw(S.unary_predicates()))
+        else:
+            items = tuple(
+                E.ProjectItem(
+                    P.ColRef(draw(st.integers(min_value=1, max_value=arity)))
+                )
+                for _ in range(2)
+            )
+            expression = E.Project(expression, items)
+            arity = 2
+    return expression
+
+
+@given(
+    expression=chain_queries(),
+    rows_r=S.ROWS_R,
+    rows_s=S.ROWS_S,
+    bag=st.booleans(),
+    indexed=st.booleans(),
+)
+@_SETTINGS
+def test_fused_equals_row_on_chains(expression, rows_r, rows_s, bag, indexed):
+    """Fused regions agree with both unfused paths on fusion-shaped plans."""
+
+    def make_relations():
+        database = _database(rows_r, rows_s, bag)
+        if indexed:
+            database.create_index("r", ["b"])
+            database.create_index("s", ["c"])
+        return {"r": database.relation("r"), "s": database.relation("s")}
+
+    _assert_policies_agree(expression, make_relations)
+
+
+@given(
+    expression=chain_queries(),
+    rows_r=S.ROWS_R,
+    rows_s=S.ROWS_S,
+    bag=st.booleans(),
+)
+@_SETTINGS
+def test_fused_equals_row_over_columnar_relations(expression, rows_r, rows_s, bag):
+    """Same property when the inputs are columnar-backed relations.
+
+    This is the state process workers see after a lazy wire decode: the
+    scan's ``column_batch()`` starts straight from the shipped columns.
+    """
+
+    def make_relations():
+        database = _database(rows_r, rows_s, bag)
+        return {
+            name: ColumnarRelation(
+                columnar.ColumnBatch.from_relation(database.relation(name))
+            )
+            for name in ("r", "s")
+        }
+
+    _assert_policies_agree(expression, make_relations)
 
 
 # -- wire-format round-trips ---------------------------------------------------
@@ -228,6 +377,29 @@ def test_column_batch_pickle_round_trip(rows, counts, bag):
     assert tuple(revived.indexes.specs()) == ((0,),)
 
 
+@given(
+    rows=st.lists(st.tuples(MIXED_VALUES, MIXED_VALUES), max_size=10, unique=True),
+    counts=st.lists(st.integers(min_value=1, max_value=3), min_size=10, max_size=10),
+    bag=st.booleans(),
+)
+@_SETTINGS
+def test_columnar_relation_pickle_round_trip(rows, counts, bag):
+    """Columnar-backed relations re-ship as columns and stay lazy."""
+    relation = _mixed_relation(rows, counts, bag)
+    relation.declare_index((1,))
+    backed = ColumnarRelation(columnar.ColumnBatch.from_relation(relation))
+    revived = pickle.loads(pickle.dumps(backed))
+    assert isinstance(revived, ColumnarRelation)
+    # Equality materializes the row dict; check the lazy surfaces first.
+    assert len(revived) == len(relation)
+    assert revived.distinct_count() == relation.distinct_count()
+    assert revived == relation
+    assert tuple(revived.indexes.specs()) == ((1,),)
+    # Mutation after revival behaves like a plain relation.
+    revived.insert((0, "fresh"))
+    assert revived.multiplicity((0, "fresh")) == relation.multiplicity((0, "fresh")) + 1
+
+
 def _echo_batch(blob, queue):
     batch = pickle.loads(blob)
     queue.put(pickle.dumps(batch))
@@ -253,3 +425,37 @@ def test_column_batch_pickle_across_start_methods(start_method):
     finally:
         worker.join(timeout=10)
     assert echoed.to_relation() == relation
+
+
+def _echo_relation(blob, queue):
+    relation = pickle.loads(blob)
+    # Touch the lazy surfaces, then re-ship: the worker-side round trip
+    # the process executors perform on every fragment install.
+    queue.put((len(relation), pickle.dumps(relation)))
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_columnar_relation_pickle_across_start_methods(start_method):
+    """Columnar-backed relations survive both process start methods."""
+    if start_method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"{start_method} unavailable on this platform")
+    relation = _mixed_relation(
+        [(1, "x"), (2.5, NULL), (True, -300), (1 << 50, 0)], [2, 1, 3, 1], True
+    )
+    relation.declare_index((0,))
+    backed = ColumnarRelation(columnar.ColumnBatch.from_relation(relation))
+    context = multiprocessing.get_context(start_method)
+    queue = context.Queue()
+    worker = context.Process(
+        target=_echo_relation, args=(pickle.dumps(backed), queue)
+    )
+    worker.start()
+    try:
+        cardinality, blob = queue.get(timeout=30)
+    finally:
+        worker.join(timeout=10)
+    assert cardinality == len(relation)
+    echoed = pickle.loads(blob)
+    assert isinstance(echoed, ColumnarRelation)
+    assert echoed == relation
+    assert tuple(echoed.indexes.specs()) == ((0,),)
