@@ -108,6 +108,7 @@ _ARTIFACTS = (
     "bench_transaction.json",
     "bench_async_audit.json",
     "bench_columnar.json",
+    "bench_durability.json",
 )
 
 
@@ -162,6 +163,16 @@ def _artifact_rows(name: str, data: dict) -> List[list]:
             rows.append(
                 [name, f"fused vs batch: {plan}", stats.get("fused_over_batch"), None]
             )
+    for policy, ratio in data.get("retained", {}).items():  # durable log
+        gated = policy == "interval"  # group commit carries the floor
+        rows.append(
+            [
+                name,
+                f"sync={policy} retained commit throughput",
+                ratio,
+                data.get("group_commit_floor") if gated else None,
+            ]
+        )
     if "wire_ratio" in data:
         rows.append(
             [

@@ -20,6 +20,7 @@ Commands::
     explain begin ... end                    -- print the modified form only
     audit                                    -- direct-check all rules
     audit-log [N]                            -- tail commit log + audit verdicts
+    audit-log verify [DIR]                   -- verify the durable log's hash chain
     help                                     -- this text
     exit / quit
 
@@ -32,6 +33,13 @@ audit executor the shell's scheduler dispatches fan-out tasks to:
 ``inline`` runs every audit on the draining thread, ``thread`` (default)
 overlaps them on a thread pool, ``process`` ships them to worker
 processes holding shared-nothing database replicas (true multi-core).
+
+``python -m repro --durable DIR ...`` layers a durable, hash-chained
+write-ahead log under the shell's database: commits survive crashes, and
+an existing log directory is recovered (checkpoint + replay) on startup.
+``python -m repro recover DIR [--to SEQ]`` replays a log directory and
+prints the recovered state; ``python -m repro audit-log --verify DIR``
+walks the full hash chain and reports the first broken link (exit 1).
 """
 
 from __future__ import annotations
@@ -64,6 +72,7 @@ class Shell:
         stdout: Optional[TextIO] = None,
         interactive: bool = True,
         executor: str = "thread",
+        durable: Optional[str] = None,
     ):
         self.stdin = stdin or sys.stdin
         self.stdout = stdout or sys.stdout
@@ -71,12 +80,34 @@ class Shell:
         self.executor = executor
         self.schema = DatabaseSchema()
         self.database = Database(self.schema)
+        if durable:
+            self._open_durable(durable)
         self.controller = IntegrityController(self.schema)
         self.session = Session(self.database, self.controller)
         # Pin the executor choice now: the per-database scheduler is created
         # once (weakly cached) and commit/audit paths reuse it.
         self.controller.audit_scheduler(self.database, executor=executor)
         self.running = False
+
+    def _open_durable(self, directory: str) -> None:
+        """Attach (or recover from) a durable commit log at ``directory``.
+
+        An already-populated log is recovered first — the shell resumes the
+        committed history, with the log re-attached; an empty directory
+        starts a fresh durable database.  Rules are not persisted: scripts
+        re-register them each run.
+        """
+        from repro.engine.wal import WriteAheadLog
+
+        wal = WriteAheadLog(directory)
+        if wal.latest_checkpoint() is not None:
+            wal.close()
+            self.database = Database.recover(directory)
+            self.schema = self.database.schema
+            report = self.database.last_recovery
+            self.write(f"recovered {report!r}")
+        else:
+            self.database.attach_wal(wal)
 
     # -- i/o helpers -----------------------------------------------------------
 
@@ -127,6 +158,11 @@ class Shell:
             # Deterministic teardown: never leak audit worker threads or
             # processes past the shell's lifetime.
             self.controller.close_schedulers()
+            if self.database.wal is not None:
+                # DDL and bulk loads bypass the commit path; a fresh
+                # checkpoint makes them part of the next recovery too.
+                self.database.wal.write_checkpoint(self.database)
+                self.database.detach_wal()
         return 0
 
     # -- command dispatch -------------------------------------------------------------
@@ -264,11 +300,14 @@ class Shell:
         """Tail the commit log and the scheduler's audit verdicts."""
         limit = 10
         rest = rest.strip()
+        if rest.split(None, 1)[:1] == ["verify"]:
+            self.cmd_audit_log_verify(rest[len("verify"):].strip())
+            return
         if rest:
             try:
                 limit = max(int(rest), 1)
             except ValueError:
-                self.write("usage: audit-log [N]")
+                self.write("usage: audit-log [N] | audit-log verify [DIR]")
                 return
         log = self.database.commit_log
         self.write(f"commit log: {len(log)} record(s), next #{log.next_sequence}")
@@ -312,6 +351,24 @@ class Shell:
                 else f"{outcome.mode}/{outcome.executor}"
             )
             self.write(f"  {span} {outcome.rule}: {state} [{where}]")
+
+    def cmd_audit_log_verify(self, rest: str) -> None:
+        """Verify the durable log's hash chain (attached or by directory)."""
+        from repro.engine.wal import verify_directory
+
+        directory = rest
+        if not directory:
+            if self.database.wal is None:
+                self.write(
+                    "no durable log attached (start with --durable DIR, "
+                    "or: audit-log verify DIR)"
+                )
+                return
+            self.database.wal.sync()
+            directory = str(self.database.wal.directory)
+        verification = verify_directory(directory)
+        for line in render_verification(directory, verification):
+            self.write(line)
 
     def cmd_show(self, rest: str) -> None:
         what = rest.strip().lower()
@@ -373,13 +430,104 @@ def _parses_as_rule(text: str) -> bool:
         return False
 
 
+def render_verification(directory, verification) -> List[str]:
+    """Human-readable lines for a hash-chain verification verdict."""
+    lines = [
+        f"audit log {directory}: {verification.segments} segment(s), "
+        f"{verification.records} record(s)"
+        + (
+            f", last sequence #{verification.last_sequence}"
+            if verification.last_sequence is not None
+            else ""
+        )
+    ]
+    if verification.torn_tail is not None:
+        segment, offset, reason = verification.torn_tail
+        lines.append(
+            f"torn tail at {segment} @ byte {offset} ({reason}) — "
+            f"crash residue; the next open repairs it"
+        )
+    if verification.ok:
+        lines.append("hash chain OK")
+    else:
+        segment, offset, reason = verification.broken
+        lines.append(
+            f"hash chain BROKEN at {segment} @ byte {offset}: {reason}"
+        )
+    return lines
+
+
+def verify_main(args: List[str]) -> int:
+    """``python -m repro audit-log --verify DIR``: full hash-chain walk.
+
+    Exit status 0 when the chain verifies end to end, 1 when a broken
+    link was found (the first one is reported with segment and byte
+    offset).  A torn tail — legitimate crash residue — is reported but
+    does not fail verification.
+    """
+    from repro.engine.wal import verify_directory
+
+    if len(args) != 1:
+        sys.stderr.write("usage: python -m repro audit-log --verify DIR\n")
+        return 2
+    verification = verify_directory(args[0])
+    for line in render_verification(args[0], verification):
+        sys.stdout.write(line + "\n")
+    return 0 if verification.ok else 1
+
+
+def recover_main(args: List[str]) -> int:
+    """``python -m repro recover DIR [--to SEQ]``: replay a durable log.
+
+    Rebuilds the database (optionally only up to commit sequence SEQ) and
+    prints the recovery report plus per-relation cardinalities.  Exit
+    status 1 on a broken hash chain or an unusable log.
+    """
+    from repro.errors import WalError
+
+    upto: Optional[int] = None
+    paths: List[str] = []
+    iterator = iter(args)
+    for arg in iterator:
+        if arg == "--to":
+            try:
+                upto = int(next(iterator))
+            except (StopIteration, ValueError):
+                sys.stderr.write("recover: --to needs an integer sequence\n")
+                return 2
+        else:
+            paths.append(arg)
+    if len(paths) != 1:
+        sys.stderr.write("usage: python -m repro recover DIR [--to SEQ]\n")
+        return 2
+    try:
+        database = Database.recover(paths[0], upto=upto)
+    except WalError as error:
+        sys.stderr.write(f"recover: {type(error).__name__}: {error}\n")
+        return 1
+    report = database.last_recovery
+    sys.stdout.write(f"{report!r}\n")
+    for relation_schema in database.schema:
+        relation = database.relation(relation_schema.name)
+        sys.stdout.write(f"  {relation_schema.name}: {len(relation)} row(s)\n")
+    if database.wal is not None:
+        database.detach_wal()
+    return 0
+
+
 def audit_log_main(args: List[str], executor: str = "thread") -> int:
     """``python -m repro audit-log [script] [-n N]``.
 
     Runs the script (or stdin) through a non-interactive shell, then tails
     the database's commit log and the scheduler's audit verdicts — i.e.
     what the concurrent enforcement pipeline saw and decided.
+
+    ``python -m repro audit-log --verify DIR`` instead verifies the full
+    hash chain of the durable log at DIR (see :func:`verify_main`).
     """
+    if "--verify" in args:
+        remaining = [arg for arg in args if arg != "--verify"]
+        return verify_main(remaining)
     limit = 10
     paths: List[str] = []
     iterator = iter(args)
@@ -429,10 +577,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{', '.join(EXECUTORS)}\n"
         )
         return 2
+    durable: Optional[str] = None
+    while "--durable" in args:
+        position = args.index("--durable")
+        try:
+            durable = args[position + 1]
+        except IndexError:
+            sys.stderr.write("--durable needs a log directory\n")
+            return 2
+        del args[position : position + 2]
     if args and args[0] == "audit-log":
         return audit_log_main(args[1:], executor=executor)
+    if args and args[0] == "recover":
+        return recover_main(args[1:])
     interactive = sys.stdin.isatty()
-    shell = Shell(interactive=interactive, executor=executor)
+    shell = Shell(interactive=interactive, executor=executor, durable=durable)
     return shell.run()
 
 

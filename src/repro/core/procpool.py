@@ -22,9 +22,12 @@ way PRISMA/DB shipped simplified checks to the nodes that owned the data:
   states.
 * **Nothing silently dropped** — worker exceptions travel back as error
   strings (the scheduler surfaces them as poisoned
-  :class:`~repro.core.scheduler.AuditOutcome`\\ s), a worker death fails
-  only its own in-flight tasks, and a commit-log truncation gap triggers a
-  full replica resync instead of divergence.
+  :class:`~repro.core.scheduler.AuditOutcome`\\ s); an unexpectedly dead
+  worker is respawned from a fresh snapshot and its in-flight tasks are
+  re-shipped exactly once (a task whose retry also dies surfaces as an
+  audit error); a commit-log truncation gap resyncs the replicas from the
+  durable write-ahead log when one is attached, falling back to a full
+  replica ship.
 
 Both ``fork`` and ``spawn`` start methods are supported: the worker
 payload is always explicitly pickled and shipped (never inherited), so the
@@ -151,20 +154,29 @@ def _audit_worker(inbox, outbox, payload: bytes) -> None:
     """Worker main loop: replicate, then audit what the coordinator sends."""
     spec, database = pickle.loads(payload)
     controller = spec.build()
+    # The replica's position in the commit stream.  Applies below it are
+    # skipped, which makes replication idempotent by sequence — a worker
+    # respawned from a *newer* snapshot can safely receive the same
+    # broadcast stream as its older siblings.
+    replica_seq = database.commit_log.next_sequence
     while True:
         message = inbox.get()
         kind = message[0]
         if kind == "stop":
             break
         if kind == "apply":
-            for _sequence, encoded in pickle.loads(
+            for sequence, encoded in pickle.loads(
                 _load_blob(outbox, message[1])
             ):
+                if sequence < replica_seq:
+                    continue  # already covered by this replica's snapshot
                 database.apply_deltas(
                     decode_differentials(encoded), record=False
                 )
+                replica_seq = sequence + 1
         elif kind == "resync":
             database = pickle.loads(_load_blob(outbox, message[1]))
+            replica_seq = database.commit_log.next_sequence
         elif kind == "task":
             task_id, rule_name, engine, descriptor = message[1:]
             started = time.perf_counter()
@@ -260,8 +272,9 @@ class ProcessAuditExecutor:
                 else shm_min_bytes
             )
         )
+        self._spec = ControllerSpec(controller)
         payload = pickle.dumps(
-            (ControllerSpec(controller), database), protocol=PICKLE_PROTOCOL
+            (self._spec, database), protocol=PICKLE_PROTOCOL
         )
         # Records with sequence >= this watermark have not yet been shipped
         # to the replicas (the initial snapshot covers everything before).
@@ -270,25 +283,49 @@ class ProcessAuditExecutor:
         self._inboxes = []
         self._processes = []
         for index in range(self.workers):
-            inbox = self._context.Queue()
-            process = self._context.Process(
-                target=_audit_worker,
-                args=(inbox, self._outbox, payload),
-                name=f"repro-audit-proc-{index}",
-                daemon=True,
-            )
-            process.start()
-            self._inboxes.append(inbox)
-            self._processes.append(process)
+            self._inboxes.append(None)
+            self._processes.append(None)
+            self._spawn(index, payload)
         self._next_task_id = 0
         self._next_worker = 0
         self._owners: Dict[int, int] = {}
         self._done: Dict[int, tuple] = {}
+        # Shipped-but-uncollected task messages, kept so a dead worker's
+        # in-flight tasks can be re-shipped to its replacement exactly once.
+        self._pending: Dict[int, tuple] = {}
+        self._retried: set = set()
+        #: Workers respawned after an unexpected death.
+        self.restarts = 0
         self._reader_lock = threading.Lock()
         # One coalesced drain submits the same differentials object once
         # per rule: pickle it once, ship the blob n times.
         self._delta_cache: Optional[tuple] = None
         self._closed = False
+        self._hold_wal()
+
+    def _spawn(self, index: int, payload: bytes) -> None:
+        """(Re)start worker ``index`` with a fresh inbox and payload."""
+        inbox = self._context.Queue()
+        process = self._context.Process(
+            target=_audit_worker,
+            args=(inbox, self._outbox, payload),
+            name=f"repro-audit-proc-{index}",
+            daemon=True,
+        )
+        process.start()
+        self._inboxes[index] = inbox
+        self._processes[index] = process
+
+    def _hold_wal(self) -> None:
+        """Retention hold on the durable log for replica catch-up.
+
+        Records at/after ``_replicated_through`` have not reached every
+        replica yet; holding them in the WAL is what lets :meth:`resync`
+        catch replicas up from the log instead of re-shipping the whole
+        database."""
+        wal = getattr(self.database, "wal", None)
+        if wal is not None:
+            wal.register_consumer("process-replicas", self._replicated_through)
 
     # -- replication -----------------------------------------------------------
 
@@ -312,15 +349,55 @@ class ProcessAuditExecutor:
         for inbox in self._inboxes:
             inbox.put(("apply", descriptor))
         self._replicated_through = fresh[-1].sequence + 1
+        self._hold_wal()
         return len(fresh)
 
     def resync(self, database) -> None:
-        """Ship a full fresh replica (after a commit-log truncation gap)."""
-        blob = pickle.dumps(database, protocol=PICKLE_PROTOCOL)
-        descriptor = self._transport.ship(blob, readers=self.workers)
-        for inbox in self._inboxes:
-            inbox.put(("resync", descriptor))
-        self._replicated_through = database.commit_log.next_sequence
+        """Catch every replica up after a commit-log truncation gap.
+
+        With a write-ahead log attached the missed records are still on
+        disk (the ``process-replicas`` retention hold keeps them there):
+        resync replays them from the log — O(|missed Δ|) per worker — and
+        only falls back to shipping a full fresh replica when the log
+        cannot serve the range (no WAL, or the hold was released).
+        """
+        if not self._resync_from_log(database):
+            blob = pickle.dumps(database, protocol=PICKLE_PROTOCOL)
+            descriptor = self._transport.ship(blob, readers=self.workers)
+            for inbox in self._inboxes:
+                inbox.put(("resync", descriptor))
+            self._replicated_through = database.commit_log.next_sequence
+        self._hold_wal()
+
+    def _resync_from_log(self, database) -> bool:
+        """Replay the replicas' missed records from the durable log."""
+        wal = getattr(database, "wal", None)
+        if wal is None:
+            return False
+        start = self._replicated_through
+        end = database.commit_log.next_sequence
+        try:
+            wal.sync()  # make buffered appends visible to the scan below
+            missed = [
+                (record.sequence, record.differentials)
+                for record in wal.scan(
+                    start_sequence=start, upto=end - 1, decode=False
+                )
+            ]
+        except Exception:
+            return False
+        # The log must cover the gap exactly: every sequence in [start, end).
+        if len(missed) != end - start or (
+            missed and (missed[0][0] != start or missed[-1][0] != end - 1)
+        ):
+            return False
+        if missed:
+            blob = pickle.dumps(missed, protocol=PICKLE_PROTOCOL)
+            descriptor = self._transport.ship(blob, readers=self.workers)
+            for inbox in self._inboxes:
+                inbox.put(("apply", descriptor))
+        self._replicated_through = end
+        return True
 
     # -- task dispatch ---------------------------------------------------------
 
@@ -345,6 +422,7 @@ class ProcessAuditExecutor:
             )
             descriptor = self._transport.ship(blob, readers=1)
             self._delta_cache = (task.differentials, blob, descriptor)
+        self._pending[task_id] = (task.rule_name, task.engine, blob)
         self._inboxes[worker].put(
             ("task", task_id, task.rule_name, task.engine, descriptor)
         )
@@ -357,24 +435,69 @@ class ProcessAuditExecutor:
         while True:
             with self._reader_lock:
                 if task_id in self._done:
+                    self._owners.pop(task_id, None)
+                    self._pending.pop(task_id, None)
+                    self._retried.discard(task_id)
                     return self._done.pop(task_id)
                 try:
                     message = self._outbox.get(timeout=RESULT_POLL_SECONDS)
                 except queue_module.Empty:
                     owner = self._owners.get(task_id)
                     if owner is not None and not self._processes[owner].is_alive():
-                        self._done[task_id] = (
-                            None,
-                            (),
-                            f"audit worker process {owner} died before "
-                            f"returning a verdict",
-                            0.0,
-                        )
+                        self._worker_died(owner)
                     continue
                 if message[0] == "shm":
                     self._transport.ack(message[1])
                     continue
                 self._done[message[0]] = message[1:]
+
+    def _worker_died(self, owner: int) -> None:
+        """Restart-and-resync after an unexpected worker death.
+
+        Called with the reader lock held.  The dead worker is respawned
+        from a fresh database snapshot (sequence-idempotent applies let it
+        rejoin the broadcast stream mid-flight, see :func:`_audit_worker`)
+        and each of its in-flight tasks is re-shipped exactly once; a task
+        whose retry also dies surfaces as an audit error.  Retried verdicts
+        may observe a post-drain replica state — the thread arm's
+        semantics — rather than the drain-time state.
+        """
+        # Collect results that did arrive before the crash: those tasks
+        # need no retry.
+        while True:
+            try:
+                message = self._outbox.get_nowait()
+            except queue_module.Empty:
+                break
+            if message[0] == "shm":
+                self._transport.ack(message[1])
+            else:
+                self._done[message[0]] = message[1:]
+        stranded = sorted(
+            tid
+            for tid, worker in self._owners.items()
+            if worker == owner and tid not in self._done and tid in self._pending
+        )
+        self._processes[owner].join(timeout=1.0)
+        payload = pickle.dumps(
+            (self._spec, self.database), protocol=PICKLE_PROTOCOL
+        )
+        self._spawn(owner, payload)
+        self.restarts += 1
+        for tid in stranded:
+            if tid in self._retried:
+                self._done[tid] = (
+                    None,
+                    (),
+                    f"audit worker process {owner} died before returning "
+                    f"a verdict (task already retried once)",
+                    0.0,
+                )
+                continue
+            self._retried.add(tid)
+            rule_name, engine, blob = self._pending[tid]
+            descriptor = self._transport.ship(blob, readers=1)
+            self._inboxes[owner].put(("task", tid, rule_name, engine, descriptor))
 
     def reap_acks(self) -> None:
         """Drain pending shared-memory acks without blocking on results."""
@@ -414,6 +537,9 @@ class ProcessAuditExecutor:
         except (ValueError, OSError):  # pragma: no cover - closed queue race
             pass
         self._transport.release_all()
+        wal = getattr(self.database, "wal", None)
+        if wal is not None:
+            wal.release_consumer("process-replicas")
 
     def __repr__(self) -> str:
         alive = sum(1 for p in self._processes if p.is_alive())

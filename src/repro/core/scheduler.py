@@ -255,6 +255,11 @@ class AuditScheduler:
         """Sequence number of the next commit this scheduler will audit."""
         return self._cursor
 
+    @property
+    def _consumer_name(self) -> str:
+        """Stable retention-hold name on the database's write-ahead log."""
+        return "audit-scheduler"
+
     def pending(self) -> int:
         """Commits recorded but not yet drained."""
         records, lost = self.database.commit_log.since(self._cursor)
@@ -292,6 +297,11 @@ class AuditScheduler:
             else:
                 self._cursor += lost
             self.drains += 1
+        wal = getattr(self.database, "wal", None)
+        if wal is not None:
+            # Retention hold on the durable log: segments below the audit
+            # cursor are replayable without us, so the WAL may purge them.
+            wal.advance_consumer(self._consumer_name, self._cursor)
         if self._process_pool is not None:
             # Keep worker replicas current *before* this drain's tasks are
             # submitted: FIFO inboxes then guarantee each task observes
@@ -419,6 +429,10 @@ class AuditScheduler:
         if self._process_pool is not None:
             self._process_pool.shutdown(wait=True)
             self._process_pool = None
+        wal = getattr(self.database, "wal", None)
+        if wal is not None:
+            # Drop the retention hold; a later drain re-registers it.
+            wal.release_consumer(self._consumer_name)
 
     def __enter__(self) -> "AuditScheduler":
         return self

@@ -29,8 +29,14 @@ from repro.engine.transaction import (
     TransactionStatus,
 )
 from repro.engine.session import Session
+from repro.engine.wal import WriteAheadLog
+from repro.engine.recovery import RecoveryReport, recover, replay_to
 
 __all__ = [
+    "RecoveryReport",
+    "WriteAheadLog",
+    "recover",
+    "replay_to",
     "Attribute",
     "BOOL",
     "CommitLog",

@@ -145,6 +145,31 @@ class CommitLog:
                 del self._records[: len(self._records) - self.capacity]
             return record
 
+    def append_at(
+        self,
+        sequence: int,
+        differentials,
+        pre_time: int,
+        post_time: int,
+    ) -> CommitRecord:
+        """Append a record carrying an explicit sequence number (replay).
+
+        Recovery replays durable commit records through the same delta
+        path commits use, and the replayed records must keep their
+        *original* sequence numbers (audit cursors, retention watermarks,
+        and the hash chain are all keyed on them).  The sequence must not
+        move backwards; gaps are allowed (older segments may have been
+        purged) and simply advance ``next_sequence``.
+        """
+        with self._lock:
+            if sequence < self._next_sequence:
+                raise ValueError(
+                    f"cannot replay sequence #{sequence} behind "
+                    f"next=#{self._next_sequence}"
+                )
+            self._next_sequence = sequence
+        return self.append(differentials, pre_time, post_time)
+
     def truncate_through(self, sequence: int) -> int:
         """Drop records with ``record.sequence <= sequence``; return count."""
         with self._lock:
@@ -229,8 +254,7 @@ def coalesce_differentials(records, database) -> Dict[str, tuple]:
         minus_rel = Relation(schema, bag=database.bag)
         for row, count in counter.items():
             target = plus_rel if count > 0 else minus_rel
-            for _ in range(abs(count)):
-                target.insert(row, _validated=True)
+            target.insert_count(row, abs(count), _validated=True)
         plus_side = plus_rel if len(plus_rel) else None
         minus_side = minus_rel if len(minus_rel) else None
         if plus_side is not None or minus_side is not None:

@@ -103,6 +103,14 @@ class Database:
         # in order, bounded.  Audit schedulers drain it; `apply_deltas`
         # populates it.
         self.commit_log = CommitLog()
+        # Optional durable layer under the bounded in-memory log; attached
+        # via `attach_wal`, never pickled (file handles).
+        self.wal = None
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["wal"] = None
+        return state
 
     # -- relation access ------------------------------------------------------
 
@@ -237,7 +245,73 @@ class Database:
         if advance_time:
             self.logical_time += 1
         if record:
-            self.commit_log.append(differentials, pre_time, self.logical_time)
+            committed = self.commit_log.append(
+                differentials, pre_time, self.logical_time
+            )
+            if self.wal is not None:
+                self.wal.append(committed)
+
+    # -- durability (write-ahead log) ---------------------------------------------
+
+    def attach_wal(self, wal, checkpoint: bool = True) -> None:
+        """Layer a durable :class:`~repro.engine.wal.WriteAheadLog` under
+        the in-memory commit log.
+
+        From this point every committed net delta is also appended —
+        hash-chained, CRC-guarded — to the log's segment files, and
+        :func:`~repro.engine.recovery.recover` can rebuild this database
+        after a crash.  Unless one exists already, a checkpoint anchoring
+        replay is written immediately (``checkpoint=False`` skips it —
+        recovery re-attaching the same log must not re-anchor).
+
+        Bulk :meth:`load` bypasses the commit path and therefore the log;
+        load fixtures *before* attaching, or call
+        ``wal.write_checkpoint(database)`` afterwards.
+        """
+        self.wal = wal
+        if checkpoint and wal.latest_checkpoint() is None:
+            wal.write_checkpoint(self)
+
+    def detach_wal(self) -> None:
+        """Stop durable logging; syncs and closes the attached log."""
+        if self.wal is not None:
+            self.wal.close()
+            self.wal = None
+
+    def replay_record(
+        self,
+        sequence: int,
+        pre_time: int,
+        post_time: int,
+        differentials: Mapping,
+    ) -> None:
+        """Apply one recovered commit record through the live delta path.
+
+        Identical to a commit's :meth:`apply_deltas` — deletes before
+        inserts, incremental index maintenance, delta-size observations —
+        except that the record keeps its *original* sequence number and
+        logical times and is never re-appended to the durable log.
+        """
+        self.apply_deltas(differentials, advance_time=False, record=False)
+        for name, (plus, minus) in differentials.items():
+            self.delta_stats.observe(name, plus, minus)
+        self.logical_time = post_time
+        self.commit_log.append_at(sequence, differentials, pre_time, post_time)
+
+    @classmethod
+    def recover(cls, directory, upto: Optional[int] = None, **wal_options):
+        """Rebuild a database from its durable commit log directory.
+
+        Full recovery (no ``upto``) returns a live database with the log
+        re-attached; ``upto`` gives a detached point-in-time state (see
+        :func:`repro.engine.recovery.recover`).  The recovery report is
+        available as ``database.last_recovery``.
+        """
+        from repro.engine.recovery import recover
+
+        database, report = recover(directory, upto=upto, **wal_options)
+        database.last_recovery = report
+        return database
 
     def install(
         self,

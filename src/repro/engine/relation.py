@@ -178,6 +178,54 @@ class Relation:
         self._batch = None
         return True
 
+    def insert_count(self, row: tuple, count: int, _validated: bool = False) -> bool:
+        """Insert ``count`` occurrences of ``row`` in O(1).
+
+        The bag-mode counter is bumped once instead of ``count`` times (set
+        mode absorbs to a single occurrence), so coalescing duplicate-heavy
+        bag deltas and replaying recovered commit records stay O(distinct
+        rows).  Index maintenance fires exactly as ``count`` single inserts
+        would: the per-distinct-row hook runs only on the 0 → non-zero
+        transition.  Returns True when the relation changed.
+        """
+        if count <= 0:
+            return False
+        row = tuple(row) if _validated else self.schema.validate_tuple(tuple(row))
+        existing = self._rows.get(row, 0)
+        if not self.bag:
+            if existing:
+                return False
+            count = 1
+        self._rows[row] = existing + count
+        self._batch = None
+        if existing == 0 and self._indexes is not None:
+            self._indexes.row_added(row)
+        return True
+
+    def delete_count(self, row: tuple, count: int) -> int:
+        """Delete up to ``count`` occurrences of ``row`` in O(1).
+
+        Returns the number of occurrences actually removed (0 when the row
+        is absent).  The index hook fires only on the non-zero → 0
+        transition, mirroring ``count`` single deletes.
+        """
+        if count <= 0:
+            return 0
+        row = tuple(row)
+        existing = self._rows.get(row)
+        if existing is None:
+            return 0
+        removed = min(existing, count) if self.bag else existing
+        remaining = existing - removed
+        if remaining:
+            self._rows[row] = remaining
+        else:
+            del self._rows[row]
+            if self._indexes is not None:
+                self._indexes.row_removed(row)
+        self._batch = None
+        return removed
+
     def insert_many(self, rows: Iterable[tuple]) -> int:
         """Insert many tuples; return the number of actual changes."""
         return sum(1 for row in rows if self.insert(row))

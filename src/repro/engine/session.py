@@ -125,6 +125,27 @@ class Session:
         """Collect the verdicts of all in-flight asynchronous audits."""
         return self.audit_scheduler().wait()
 
+    def close(self) -> None:
+        """Deterministic teardown: audits collected, durability flushed.
+
+        Closes the audit scheduler (collecting in-flight verdicts into its
+        history and stopping its pools) and, when the database carries a
+        write-ahead log, fsyncs and closes it.  The session object stays
+        usable — a later commit lazily recreates pools — but a closed WAL
+        stays closed: detach or re-attach explicitly to keep committing
+        durably.
+        """
+        if self.controller is not None:
+            self.audit_scheduler().close()
+        if self.database.wal is not None:
+            self.database.detach_wal()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
     # -- queries -------------------------------------------------------------------
 
     def query(self, expression_text: str) -> Relation:

@@ -47,6 +47,27 @@ class DuplicateRelationError(SchemaError):
     """A relation with the same name already exists."""
 
 
+class WalError(ReproError):
+    """A durable commit-log operation failed (I/O, missing checkpoint, ...)."""
+
+
+class WalCorruptionError(WalError):
+    """The durable commit log is corrupt beyond tail repair.
+
+    Raised when a record in a *sealed* region fails its CRC, when a
+    record's stored predecessor hash does not match the chain, or when a
+    segment header is damaged — i.e. whenever recovery cannot prove the
+    surviving prefix is exactly some commit boundary.  Carries the segment
+    file name and byte offset of the first broken link.
+    """
+
+    def __init__(self, segment: str, offset: int, reason: str):
+        super().__init__(f"{segment} @ byte {offset}: {reason}")
+        self.segment = segment
+        self.offset = offset
+        self.reason = reason
+
+
 # ---------------------------------------------------------------------------
 # Language layer (CL constraint calculus, RL rules, algebra text forms)
 # ---------------------------------------------------------------------------

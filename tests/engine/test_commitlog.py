@@ -89,6 +89,48 @@ class TestCommitLog:
         assert [r.sequence for r in records] == [3]
         assert lost == 0
 
+    def test_since_negative_cursor(self, db):
+        session = Session(db)
+        _commit(session, "begin insert(r, (7, 7)); end")
+        # A cursor below the log's first sequence counts nothing as lost
+        # while the log still holds everything from sequence 0.
+        records, lost = db.commit_log.since(-5)
+        assert [r.sequence for r in records] == [0]
+        assert lost == 0
+
+    def test_since_cursor_past_next_sequence(self, db):
+        session = Session(db)
+        _commit(session, "begin insert(r, (7, 7)); end")
+        records, lost = db.commit_log.since(db.commit_log.next_sequence + 10)
+        assert records == []
+        assert lost == 0
+
+    def test_since_cursor_exactly_on_evicted_boundary(self, schema):
+        database = Database(schema)
+        database.commit_log = CommitLog(capacity=2)
+        session = Session(database)
+        for value in range(4):  # sequences 0..3; 0 and 1 evicted
+            _commit(session, f"begin insert(r, ({value}, {value})); end")
+        log = database.commit_log
+        # Cursor exactly at the first surviving record: nothing lost.
+        records, lost = log.since(2)
+        assert [r.sequence for r in records] == [2, 3]
+        assert lost == 0
+        # Cursor on the newest evicted record: exactly one commit lost.
+        records, lost = log.since(1)
+        assert [r.sequence for r in records] == [2, 3]
+        assert lost == 1
+
+    def test_append_at_replays_original_sequence(self, db, schema):
+        log = db.commit_log
+        plus = _relation(schema, [(9, 9)])
+        record = log.append_at(7, {"r": (plus, None)}, 7, 8)
+        assert record.sequence == 7
+        assert log.next_sequence == 8
+        # Replay cannot rewind below what the log has already assigned.
+        with pytest.raises(ValueError):
+            log.append_at(3, {"r": (plus, None)}, 3, 4)
+
     def test_truncate_through(self, db):
         session = Session(db)
         for value in range(3):
@@ -153,6 +195,37 @@ class TestCoalesce:
         plus, minus = merged["r"]
         assert plus.multiplicity((5, 5)) == 3
         assert minus is None
+
+    def test_bag_coalesce_is_linear_in_distinct_rows(self, schema, monkeypatch):
+        # One mutation call per distinct row, regardless of multiplicity —
+        # not one insert per occurrence.
+        database = Database(schema, bag=True)
+        plus = _relation(schema, [(5, 5)], bag=True)
+        for _ in range(999):
+            plus.insert((5, 5))
+        minus = _relation(schema, [(6, 6)], bag=True)
+        for _ in range(499):
+            minus.insert((6, 6))
+        calls = {"count": 0}
+        original = Relation.insert_count
+
+        def counting_insert_count(self, row, count, _validated=False):
+            calls["count"] += 1
+            return original(self, row, count, _validated=_validated)
+
+        monkeypatch.setattr(Relation, "insert_count", counting_insert_count)
+        monkeypatch.setattr(
+            Relation,
+            "insert",
+            lambda self, row: pytest.fail("per-occurrence insert in coalesce"),
+        )
+        merged = coalesce_differentials(
+            [{"r": (plus, None)}, {"r": (None, minus)}], database
+        )
+        assert calls["count"] == 2
+        merged_plus, merged_minus = merged["r"]
+        assert merged_plus.multiplicity((5, 5)) == 1000
+        assert merged_minus.multiplicity((6, 6)) == 500
 
     def test_take_batches(self, db):
         session = Session(db)

@@ -1,0 +1,115 @@
+"""Byte-level fault injection for write-ahead-log segment files.
+
+The :class:`~repro.engine.wal.WriteAheadLog` takes an ``opener`` hook for
+segment files; :func:`faulty_opener` wraps the real file in a
+:class:`FaultyFile` that misbehaves at a chosen byte offset of the
+*cumulative write stream* (headers and records of every segment opened
+through the hook, in write order):
+
+``drop``
+    The write covering the offset is cut short and every later write is
+    silently swallowed — the canonical crash model: only a byte prefix of
+    the append stream ever reaches the file.
+``bitflip``
+    One bit of the byte at the offset is flipped in transit — silent
+    media corruption.
+``truncate``
+    The file is truncated back to the offset when closed — a lying drive
+    that acked writes it then threw away.
+
+The plan's ``written`` counter advances with every write regardless, so a
+single plan describes one deterministic fault no matter how the WAL
+chunks its writes.
+"""
+
+from __future__ import annotations
+
+MODES = ("drop", "bitflip", "truncate")
+
+
+class FaultPlan:
+    """One injected fault: a mode and a byte offset in the write stream."""
+
+    def __init__(self, mode: str, offset: int):
+        if mode not in MODES:
+            raise ValueError(f"unknown fault mode {mode!r}")
+        self.mode = mode
+        self.offset = int(offset)
+        #: Bytes of the cumulative write stream seen so far.
+        self.written = 0
+        #: Whether the fault has fired.
+        self.tripped = False
+
+
+class FaultyFile:
+    """A binary file wrapper that injects the plan's fault on write."""
+
+    def __init__(self, inner, plan: FaultPlan):
+        self._inner = inner
+        self._plan = plan
+
+    def write(self, data) -> int:
+        plan = self._plan
+        data = bytes(data)
+        start = plan.written
+        plan.written = start + len(data)
+        if plan.mode == "drop":
+            keep = data[: max(plan.offset - start, 0)]
+            if len(keep) < len(data):
+                plan.tripped = True
+            if keep:
+                self._inner.write(keep)
+            return len(data)  # the writer believes the write succeeded
+        if (
+            plan.mode == "bitflip"
+            and not plan.tripped
+            and start <= plan.offset < start + len(data)
+        ):
+            index = plan.offset - start
+            data = (
+                data[:index]
+                + bytes([data[index] ^ 0x10])
+                + data[index + 1 :]
+            )
+            plan.tripped = True
+        self._inner.write(data)
+        return len(data)
+
+    def close(self) -> None:
+        plan = self._plan
+        if plan.mode == "truncate" and not plan.tripped:
+            try:
+                self._inner.flush()
+                if self._inner.seekable():
+                    size = self._inner.seek(0, 2)
+                    if size > plan.offset:
+                        self._inner.truncate(plan.offset)
+                        plan.tripped = True
+            except (OSError, ValueError):
+                pass
+        self._inner.close()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __enter__(self) -> "FaultyFile":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+def faulty_opener(plan: FaultPlan):
+    """An ``opener`` for :class:`WriteAheadLog` injecting ``plan``.
+
+    Read-only opens pass through untouched — the fault lives in the write
+    path only.
+    """
+
+    def opener(path, mode):
+        inner = open(path, mode)
+        if mode == "rb":
+            return inner
+        return FaultyFile(inner, plan)
+
+    return opener

@@ -1,0 +1,211 @@
+"""Crash-point properties: recovery is always a commit-boundary prefix.
+
+The acceptance property of the durable log: after a crash at ANY byte
+offset of the append stream, recovery yields exactly the database state at
+some commit boundary — never a torn, half-applied state — and anything
+that is not a legitimate crash artifact (silent corruption) fails loudly
+with :class:`~repro.errors.WalCorruptionError` or a broken
+:class:`~repro.engine.wal.ChainVerification`.
+
+The append byte stream is deterministic for a fixed workload, so one
+clean run yields both the per-commit expected states and the byte
+boundary each commit ends at; every fault run is then compared against
+the boundary table.
+"""
+
+import shutil
+
+import pytest
+
+from repro.engine import Database, DatabaseSchema, RelationSchema, Session
+from repro.engine.recovery import recover
+from repro.engine.types import INT
+from repro.engine.wal import HEADER_SIZE, WriteAheadLog, verify_directory
+from repro.errors import WalCorruptionError
+
+from tests.faults.harness import FaultPlan, faulty_opener
+
+COMMITS = [
+    "begin insert(r, (10, 0)); end",
+    "begin insert(r, (11, 1)); insert(r, (12, 2)); end",
+    "begin delete(r, (1, 1)); end",
+    "begin insert(r, (13, 3)); delete(r, (11, 1)); end",
+    "begin insert(r, (14, 4)); end",
+    "begin delete(r, (2, 2)); insert(r, (15, 5)); end",
+]
+
+
+def _schema():
+    return DatabaseSchema([RelationSchema("r", [("a", INT), ("b", INT)])])
+
+
+def _fresh_database():
+    database = Database(_schema())
+    database.load("r", [(1, 1), (2, 2)])
+    return database
+
+
+def _state(database):
+    return dict(database.relation("r").items())
+
+
+def _run_workload(database):
+    session = Session(database)
+    for text in COMMITS:
+        assert session.execute(text).committed
+
+
+@pytest.fixture(scope="module")
+def clean_run(tmp_path_factory):
+    """One clean durable run: (directory, states per boundary, boundaries).
+
+    ``states[i]`` is the database state after ``i`` commits;
+    ``boundaries[i]`` is the segment byte size at that point (so
+    ``boundaries[0] == HEADER_SIZE``, before any record).
+    """
+    directory = tmp_path_factory.mktemp("clean-wal")
+    database = _fresh_database()
+    database.attach_wal(WriteAheadLog(directory, sync="commit"))
+    # The segment file appears lazily with the first append; before that
+    # the crash boundary is the (future) bare header.
+    states = [_state(database)]
+    boundaries = [HEADER_SIZE]
+    session = Session(database)
+    for text in COMMITS:
+        assert session.execute(text).committed
+        [segment] = database.wal.segments()
+        states.append(_state(database))
+        boundaries.append(segment.stat().st_size)
+    database.detach_wal()
+    return directory, states, boundaries
+
+
+def _expected_prefix_index(boundaries, crash_offset):
+    """Commits whose full record fits inside the first ``crash_offset`` bytes."""
+    commits = 0
+    for index, boundary in enumerate(boundaries):
+        if boundary <= crash_offset:
+            commits = index
+    return commits
+
+
+def _clone_with_segment_prefix(clean_dir, target_dir, prefix_length):
+    target_dir.mkdir(parents=True, exist_ok=True)
+    segment_bytes = None
+    for path in clean_dir.iterdir():
+        if path.suffix == ".wal":
+            segment_bytes = path.read_bytes()
+            (target_dir / path.name).write_bytes(segment_bytes[:prefix_length])
+        else:
+            shutil.copy(path, target_dir / path.name)
+    assert segment_bytes is not None
+    return segment_bytes
+
+
+class TestEveryCrashPoint:
+    def test_prefix_at_every_byte_offset(self, clean_run, tmp_path):
+        """Truncate the stream at EVERY byte; recovery is always exact."""
+        clean_dir, states, boundaries = clean_run
+        total = boundaries[-1]
+        target = tmp_path / "crashed"
+        for crash_offset in range(total + 1):
+            shutil.rmtree(target, ignore_errors=True)
+            _clone_with_segment_prefix(clean_dir, target, crash_offset)
+            database, report = recover(target, attach=False)
+            expected = _expected_prefix_index(boundaries, crash_offset)
+            assert _state(database) == states[expected], (
+                f"crash at byte {crash_offset}: recovered state is not the "
+                f"{expected}-commit prefix"
+            )
+            assert report.replayed == expected
+
+    def test_drop_writes_mid_stream(self, clean_run, tmp_path):
+        """Live runs whose writes vanish past an offset recover the prefix."""
+        _clean_dir, states, boundaries = clean_run
+        total = boundaries[-1]
+        probes = sorted(
+            {offset for b in boundaries for offset in (b - 2, b, b + 3)}
+            | set(range(0, total, 97))
+        )
+        for crash_offset in probes:
+            if not 0 <= crash_offset <= total:
+                continue
+            directory = tmp_path / f"drop-{crash_offset}"
+            plan = FaultPlan("drop", crash_offset)
+            database = _fresh_database()
+            database.attach_wal(
+                WriteAheadLog(
+                    directory, sync="commit", opener=faulty_opener(plan)
+                )
+            )
+            _run_workload(database)  # commits "succeed"; bytes are lost
+            database.detach_wal()
+            recovered, _report = recover(directory, attach=False)
+            expected = _expected_prefix_index(boundaries, crash_offset)
+            assert _state(recovered) == states[expected]
+            assert plan.tripped == (crash_offset < total)
+
+    def test_truncated_at_close(self, clean_run, tmp_path):
+        """A drive that drops acked writes at close still yields a prefix."""
+        _clean_dir, states, boundaries = clean_run
+        crash_offset = (boundaries[2] + boundaries[3]) // 2  # mid-record 3
+        directory = tmp_path / "trunc"
+        plan = FaultPlan("truncate", crash_offset)
+        database = _fresh_database()
+        database.attach_wal(
+            WriteAheadLog(directory, sync="commit", opener=faulty_opener(plan))
+        )
+        _run_workload(database)
+        database.detach_wal()  # close fires the truncation
+        assert plan.tripped
+        recovered, _ = recover(directory, attach=False)
+        assert _state(recovered) == states[2]
+
+
+class TestBitflips:
+    def test_bitflip_at_every_byte_is_prefix_or_loud(self, clean_run, tmp_path):
+        """Silent corruption anywhere either verifies broken, recovers to a
+        commit boundary, or raises — never a torn in-between state."""
+        clean_dir, states, _boundaries = clean_run
+        [segment] = [p for p in clean_dir.iterdir() if p.suffix == ".wal"]
+        data = segment.read_bytes()
+        target = tmp_path / "flipped"
+        legal_states = [frozenset(s.items()) for s in states]
+        for flip_offset in range(len(data)):
+            shutil.rmtree(target, ignore_errors=True)
+            _clone_with_segment_prefix(clean_dir, target, len(data))
+            flipped = target / segment.name
+            mutated = bytearray(data)
+            mutated[flip_offset] ^= 0x10
+            flipped.write_bytes(bytes(mutated))
+            verification = verify_directory(target)
+            if not verification.ok:
+                continue  # loud: forensics located the damage
+            try:
+                database, _report = recover(target, attach=False)
+            except WalCorruptionError:
+                continue  # loud
+            assert frozenset(_state(database).items()) in legal_states, (
+                f"bit flip at byte {flip_offset} recovered a non-boundary "
+                f"state"
+            )
+
+    def test_single_bitflips_in_records_never_verify_clean(self, clean_run, tmp_path):
+        """CRC32 catches every single-bit record flip: full-length chains
+        with a flipped record byte always report torn or broken."""
+        clean_dir, _states, boundaries = clean_run
+        [segment] = [p for p in clean_dir.iterdir() if p.suffix == ".wal"]
+        data = segment.read_bytes()
+        target = tmp_path / "flagged"
+        for flip_offset in range(HEADER_SIZE, len(data), 41):
+            shutil.rmtree(target, ignore_errors=True)
+            _clone_with_segment_prefix(clean_dir, target, len(data))
+            mutated = bytearray(data)
+            mutated[flip_offset] ^= 0x10
+            (target / segment.name).write_bytes(bytes(mutated))
+            verification = verify_directory(target)
+            assert (not verification.ok) or (
+                verification.torn_tail is not None
+            ) or verification.records < len(boundaries) - 1, (
+                f"bit flip at byte {flip_offset} went unnoticed"
+            )
