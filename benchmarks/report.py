@@ -109,6 +109,7 @@ _ARTIFACTS = (
     "bench_async_audit.json",
     "bench_columnar.json",
     "bench_durability.json",
+    "bench_mvcc.json",
 )
 
 
@@ -181,6 +182,29 @@ def _artifact_rows(name: str, data: dict) -> List[list]:
                 data.get("wire_ratio"),
                 data.get("wire_ratio_floor"),
             ]
+        )
+    snapshot = data.get("snapshot")  # epoch MVCC pins
+    if snapshot:
+        rows.append(
+            [
+                name,
+                f"epoch pin vs eager snapshot @n={snapshot.get('n'):,}",
+                snapshot.get("speedup"),
+                data.get("snapshot_speedup_floor"),
+            ]
+        )
+        reader = data.get("reader", {})
+        rows.append(
+            [
+                name,
+                "pinned query under writer vs quiet live",
+                reader.get("ratio"),
+                data.get("reader_ratio_floor"),
+            ]
+        )
+        reclamation = data.get("reclamation", {})
+        rows.append(
+            [name, "commit with rolling pin vs bare", reclamation.get("overhead"), None]
         )
     return rows
 

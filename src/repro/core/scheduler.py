@@ -24,12 +24,15 @@ Why this is safe without locking base relations: each task evaluates a
 side-effect-free delta (or fallback) program through its own
 :class:`~repro.engine.session.DeltaView`; base relations are only mutated
 by the owning session at commit time.  The *consistency guarantee* is
-therefore per drain: verdicts describe the delta evaluated against the
-database state as of the drain (or later, if the owner keeps committing
-while thread workers run; process workers always observe exactly the
-drain-time replica state) — ``audit="sync"`` gives strict per-commit
-verdicts, ``deferred``/``async`` give batched, possibly coalesced
-verdicts.
+strict on every arm: each drained batch pins its pre/post epochs
+(:meth:`~repro.engine.epochs.EpochManager.pin_span`), so in-process tasks
+resolve bare names and ``R@old`` against the exact states the batch's
+commits transitioned between even while the owner keeps committing under
+the worker threads (the MVCC layer reconstructs the pinned states in
+O(Δ); process workers observe exactly the drain-time replica state via
+their FIFO-replayed replicas).  Batched ``deferred``/``async`` drains may
+still *coalesce* consecutive commits into one audited delta; the audited
+states remain the pinned batch boundaries.
 
 Scheduling policy: per rule, the scheduler prices the audit with the cost
 model (:func:`repro.parallel.cost_model.predict_audit_time` under the
@@ -87,7 +90,15 @@ class RuleAuditTask:
     mutable state beyond the (frozen) differentials and the base relations.
     """
 
-    __slots__ = ("controller", "rule", "program", "database", "differentials", "engine")
+    __slots__ = (
+        "controller",
+        "rule",
+        "program",
+        "database",
+        "differentials",
+        "engine",
+        "span",
+    )
 
     def __init__(self, controller, rule, program, database, differentials, engine):
         self.controller = controller
@@ -96,6 +107,11 @@ class RuleAuditTask:
         self.database = database
         self.differentials = differentials
         self.engine = engine
+        # Optional pinned pre/post epoch pair (EpochSpan, retained for this
+        # task) making the audit strict under a racing writer; assigned by
+        # the scheduler after construction — process-pool workers rebuild
+        # tasks against their own replicas and audit without one.
+        self.span = None
 
     @property
     def rule_name(self) -> str:
@@ -118,11 +134,32 @@ class RuleAuditTask:
     def run(self) -> Tuple[bool, tuple]:
         """Execute the audit; returns ``(violated, violating_sample)``."""
         from repro.engine.session import DeltaView
+        from repro.errors import EpochUnavailableError
 
-        view = DeltaView(self.database, self.differentials, engine=self.engine)
-        if self.program is not None:
-            return self.controller._program_outcome(self.program, view)
-        return self.controller._is_violated(self.rule, view, self.engine), ()
+        try:
+            view = DeltaView(
+                self.database,
+                self.differentials,
+                engine=self.engine,
+                span=self.span,
+            )
+            if self.program is not None:
+                return self.controller._program_outcome(self.program, view)
+            return self.controller._is_violated(self.rule, view, self.engine), ()
+        except EpochUnavailableError:
+            # The pinned window was quiesced away (an out-of-band bulk
+            # mutation mid-audit); fall back to the live-state audit the
+            # pre-MVCC pipeline always ran.
+            if self.span is None:
+                raise
+            self.release_span()
+            return self.run()
+
+    def release_span(self) -> None:
+        """Drop this task's retained reference on its epoch span, once."""
+        span, self.span = self.span, None
+        if span is not None:
+            span.release()
 
     def __repr__(self) -> str:
         return f"RuleAuditTask({self.rule_name}, {self.kind})"
@@ -345,38 +382,59 @@ class AuditScheduler:
         tasks = self.controller.audit_tasks(self.database, differentials)
         completed: List[AuditOutcome] = []
         delta_sizes = _delta_sizes(differentials)
-        for task in tasks:
-            predicted = (
-                self.predicted_audit_seconds(task, delta_sizes)
-                if asynchronous
-                else None
-            )
-            if (
-                asynchronous
-                and self.executor != "inline"
-                and self._prefer_fanout(task, predicted)
-            ):
-                self.fanned_out += 1
-                if self.executor == "process":
-                    future = self._processes().submit(
-                        task, sequences, mode="async", predicted=predicted
-                    )
-                else:
-                    future = self._pool().submit(
-                        _execute, task, sequences, "async", "thread", predicted
-                    )
-                with self._lock:
-                    self._outstanding.append(future)
-            else:
-                self.ran_inline += 1
-                mode = "async" if asynchronous else "sync"
-                outcome = _execute(task, sequences, mode, "inline", predicted)
-                completed.append(outcome)
-                if asynchronous:
+        # Pin the batch's pre/post epochs so every in-process task audits
+        # exactly the states its commits transitioned between, even while
+        # the owning session keeps committing under the worker threads.
+        # None when the batch's entries are no longer retained (e.g. a
+        # scheduler attached long after the commits); tasks then fall back
+        # to the live-state audit.
+        span = None
+        epochs = getattr(self.database, "epochs", None)
+        if epochs is not None and sequences:
+            span = epochs.pin_span(sequences[0], sequences[-1])
+        try:
+            for task in tasks:
+                predicted = (
+                    self.predicted_audit_seconds(task, delta_sizes)
+                    if asynchronous
+                    else None
+                )
+                if (
+                    asynchronous
+                    and self.executor != "inline"
+                    and self._prefer_fanout(task, predicted)
+                ):
+                    self.fanned_out += 1
+                    if self.executor == "process":
+                        # Process workers rebuild the task against their
+                        # FIFO-replayed replica (already strictly at the
+                        # drain-time state); no span crosses the pipe.
+                        future = self._processes().submit(
+                            task, sequences, mode="async", predicted=predicted
+                        )
+                    else:
+                        if span is not None:
+                            task.span = span.retain()
+                        future = self._pool().submit(
+                            _execute, task, sequences, "async", "thread", predicted
+                        )
                     with self._lock:
-                        self._outstanding.append(outcome)
+                        self._outstanding.append(future)
                 else:
-                    self._record(outcome)
+                    self.ran_inline += 1
+                    if span is not None:
+                        task.span = span.retain()
+                    mode = "async" if asynchronous else "sync"
+                    outcome = _execute(task, sequences, mode, "inline", predicted)
+                    completed.append(outcome)
+                    if asynchronous:
+                        with self._lock:
+                            self._outstanding.append(outcome)
+                    else:
+                        self._record(outcome)
+        finally:
+            if span is not None:
+                span.release()  # the creator's reference; tasks hold their own
         return completed
 
     def wait(self) -> List[AuditOutcome]:
@@ -553,6 +611,10 @@ def _execute(
             seconds=time.perf_counter() - started,
             predicted=predicted,
         )
+    finally:
+        # Unpin the task's epoch window as soon as the verdict exists so
+        # reclamation never waits on verdict *collection*.
+        task.release_span()
 
 
 def _delta_sizes(differentials) -> dict:

@@ -20,6 +20,12 @@ from repro.engine.types import (
 from repro.engine.schema import Attribute, DatabaseSchema, RelationSchema
 from repro.engine.relation import Relation
 from repro.engine.overlay import OverlayRelation
+from repro.engine.epochs import (
+    EpochManager,
+    EpochPin,
+    EpochSpan,
+    SnapshotRelation,
+)
 from repro.engine.commitlog import CommitLog, CommitRecord
 from repro.engine.database import Database, DatabaseSnapshot, Transition
 from repro.engine.transaction import (
@@ -45,6 +51,9 @@ __all__ = [
     "DatabaseSchema",
     "DatabaseSnapshot",
     "Domain",
+    "EpochManager",
+    "EpochPin",
+    "EpochSpan",
     "FLOAT",
     "INT",
     "NULL",
@@ -52,6 +61,7 @@ __all__ = [
     "Relation",
     "RelationSchema",
     "Session",
+    "SnapshotRelation",
     "STRING",
     "Transaction",
     "TransactionManager",

@@ -170,6 +170,17 @@ class CommitLog:
             self._next_sequence = sequence
         return self.append(differentials, pre_time, post_time)
 
+    def advance_to(self, sequence: int) -> None:
+        """Move ``next_sequence`` forward to ``sequence`` (never backward).
+
+        Used when a database is forked from a pinned epoch: the fork keeps
+        only the records below the pin, but its next commit must continue
+        the original numbering so audit cursors and the WAL stay aligned.
+        """
+        with self._lock:
+            if sequence > self._next_sequence:
+                self._next_sequence = sequence
+
     def truncate_through(self, sequence: int) -> int:
         """Drop records with ``record.sequence <= sequence``; return count."""
         with self._lock:

@@ -16,9 +16,10 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Mapping, Optional
 
 from repro.engine.commitlog import CommitLog
+from repro.engine.epochs import EpochManager, PinnedRelations
 from repro.engine.relation import Relation
 from repro.engine.schema import DatabaseSchema, RelationSchema
-from repro.errors import UnknownRelationError
+from repro.errors import UnknownRelationError, WalError
 
 
 class Transition:
@@ -106,11 +107,28 @@ class Database:
         # Optional durable layer under the bounded in-memory log; attached
         # via `attach_wal`, never pickled (file handles).
         self.wal = None
+        # Epoch-based MVCC: commits retain their net delta so pinned
+        # readers (snapshots, audit spans, bare-name query results) see a
+        # stable state reconstructed in O(Δ).  Base relations notify the
+        # manager before every mutation so writes that bypass the delta
+        # path cannot silently invalidate pinned state.
+        self.epochs = EpochManager(self)
+        for relation in self._relations.values():
+            relation._observer = self.epochs
 
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
         state["wal"] = None
+        # Pins and seqlock state are process-local; a deserialized copy
+        # starts with a fresh, empty epoch window.
+        state["epochs"] = None
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.epochs = EpochManager(self)
+        for relation in self._relations.values():
+            relation._observer = self.epochs
 
     # -- relation access ------------------------------------------------------
 
@@ -141,28 +159,48 @@ class Database:
 
         Intended for test fixtures and benchmarks; returns the number of rows
         actually inserted.  Loading does not advance logical time.
+
+        Loading bypasses the delta path, so pinned epochs cannot see
+        *through* it algebraically: outstanding snapshots are materialized
+        at their pinned state and detached first (:meth:`EpochManager.
+        quiesce`), then the bulk mutation runs inside the writer's seqlock
+        window.
         """
-        return self.relation(name).insert_many(rows)
+        self.epochs.quiesce()
+        self.epochs.begin_write()
+        try:
+            return self.relation(name).insert_many(rows)
+        finally:
+            self.epochs.end_write(None)
 
     def add_relation(self, schema: RelationSchema, rows: Iterable[tuple] = ()) -> Relation:
         """Add a new base relation to a live database (DDL helper)."""
         self.schema.add(schema)
         relation = Relation(schema, rows, bag=self.bag)
+        relation._observer = self.epochs
         self._relations[schema.name] = relation
         return relation
 
     # -- snapshots and transitions ----------------------------------------------
 
     def snapshot(self) -> "DatabaseSnapshot":
-        """A frozen copy of the full state, restorable by delta application.
+        """The frozen current state, pinned by epoch — O(Δ), not O(n).
 
-        The snapshot is mapping-compatible (``snapshot["r"]`` is an
-        independent frozen :class:`Relation` copy), so it doubles as a
-        state value for :class:`Transition` and equality checks.
+        Taking a snapshot copies *nothing*: it pins the current epoch and
+        returns a mapping-compatible :class:`DatabaseSnapshot` whose
+        relations are O(Δ) :class:`~repro.engine.epochs.SnapshotRelation`
+        views reconstructing the pinned state from the live relations and
+        the retained commit deltas.  The views are read-only (the state at
+        an epoch is immutable); call ``snapshot["r"].copy()`` for a
+        mutable standalone relation.  :meth:`DatabaseSnapshot.release`
+        drops the pin early; otherwise it is released when the snapshot is
+        garbage-collected.
         """
+        pin = self.epochs.pin()
         return DatabaseSnapshot(
-            {name: rel.copy() for name, rel in self._relations.items()},
+            PinnedRelations(pin, self.relation_names),
             self.logical_time,
+            pin=pin,
         )
 
     def restore(self, snapshot: Mapping) -> None:
@@ -176,7 +214,22 @@ class Database:
         query results keep tracking the restored state.  Accepts either a
         :class:`DatabaseSnapshot` (which also restores logical time) or a
         legacy ``{name: Relation}`` mapping.
+
+        Epoch-pinned snapshots of *this* database restore in O(Δ): the
+        retained commit deltas since the pin are inverted and composed
+        (:meth:`EpochManager.undo_differentials`) instead of diffing every
+        relation row-by-row.  Foreign or unpinned mappings fall back to
+        the generic state diff.
         """
+        pin = getattr(snapshot, "pin", None)
+        if pin is not None and pin._manager is self.epochs:
+            undo = self.epochs.undo_differentials(pin.version)
+            if undo is not None:
+                if undo:
+                    self.apply_deltas(undo, advance_time=False, record=False)
+                if isinstance(snapshot, DatabaseSnapshot):
+                    self.logical_time = snapshot.logical_time
+                return
         differentials: dict = {}
         for name, frozen in snapshot.items():
             current = self.relation(name)
@@ -203,6 +256,45 @@ class Database:
         if isinstance(snapshot, DatabaseSnapshot):
             self.logical_time = snapshot.logical_time
 
+    def fork(self, snapshot: Optional["DatabaseSnapshot"] = None) -> "Database":
+        """An independent plain :class:`Database` frozen at a pinned epoch.
+
+        Copies each relation *at the pinned state* (the live database may
+        keep committing while the copy proceeds — the pin guarantees a
+        consistent cut), and carries over the commit-log records **below**
+        the pin so the fork's log is exactly consistent with its relation
+        states; ``next_sequence`` continues the original numbering.  This
+        is what epoch-forked WAL checkpoints pickle: a checkpointer can
+        fork and serialize without ever stopping the writer.
+        """
+        own = snapshot is None
+        if own:
+            snapshot = self.snapshot()
+        try:
+            epoch = snapshot.epoch
+            clone = Database(self.schema, bag=self.bag)
+            for name in self.relation_names:
+                copied = snapshot[name].copy()
+                copied._observer = clone.epochs
+                clone._relations[name] = copied
+            clone.logical_time = snapshot.logical_time
+            clone.delta_stats.sizes = dict(self.delta_stats.sizes)
+            clone.delta_stats.commits = self.delta_stats.commits
+            if epoch is not None:
+                for record in self.commit_log:
+                    if record.sequence < epoch:
+                        clone.commit_log.append_at(
+                            record.sequence,
+                            record.differentials,
+                            record.pre_time,
+                            record.post_time,
+                        )
+                clone.commit_log.advance_to(epoch)
+            return clone
+        finally:
+            if own:
+                snapshot.release()
+
     def apply_deltas(
         self,
         differentials: Mapping,
@@ -226,30 +318,44 @@ class Database:
         not pollute either).
         """
         pre_time = self.logical_time
-        for name, (plus, minus) in differentials.items():
-            relation = self.relation(name)
-            if minus is not None:
-                delete = relation.delete
-                for row, count in minus.items():
-                    delete(row)
-                    for _ in range(count - 1):  # bag-mode extra occurrences
+        committed = None
+        self.epochs.begin_write()
+        try:
+            for name, (plus, minus) in differentials.items():
+                relation = self.relation(name)
+                if minus is not None:
+                    delete = relation.delete
+                    for row, count in minus.items():
                         delete(row)
-            if plus is not None:
-                insert = relation.insert
-                for row, count in plus.items():
-                    insert(row, _validated=True)
-                    for _ in range(count - 1):
+                        for _ in range(count - 1):  # bag-mode extra occurrences
+                            delete(row)
+                if plus is not None:
+                    insert = relation.insert
+                    for row, count in plus.items():
                         insert(row, _validated=True)
+                        for _ in range(count - 1):
+                            insert(row, _validated=True)
+                if record:
+                    self.delta_stats.observe(name, plus, minus)
+            if advance_time:
+                self.logical_time += 1
             if record:
-                self.delta_stats.observe(name, plus, minus)
-        if advance_time:
-            self.logical_time += 1
-        if record:
-            committed = self.commit_log.append(
-                differentials, pre_time, self.logical_time
+                committed = self.commit_log.append(
+                    differentials, pre_time, self.logical_time
+                )
+        finally:
+            # Retain the batch for pinned readers and release the seqlock;
+            # recorded commits carry their sequence (the public epoch).
+            self.epochs.end_write(
+                differentials,
+                committed.sequence if committed is not None else None,
             )
-            if self.wal is not None:
-                self.wal.append(committed)
+        # Durable append (and its fsync) stays *outside* the seqlock
+        # window so concurrent pinned readers never spin on disk I/O;
+        # the durability ordering is unchanged (in-memory commit first,
+        # WAL append after, exactly as before).
+        if committed is not None and self.wal is not None:
+            self.wal.append(committed)
 
     # -- durability (write-ahead log) ---------------------------------------------
 
@@ -277,6 +383,20 @@ class Database:
         if self.wal is not None:
             self.wal.close()
             self.wal = None
+
+    def checkpoint(self, delta: bool = False):
+        """Write a durable checkpoint; returns its path.
+
+        A full checkpoint pickles an epoch-forked copy of this database
+        (:meth:`fork` — writers are never blocked by serialization); with
+        ``delta=True`` only the net changes since the newest checkpoint
+        are written (a ``.dckpt`` composing onto its parent at recovery).
+        """
+        if self.wal is None:
+            raise WalError("no write-ahead log attached; call attach_wal first")
+        if delta:
+            return self.wal.write_delta_checkpoint(self)
+        return self.wal.write_checkpoint(self)
 
     def replay_record(
         self,
@@ -336,19 +456,28 @@ class Database:
         """
         from repro.engine.indexes import migrate_indexes
 
-        for name, relation in relations.items():
-            if name not in self._relations:
-                raise UnknownRelationError(name)
-            old = self._relations[name]
-            delta = differentials.get(name) if differentials else None
-            if delta is not None:
-                migrate_indexes(old, relation, plus=delta[0], minus=delta[1])
-                self.delta_stats.observe(name, delta[0], delta[1])
-            else:
-                migrate_indexes(old, relation)
-            self._relations[name] = relation
-        if advance_time:
-            self.logical_time += 1
+        # Wholesale replacement is invisible to the delta stream, so
+        # outstanding pins are materialized-and-detached first.
+        self.epochs.quiesce()
+        self.epochs.begin_write()
+        try:
+            for name, relation in relations.items():
+                if name not in self._relations:
+                    raise UnknownRelationError(name)
+                old = self._relations[name]
+                delta = differentials.get(name) if differentials else None
+                if delta is not None:
+                    migrate_indexes(old, relation, plus=delta[0], minus=delta[1])
+                    self.delta_stats.observe(name, delta[0], delta[1])
+                else:
+                    migrate_indexes(old, relation)
+                old._observer = None
+                relation._observer = self.epochs
+                self._relations[name] = relation
+            if advance_time:
+                self.logical_time += 1
+        finally:
+            self.epochs.end_write(None)
 
     # -- hash indexes ----------------------------------------------------------
 
@@ -386,22 +515,44 @@ class Database:
 
 
 class DatabaseSnapshot:
-    """A frozen copy of a database state, mapping-compatible.
+    """A frozen database state, mapping-compatible.
 
     Produced by :meth:`Database.snapshot`; consumed by
     :meth:`Database.restore`, which applies the difference between the live
     state and this snapshot as an in-place frozen delta (the same
     delete/insert path commits use) instead of wholesale relation
     replacement.  Iteration and item access expose the frozen relation
-    copies, so the snapshot also serves anywhere a ``{name: Relation}``
+    views, so the snapshot also serves anywhere a ``{name: Relation}``
     mapping did (e.g. :class:`Transition` states).
+
+    Epoch-pinned snapshots carry the :class:`~repro.engine.epochs.EpochPin`
+    keeping their reconstruction window alive; ``relations`` is then a lazy
+    :class:`~repro.engine.epochs.PinnedRelations` mapping of read-only
+    O(Δ) views.  Legacy eager ``{name: Relation}`` dicts (no pin) remain
+    fully supported.
     """
 
-    __slots__ = ("relations", "logical_time")
+    __slots__ = ("relations", "logical_time", "pin")
 
-    def __init__(self, relations: dict, logical_time: int = 0):
+    def __init__(self, relations, logical_time: int = 0, pin=None):
         self.relations = relations
         self.logical_time = logical_time
+        self.pin = pin
+
+    @property
+    def epoch(self) -> Optional[int]:
+        """The pinned commit-log epoch, or None for eager snapshots."""
+        return self.pin.epoch if self.pin is not None else None
+
+    def release(self) -> None:
+        """Drop the epoch pin (idempotent; a no-op for eager snapshots).
+
+        Relations already read through the snapshot stay valid; fresh
+        reads of never-touched relations may fail once the pinned epoch's
+        deltas are reclaimed.
+        """
+        if self.pin is not None:
+            self.pin.release()
 
     def __getitem__(self, name: str) -> Relation:
         return self.relations[name]

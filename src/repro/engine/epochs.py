@@ -1,0 +1,1139 @@
+"""Epoch-based MVCC: O(Δ) pinned snapshots over the live delta stream.
+
+Every committed transaction already *is* its net differential
+(:class:`~repro.engine.commitlog.CommitRecord`), and commits apply that
+differential to base relations in place.  This module turns that stream
+into multi-version concurrency control without ever copying a relation:
+
+* The database carries one :class:`EpochManager`.  Each mutation batch
+  (``apply_deltas`` — recorded commits and unrecorded restores alike)
+  advances an internal *version* and retains the batch's net differentials
+  in an entry list.  For recorded commits the entry also carries the commit
+  sequence number — the ``CommitLog`` sequence *is* the public epoch
+  counter.
+* A reader :meth:`~EpochManager.pin`\\ s the current epoch.  Relations
+  read through the pin (:class:`SnapshotRelation`) present the state *as of
+  the pin*, reconstructed algebraically as ``live − suffixΔ⁺ + suffixΔ⁻``:
+  an :class:`~repro.engine.overlay.OverlayRelation` whose base is the live
+  relation and whose delta is the *inverse* of every commit after the pin.
+  Keeping a snapshot is O(Δ-since-pin), never O(|R|).
+* Entries are reclaimed once no pin needs them (refcounted), with a small
+  bounded window retained for late pins; :attr:`EpochManager.reclaimed`
+  counts reclamations for observability.
+
+Writer/reader coordination is a *seqlock*, not a mutex: the single writer
+(the owning session's commit thread) bumps a stamp to odd before mutating
+and back to even after retaining the entry; readers snapshot the stamp,
+compute, and retry iff the stamp moved.  Commits therefore never wait on
+readers in the common path, and readers never block commits — the
+"lock-free" in lock-free async audits.  The one bounded exception: a
+reader that loses the validation race :data:`READ_RETRY_LIMIT` times
+(a large merge under a continuously-committing writer would otherwise
+starve) takes the writer's gate for a single reconstruction pass, and
+the one-off whole-relation materialization takes the gate directly —
+an O(n) compute loses the race whenever any commit lands during it, so
+optimism there is wasted work, while the gate is a single uncontended
+lock acquire when the writer is idle.
+Snapshot-internal synchronization (two audit threads catching up the same
+snapshot's undo delta) uses a snapshot-local lock that the writer never
+touches.
+
+A snapshot's first whole-relation read (a scan, ``_rows``, equality)
+materializes the merged state once and caches it permanently — the state
+at a pinned epoch is immutable — after which the snapshot is *detached*:
+reads stop consulting the live base entirely and answer from the frozen
+dict.  :meth:`EpochManager.quiesce` forces that detachment for every
+outstanding pin, which is how out-of-band bulk mutations
+(``Database.load`` / ``install``) keep old pins correct.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.engine.overlay import OverlayIndex, OverlayRelation, _DeltaBuckets
+from repro.engine.relation import Relation
+from repro.errors import EpochUnavailableError, UnknownRelationError
+
+#: Mutation batches retained for late pins when nothing is pinned; mirrors
+#: the commit log's default capacity so "still in the commit log" implies
+#: "still pinnable" in the common configuration.
+DEFAULT_RETAIN = 256
+
+#: Optimistic seqlock attempts before a starving reader falls back to the
+#: write gate.  Large merges under a continuously-committing writer can
+#: lose the validation race forever; the fallback bounds reader latency
+#: at the cost of stalling the writer for one reconstruction.  Kept small:
+#: every lost round re-runs the full compute, so for expensive reads the
+#: retry budget is wasted work and the gate is the faster path anyway.
+READ_RETRY_LIMIT = 2
+
+
+def fold_inverse(plus: Relation, minus: Relation, delta: tuple) -> None:
+    """Fold one newer commit's *inverse* into running undo differentials.
+
+    ``delta`` is the commit's ``(Δ⁺, Δ⁻)`` for one relation (either side
+    may be None).  With the undo pair held as net relations, composing
+    means ``plus += Δ⁻`` and ``minus += Δ⁺`` under signed cancellation —
+    a row the commit re-inserted after the undo re-added it just cancels.
+    Cancel-before-insert keeps the overlay invariants (no row on both
+    sides, ``minus ⊆ base``) intact.
+    """
+    dplus, dminus = delta
+    if dminus is not None:
+        for row, count in dminus.items():
+            remaining = count - minus.delete_count(row, count)
+            if remaining:
+                plus.insert_count(row, remaining, _validated=True)
+    if dplus is not None:
+        for row, count in dplus.items():
+            remaining = count - plus.delete_count(row, count)
+            if remaining:
+                minus.insert_count(row, remaining, _validated=True)
+
+
+class EpochEntry:
+    """One applied mutation batch: the version it produced and its delta.
+
+    ``sequence`` is the commit-log sequence for recorded commits, or None
+    for unrecorded mutations (snapshot restore, recovery replay), which
+    advance the version — pinned readers must see through them too — but
+    have no public epoch number.
+    """
+
+    __slots__ = ("version", "sequence", "differentials")
+
+    def __init__(self, version: int, sequence: Optional[int], differentials: dict):
+        self.version = version
+        self.sequence = sequence
+        self.differentials = differentials
+
+    def __repr__(self) -> str:
+        seq = f"#{self.sequence}" if self.sequence is not None else "unrecorded"
+        return f"EpochEntry(v{self.version}, {seq}, {len(self.differentials)} rel)"
+
+
+class EpochManager:
+    """Per-database epoch bookkeeping: seqlock, retained deltas, pins."""
+
+    def __init__(self, database, retain: int = DEFAULT_RETAIN):
+        self._database = database
+        self.retain = max(int(retain), 1)
+        # Seqlock stamp: even = stable, odd = a mutation batch is in
+        # flight.  Written only by the single commit thread.
+        self._stamp = 0
+        # Starvation fallback: the writer holds this across its (short)
+        # critical section; a reader whose optimistic read keeps losing
+        # the seqlock race (large merge under a hot writer) takes it once
+        # to compute against a stable base.  Uncontended in the common
+        # path — commits only ever wait for a reader that has already
+        # retried ``READ_RETRY_LIMIT`` times.
+        self._write_gate = threading.Lock()
+        # Internal version: +1 per non-empty mutation batch.  Distinct
+        # from the public epoch (the commit sequence) because unrecorded
+        # mutations move state without consuming a sequence number.
+        self._version = 0
+        # Versions below this cannot mint new snapshot relations (the
+        # quiesce fence: an out-of-band bulk mutation happened since).
+        self._floor = 0
+        self._entries: List[EpochEntry] = []
+        self._pins: Dict[int, int] = {}
+        # RLock: EpochPin.__del__ may run from the GC at any point,
+        # including while this thread already holds the lock.
+        self._lock = threading.RLock()
+        # Live snapshot relations and pins, detached/fenced by quiesce().
+        # Relations are tracked by identity (Relation is unhashable by
+        # design, and value-equal snapshots must not collapse), pins in a
+        # plain WeakSet.
+        self._issued: Dict[int, "weakref.ref"] = {}
+        self._issued_pins: "weakref.WeakSet" = weakref.WeakSet()
+        # True while no pin, snapshot view, or retained entry could be
+        # invalidated by an out-of-band mutation: note_mutation() is then
+        # O(1).  Cleared whenever one appears; restored by quiesce().
+        self._quiescent = True
+        # Zero-copy materializations: name -> weakrefs of snapshots whose
+        # ``_materialized`` IS the live row dict (undo was empty at merge
+        # time).  The writer's next mutation of that relation swaps the
+        # live relation onto a private copy, leaving the shared dict
+        # frozen for the sharers.  Mutated only under the write gate.
+        self._cow_shares: Dict[str, List["weakref.ref"]] = {}
+        # Materialization recycling: name -> (version, rows, owner refs).
+        # Once every owner of a *private* merged dict is unreachable, the
+        # next materialization adopts the dict and rolls it forward O(Δ)
+        # through the retained entries instead of copying O(n) — in the
+        # steady state (a reader re-pinning under a live writer) neither
+        # side ever copies.  Guarded by ``_lock``.
+        self._mat_cache: Dict[str, tuple] = {}
+        self.reclaimed = 0
+        self.pins_taken = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The current internal version (mutation batches applied)."""
+        return self._version
+
+    @property
+    def current_epoch(self) -> int:
+        """The public epoch counter: the next commit-log sequence number."""
+        return self._database.commit_log.next_sequence
+
+    def retained(self) -> int:
+        """Mutation-batch entries currently held for pinned/late readers."""
+        return len(self._entries)
+
+    def pinned_versions(self) -> tuple:
+        with self._lock:
+            return tuple(sorted(self._pins))
+
+    # -- writer protocol (single-threaded: the owning commit thread) -----------
+
+    def begin_write(self) -> None:
+        """Enter the mutation critical section (stamp goes odd)."""
+        self._write_gate.acquire()
+        self._stamp += 1
+
+    def end_write(self, differentials, sequence: Optional[int] = None) -> None:
+        """Leave the critical section, retaining the batch's net delta.
+
+        ``differentials`` is the applied ``{base: (Δ⁺, Δ⁻)}`` map (sides
+        may be None or empty; the map itself may be None for delta-free
+        mutations); ``sequence`` is the commit-log sequence for recorded
+        commits.  Retained by reference — differentials are frozen once
+        applied, the same contract the commit log relies on.
+        """
+        try:
+            normalized: dict = {}
+            for base, (plus, minus) in dict(differentials or {}).items():
+                if plus is not None and not len(plus):
+                    plus = None
+                if minus is not None and not len(minus):
+                    minus = None
+                if plus is not None or minus is not None:
+                    normalized[base] = (plus, minus)
+            if normalized:
+                self._version += 1
+                self._entries.append(
+                    EpochEntry(self._version, sequence, normalized)
+                )
+                self._quiescent = False  # later direct mutations must fence
+                with self._lock:
+                    self._trim_locked()
+        finally:
+            self._stamp += 1
+            self._write_gate.release()
+
+    def _trim_locked(self) -> None:
+        """Drop entries below every pin and the unpinned retention window.
+
+        Readers may be iterating the entry list concurrently, so the list
+        reference is swapped (copy-on-trim) rather than mutated in place;
+        a reader holding the old reference simply sees a superset.
+        """
+        floor = self._version - self.retain
+        if self._pins:
+            floor = min(floor, min(self._pins))
+        entries = self._entries
+        drop = 0
+        for entry in entries:
+            if entry.version <= floor:
+                drop += 1
+            else:
+                break
+        if drop:
+            self._entries = entries[drop:]
+            self.reclaimed += drop
+
+    # -- reader protocol --------------------------------------------------------
+
+    def read_begin(self) -> int:
+        """A stable (even) stamp; waits out the writer's critical section.
+
+        An odd stamp means the gate is held, so blocking on the gate wakes
+        the reader the moment the batch lands — a bare GIL yield here can
+        stall for whole scheduler intervals against a CPU-bound writer.
+        """
+        while True:
+            stamp = self._stamp
+            if not (stamp & 1):
+                return stamp
+            gate = self._write_gate
+            gate.acquire()
+            gate.release()
+
+    def read_validate(self, stamp: int) -> bool:
+        return self._stamp == stamp
+
+    # -- pinning ----------------------------------------------------------------
+
+    def _available_locked(self, version: int) -> bool:
+        if version < self._floor:
+            return False
+        if version >= self._version:
+            return version == self._version
+        entries = self._entries
+        # Entry versions are contiguous (trimmed only from the front), so
+        # one front check proves every suffix entry > ``version`` survives.
+        return bool(entries) and entries[0].version <= version + 1
+
+    def pin(self) -> "EpochPin":
+        """Pin the current epoch; reads through the pin see it forever."""
+        while True:
+            # (version, epoch) must come from one stable interval — the
+            # seqlock brackets both the relation mutations and the commit
+            # log append, so an even-stamp double read is atomic.
+            stamp = self.read_begin()
+            version = self._version
+            epoch = self._database.commit_log.next_sequence
+            if not self.read_validate(stamp):
+                continue
+            with self._lock:
+                self._pins[version] = self._pins.get(version, 0) + 1
+                if self._available_locked(version):
+                    self.pins_taken += 1
+                    pin = EpochPin(self, version, epoch)
+                    self._issued_pins.add(pin)
+                    self._quiescent = False
+                    return pin
+                # Raced with enough commits to lose the window; rare.
+                self._unpin_locked(version)
+
+    def pin_span(self, first_sequence: int, last_sequence: int):
+        """Pins bracketing commits ``[first, last]``: an EpochSpan or None.
+
+        ``pre`` is the state the first commit applied to; ``post`` is the
+        state the last commit produced.  Returns None when the entries are
+        no longer retained (e.g. commits older than the manager), letting
+        callers fall back to live-state audits.
+        """
+        with self._lock:
+            pre_version = post_version = None
+            for entry in self._entries:
+                if entry.sequence is None:
+                    continue
+                if entry.sequence == first_sequence:
+                    pre_version = entry.version - 1
+                if entry.sequence == last_sequence:
+                    post_version = entry.version
+            if pre_version is None or post_version is None:
+                return None
+            if not self._available_locked(pre_version):
+                return None
+            self._pins[pre_version] = self._pins.get(pre_version, 0) + 1
+            self._pins[post_version] = self._pins.get(post_version, 0) + 1
+            self.pins_taken += 2
+            pre = EpochPin(self, pre_version, first_sequence)
+            post = EpochPin(self, post_version, last_sequence + 1)
+            self._issued_pins.add(pre)
+            self._issued_pins.add(post)
+            self._quiescent = False
+        return EpochSpan(pre, post)
+
+    def _unpin_locked(self, version: int) -> None:
+        count = self._pins.get(version, 0) - 1
+        if count <= 0:
+            self._pins.pop(version, None)
+        else:
+            self._pins[version] = count
+
+    def _release(self, version: int) -> None:
+        with self._lock:
+            self._unpin_locked(version)
+            # Reclamation happens opportunistically here and on every
+            # write; both paths swap the list, never mutate it.
+            self._trim_locked()
+
+    def snapshot_relation(self, name: str, pin: "EpochPin") -> "SnapshotRelation":
+        """The state of base relation ``name`` as of ``pin``."""
+        live = self._database.relation(name)
+        with self._lock:
+            if not self._available_locked(pin.version):
+                raise EpochUnavailableError(pin.epoch)
+            relation = SnapshotRelation(self, pin, name, live)
+            issued, key = self._issued, id(relation)
+            issued[key] = weakref.ref(
+                relation, lambda _ref, issued=issued, key=key: issued.pop(key, None)
+            )
+        return relation
+
+    def undo_differentials(self, version: int) -> Optional[dict]:
+        """Net ``{base: (Δ⁺, Δ⁻)}`` reverting the live state to ``version``.
+
+        The inverse of every retained entry after ``version``, composed
+        with signed cancellation — applying it through ``apply_deltas``
+        restores the pinned state in O(Δ-since-pin).  Returns None when the
+        entries are no longer retained (fall back to a state diff), ``{}``
+        when nothing changed.  Writer-thread only.
+        """
+        with self._lock:
+            if not self._available_locked(version):
+                return None
+            entries = [e for e in self._entries if e.version > version]
+        undo: Dict[str, tuple] = {}
+        database = self._database
+        for entry in entries:
+            for name, delta in entry.differentials.items():
+                pair = undo.get(name)
+                if pair is None:
+                    schema = database.relation_schema(name)
+                    pair = (
+                        Relation(schema, bag=database.bag),
+                        Relation(schema, bag=database.bag),
+                    )
+                    undo[name] = pair
+                fold_inverse(pair[0], pair[1], delta)
+        return {
+            name: (plus if len(plus) else None, minus if len(minus) else None)
+            for name, (plus, minus) in undo.items()
+            if len(plus) or len(minus)
+        }
+
+    # -- out-of-band mutation fence ---------------------------------------------
+
+    def note_mutation(self, relation=None) -> None:
+        """A base relation is about to mutate — possibly out-of-band.
+
+        Called by :class:`~repro.engine.relation.Relation` before every
+        row change on an observed relation.  Mutations inside the writer's
+        seqlock window are the commit delta path and return immediately;
+        anything else (direct ``relation.insert(...)`` bypassing
+        ``apply_deltas``, fixture code) silently invalidates the algebraic
+        reconstruction, so the outstanding pins are materialized at their
+        pinned state and detached *before* the mutation lands.  O(1) when
+        nothing is pinned or retained.
+
+        Either way, if a snapshot shares ``relation``'s row dict zero-copy
+        (see :meth:`_register_share`) the live relation is moved onto a
+        private copy first — the sharers keep the old dict, frozen from
+        here on.  Ordered *after* the quiesce fence so snapshots that
+        materialize (and possibly share) during the fence are covered by
+        the same swap.
+        """
+        if not (self._stamp & 1 or self._quiescent):
+            self.quiesce()
+        if relation is not None and self._cow_shares:
+            self._cow_swap(relation)
+
+    def _register_share(self, name: str, snapshot: "SnapshotRelation"):
+        """Record that ``snapshot._materialized`` is the live dict itself.
+
+        Safe from two contexts: under the write gate (serialized against
+        :meth:`_cow_swap` directly), or inside an optimistic seqlock
+        round — the GIL makes the append atomic, and the caller either
+        validates the stamp afterwards (so the registration
+        happened-before any later commit's swap check) or unregisters
+        the returned ref.  Returns the weakref for unregistration.
+        """
+        refs = self._cow_shares.setdefault(name, [])
+        if len(refs) >= 64:  # prune dead sharers from quiet pin loops
+            refs[:] = [ref for ref in refs if ref() is not None]
+        ref = weakref.ref(snapshot)
+        refs.append(ref)
+        return ref
+
+    def _unregister_share(self, name: str, ref) -> None:
+        refs = self._cow_shares.get(name)
+        if refs is not None:
+            try:
+                refs.remove(ref)
+            except ValueError:
+                pass  # already popped by a swap
+
+    def _adopt_cached(self, name: str, upto: int, snapshot) -> Optional[dict]:
+        """Recycle a dead owner's merged dict, rolled forward to ``upto``.
+
+        Returns the adopted (now exclusively owned) row dict, or None
+        when no cached dict exists, an owner is still reachable, the
+        cached state is newer than ``upto`` (states cannot be rewound),
+        or the connecting entries were reclaimed.  The roll-forward is
+        pure private-dict + frozen-entry arithmetic, so it needs no
+        seqlock bracket — concurrent commits cannot perturb it.
+        """
+        with self._lock:
+            cached = self._mat_cache.pop(name, None)
+            if cached is None:
+                return None
+            version, rows, owners = cached
+            if any(ref() is not None for ref in owners):
+                self._mat_cache[name] = cached  # still shared; retry later
+                return None
+            if version > upto:
+                self._mat_cache[name] = cached  # a newer reader may chain
+                return None
+            entries = self._entries
+            if version < upto and (
+                not entries or entries[0].version > version + 1
+            ):
+                return None  # gap: the chain is broken for good
+        if version < upto:
+            for entry in entries:
+                if entry.version <= version or entry.version > upto:
+                    continue
+                delta = entry.differentials.get(name)
+                if delta is None:
+                    continue
+                plus, minus = delta
+                if minus is not None:
+                    for row, count in minus._rows.items():
+                        remaining = rows.get(row, 0) - count
+                        if remaining > 0:
+                            rows[row] = remaining
+                        else:
+                            rows.pop(row, None)
+                if plus is not None:
+                    for row, count in plus._rows.items():
+                        rows[row] = rows.get(row, 0) + count
+        with self._lock:
+            self._mat_cache[name] = (upto, rows, [weakref.ref(snapshot)])
+        return rows
+
+    def _cow_swap(self, relation) -> None:
+        name = relation.schema.name
+        if name not in self._cow_shares:
+            return
+        if self._stamp & 1:
+            # Commit path: this thread already holds the write gate.
+            self._cow_swap_gated(relation, name)
+        else:
+            with self._write_gate:
+                self._cow_swap_gated(relation, name)
+
+    def _cow_swap_gated(self, relation, name: str) -> None:
+        refs = self._cow_shares.pop(name, ())
+        live = [ref for ref in refs if ref() is not None]
+        if not live:
+            return
+        old_rows = relation._rows
+        relation._cow_detach_rows()
+        if self._stamp & 1:
+            # Commit path: the abandoned dict is exactly the state at the
+            # current version — seed the recycling cache so the next
+            # materialization (once the sharers die) rolls it forward
+            # O(Δ) instead of copying.  Out-of-band mutations don't bump
+            # the version, so their abandoned dicts are not chainable.
+            with self._lock:
+                self._mat_cache[name] = (self._version, old_rows, live)
+
+    def quiesce(self) -> int:
+        """Detach every outstanding pin before an unobserved bulk mutation.
+
+        ``Database.load`` / ``install`` mutate or replace relations without
+        going through the delta path, so the algebraic reconstruction
+        breaks for any snapshot still reading through the live base.  Every
+        live pin's relations are materialized *now* (at their pinned state,
+        pre-mutation) and permanently detached; the entry list is fenced so
+        stale pins cannot mint new snapshot relations.  Returns the number
+        of snapshot relations detached.
+        """
+        for pin in list(self._issued_pins):
+            if pin._released:
+                continue
+            for name in self._database.relation_names:
+                try:
+                    # The fence dict holds the snapshot strongly: once
+                    # detached it cannot be reconstructed from entries, so
+                    # the pin itself must keep it alive.
+                    pin._fenced[name] = pin.relation(name)
+                except (EpochUnavailableError, UnknownRelationError):
+                    continue
+        detached = 0
+        for ref in list(self._issued.values()):
+            relation = ref()
+            if relation is not None:
+                relation._detach()
+                detached += 1
+        with self._lock:
+            self._issued = {}
+            self._mat_cache = {}  # cached states predate the fence
+            self.reclaimed += len(self._entries)
+            self._entries = []
+            self._version += 1
+            self._floor = self._version
+            self._quiescent = True
+        return detached
+
+    def __repr__(self) -> str:
+        return (
+            f"EpochManager(v{self._version}, epoch=#{self.current_epoch}, "
+            f"{len(self._entries)} retained, {len(self._pins)} pinned, "
+            f"{self.reclaimed} reclaimed)"
+        )
+
+
+class EpochPin:
+    """A refcounted claim on one epoch; holds its reconstruction window."""
+
+    __slots__ = (
+        "_manager",
+        "version",
+        "epoch",
+        "_released",
+        "_relations",
+        "_fenced",
+        "__weakref__",
+    )
+
+    def __init__(self, manager: EpochManager, version: int, epoch: int):
+        self._manager = manager
+        self.version = version
+        #: Public epoch number: the commit-log sequence boundary this pin
+        #: observes (commits with sequence < epoch are visible).
+        self.epoch = epoch
+        self._released = False
+        # Snapshot relations are cached per pin so every reader of the pin
+        # (e.g. all audit tasks of one batch) shares one materialization.
+        # Weak values: the snapshot holds the pin (never the reverse), so
+        # a dropped snapshot is reclaimed by refcounting immediately — a
+        # strong cache here would form a cycle that lingers until the
+        # cyclic GC runs, keeping dead materializations "live" and
+        # blocking the manager's dict recycling.
+        self._relations: "weakref.WeakValueDictionary" = (
+            weakref.WeakValueDictionary()
+        )
+        # Exception: snapshots materialized by the quiesce fence are held
+        # strongly — once detached they cannot be reconstructed from the
+        # entry list, so the pin is their only anchor.  Fencing is the
+        # rare out-of-band path; the steady-state commit path never fills
+        # this dict, so the cycle it forms stays off the hot path.
+        self._fenced: Dict[str, "SnapshotRelation"] = {}
+
+    def relation(self, name: str) -> "SnapshotRelation":
+        relation = self._fenced.get(name)
+        if relation is not None:
+            return relation
+        relation = self._relations.get(name)
+        if relation is None:
+            relation = self._manager.snapshot_relation(name, self)
+            self._relations[name] = relation
+        return relation
+
+    def release(self) -> None:
+        """Idempotent; reclamation may drop this epoch's entries after.
+
+        Already-materialized snapshot relations stay readable forever; a
+        *fresh* whole-relation read after release may raise
+        :class:`~repro.errors.EpochUnavailableError` once the entries are
+        reclaimed.
+        """
+        if not self._released:
+            self._released = True
+            self._manager._release(self.version)
+
+    def __del__(self):  # safety net: GC'd pins must not retain entries
+        try:
+            self.release()
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+
+    def __enter__(self) -> "EpochPin":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "released" if self._released else "held"
+        return f"EpochPin(epoch=#{self.epoch}, v{self.version}, {state})"
+
+
+class EpochSpan:
+    """A shared pre/post pin pair bracketing one audit batch.
+
+    Audit tasks of the same batch resolve bare names against
+    :meth:`post_relation` and ``R@old`` against :meth:`pre_relation`, so
+    every rule in the batch audits exactly the states its commits
+    transitioned between, no matter when the worker thread runs.  The span
+    is refcounted across the batch's tasks; the last release drops both
+    pins.
+    """
+
+    __slots__ = ("pre", "post", "_refs", "_lock")
+
+    def __init__(self, pre: EpochPin, post: EpochPin):
+        self.pre = pre
+        self.post = post
+        self._refs = 1
+        self._lock = threading.Lock()
+
+    def retain(self) -> "EpochSpan":
+        with self._lock:
+            self._refs += 1
+        return self
+
+    def release(self) -> None:
+        with self._lock:
+            self._refs -= 1
+            drop = self._refs == 0
+        if drop:
+            self.pre.release()
+            self.post.release()
+
+    def pre_relation(self, name: str) -> "SnapshotRelation":
+        return self.pre.relation(name)
+
+    def post_relation(self, name: str) -> "SnapshotRelation":
+        return self.post.relation(name)
+
+    def __repr__(self) -> str:
+        return f"EpochSpan(#{self.pre.epoch} -> #{self.post.epoch})"
+
+
+class PinnedRelations:
+    """Lazy ``{name: SnapshotRelation}`` mapping over one pin.
+
+    Backs an epoch-pinned :class:`~repro.engine.database.DatabaseSnapshot`:
+    taking the snapshot creates *nothing* per relation; each relation's
+    O(Δ) snapshot view is minted on first access and cached on the pin.
+    """
+
+    __slots__ = ("_pin", "_names")
+
+    def __init__(self, pin: EpochPin, names: tuple):
+        self._pin = pin
+        self._names = names
+
+    def __getitem__(self, name: str) -> "SnapshotRelation":
+        if name not in self._names:
+            raise KeyError(name)
+        return self._pin.relation(name)
+
+    def get(self, name: str, default=None):
+        if name not in self._names:
+            return default
+        return self._pin.relation(name)
+
+    def __contains__(self, name) -> bool:
+        return name in self._names
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def keys(self) -> tuple:
+        return self._names
+
+    def values(self):
+        return (self._pin.relation(name) for name in self._names)
+
+    def items(self):
+        return ((name, self._pin.relation(name)) for name in self._names)
+
+    def __repr__(self) -> str:
+        return f"PinnedRelations({self._pin!r}, {len(self._names)} relation(s))"
+
+
+class SnapshotRelation(OverlayRelation):
+    """One base relation frozen at a pinned epoch, reconstructed O(Δ).
+
+    An overlay whose *base* is the live relation and whose delta is the
+    running **inverse** of every commit after the pin: ``plus`` re-adds
+    rows later commits deleted, ``minus`` hides rows they inserted.  The
+    overlay invariants hold by construction (:func:`fold_inverse`), so
+    every inherited read answers correctly; reads go through a seqlock
+    retry loop (:meth:`_read`) that first catches the undo delta up to the
+    newest committed version, then validates nothing moved mid-compute.
+
+    Read-only: the state at an epoch is immutable, and the first
+    whole-relation materialization is therefore cached permanently,
+    detaching the snapshot from the live base for good.
+    """
+
+    __slots__ = (
+        "_manager",
+        "_pin",
+        "_name",
+        "_synced",
+        "_detached",
+        "_sync_lock",
+        "__weakref__",
+    )
+
+    def __init__(self, manager: EpochManager, pin: EpochPin, name: str, live: Relation):
+        plus = Relation(live.schema, bag=live.bag)
+        minus = Relation(live.schema, bag=live.bag)
+        OverlayRelation.__init__(self, live, plus, minus)
+        self._manager = manager
+        self._pin = pin  # keeps the reconstruction window alive
+        self._name = name
+        self._synced = pin.version
+        self._detached = False
+        # Serializes snapshot-internal catch-up between concurrent reader
+        # threads; the writer never takes it.  RLock: reads nest (e.g. an
+        # index probe membership-checks back through the relation).
+        self._sync_lock = threading.RLock()
+
+    # -- reconstruction ---------------------------------------------------------
+
+    def _sync_locked(self) -> None:
+        """Catch the undo delta up to the newest retained entry."""
+        entries = self._manager._entries
+        synced = self._synced
+        if entries and entries[0].version > synced + 1:
+            # The entries between our pin and the retained window were
+            # reclaimed — only possible once the pin is released.
+            raise EpochUnavailableError(self._pin.epoch)
+        if not entries:
+            if self._manager._version > synced:
+                raise EpochUnavailableError(self._pin.epoch)
+            return
+        name = self._name
+        for entry in entries:
+            if entry.version <= synced:
+                continue
+            delta = entry.differentials.get(name)
+            if delta is not None:
+                fold_inverse(self.plus, self.minus, delta)
+                self._materialized = None
+            synced = entry.version
+        self._synced = synced
+
+    def _read(self, compute: Callable):
+        """Run ``compute`` against a consistent pinned view (seqlock retry).
+
+        Optimistic first: snapshot the stamp, sync the undo delta,
+        compute, and accept iff the stamp never moved.  A compute that
+        keeps losing that race (a large merge under a hot writer would
+        otherwise starve forever) falls back to holding the manager's
+        write gate for one pass — the only point where a reader can make
+        the writer wait, and it is bounded by a single reconstruction.
+        """
+        if self._materialized is not None or self._detached:
+            return compute()
+        manager = self._manager
+        for _attempt in range(READ_RETRY_LIMIT):
+            stamp = manager.read_begin()
+            with self._sync_lock:
+                if self._materialized is not None or self._detached:
+                    return compute()
+                self._sync_locked()
+                try:
+                    value = compute()
+                except RuntimeError:
+                    # The live base mutated mid-iteration; retry on the
+                    # next stable stamp.
+                    continue
+            if manager.read_validate(stamp):
+                return value
+        with manager._write_gate:  # stamp is even and frozen while held
+            with self._sync_lock:
+                if self._materialized is None and not self._detached:
+                    self._sync_locked()
+                return compute()
+
+    @property
+    def _rows(self) -> dict:
+        """The merged pinned state, materialized once and frozen forever."""
+        rows = self._materialized
+        if rows is None:
+            rows = self._materialize()
+        return rows
+
+    def _materialize(self) -> dict:
+        """Merge once under the seqlock, then freeze the result.
+
+        Same optimistic-then-gated shape as :meth:`_read`, with two
+        twists.  Only the O(1) zero-copy share path runs optimistically:
+        an O(n) copy-merge loses the validation race whenever any commit
+        lands during the copy, so with a non-empty undo the gate is the
+        faster path outright.  And a share registered during an
+        optimistic round whose validation then fails is unregistered
+        again — the writer may have mutated the adopted dict before
+        seeing the registration, so the round's result is discarded and
+        must not trigger a copy-on-write swap later.
+        """
+        manager = self._manager
+        rows = None
+        for _attempt in range(READ_RETRY_LIMIT):
+            stamp = manager.read_begin()
+            with self._sync_lock:
+                if self._materialized is not None or self._detached:
+                    return self._merge_locked()[0]
+                self._sync_locked()
+                if self.plus._rows or self.minus._rows:
+                    break  # O(n) merge: optimism is doomed, go gated
+                value, share = self._merge_locked()  # recycle or share
+            if share is None:
+                # Recycled dict: private arithmetic, valid regardless of
+                # concurrent commits — no validation needed.
+                rows = value
+                break
+            if manager.read_validate(stamp):
+                rows = value
+                break
+            manager._unregister_share(self._name, share)
+        if rows is None:
+            with manager._write_gate:  # stamp frozen even while held
+                with self._sync_lock:
+                    if self._materialized is None and not self._detached:
+                        self._sync_locked()
+                    rows = self._merge_locked()[0]
+        with self._sync_lock:
+            if self._materialized is None:
+                self._materialized = rows
+            return self._materialized
+
+    def _merge_locked(self):
+        """``(merged rows, share ref or None)``; caller holds the seqlock
+        bracket (or the write gate) and ``_sync_lock``."""
+        if self._materialized is not None:
+            return self._materialized, None
+        # Empty undo: the pinned state IS the current live state.  Best
+        # case a dead predecessor's merged dict is recycled and rolled
+        # forward O(Δ); otherwise adopt the live dict zero-copy — the
+        # manager swaps the live relation onto a private copy before its
+        # next mutation (copy-on-write), so the adopted dict is frozen
+        # at this state.  Either way snapshotting a quiet relation never
+        # copies, and the one O(n) copy is paid by the writer only if
+        # and when it mutates a still-shared relation again.
+        if not self.plus._rows and not self.minus._rows:
+            rows = self._manager._adopt_cached(self._name, self._synced, self)
+            if rows is not None:
+                return rows, None
+            ref = self._manager._register_share(self._name, self)
+            return self.base._rows, ref
+        # C-speed copy of the live dict corrected by the O(Δ) undo — never
+        # a Python-level per-row merge of the whole relation.
+        rows = dict(self.base._rows)
+        minus = self.minus._rows
+        if minus:
+            for row, count in minus.items():
+                remaining = rows.get(row, 0) - count
+                if remaining > 0:
+                    rows[row] = remaining
+                else:
+                    rows.pop(row, None)
+        plus = self.plus._rows
+        if plus:
+            for row, count in plus.items():
+                rows[row] = rows.get(row, 0) + count
+        return rows, None
+
+    def _detach(self) -> None:
+        """Materialize at the pinned state and stop reading the live base."""
+        self._rows  # property access performs the one-off materialization
+        self._detached = True
+
+    # -- read protocol ----------------------------------------------------------
+    #
+    # Each override answers from the frozen dict once materialized and
+    # otherwise runs the inherited overlay arithmetic inside the seqlock
+    # retry loop.  Whole-relation consumers (__iter__, items, filtered,
+    # sorted_rows, equality) inherit from Relation and hit ``_rows``.
+
+    def __len__(self) -> int:
+        if self._materialized is not None:
+            return Relation.__len__(self)
+        return self._read(lambda: OverlayRelation.__len__(self))
+
+    def __contains__(self, row) -> bool:
+        if self._materialized is not None:
+            return Relation.__contains__(self, row)
+        return self._read(lambda: OverlayRelation.__contains__(self, row))
+
+    def __bool__(self) -> bool:
+        if self._materialized is not None:
+            return Relation.__bool__(self)
+        return self._read(lambda: OverlayRelation.__bool__(self))
+
+    def multiplicity(self, row) -> int:
+        if self._materialized is not None:
+            return Relation.multiplicity(self, row)
+        return self._read(lambda: OverlayRelation.multiplicity(self, row))
+
+    def distinct_count(self) -> int:
+        if self._materialized is not None:
+            return Relation.distinct_count(self)
+        return self._read(lambda: OverlayRelation.distinct_count(self))
+
+    def rows_and_counts(self):
+        if self._materialized is not None:
+            return Relation.rows_and_counts(self)
+        return self._read(lambda: OverlayRelation.rows_and_counts(self))
+
+    def column_batch(self):
+        if self._materialized is None and not self._detached:
+            # Quiet snapshots share the live base's *already cached* batch
+            # (immutable once built); never build one on the base from a
+            # reader thread — that would race the writer's invalidation.
+            def borrow():
+                if not self.plus._rows and not self.minus._rows:
+                    return self.base._batch
+                return None
+
+            batch = self._read(borrow)
+            if batch is not None:
+                return batch
+        return Relation.column_batch(self)  # builds over the frozen rows
+
+    # -- mutation: forbidden ----------------------------------------------------
+
+    def _readonly(self, *_args, **_kwargs):
+        raise TypeError(
+            f"SnapshotRelation({self._name!r} at epoch #{self._pin.epoch}) is "
+            f"read-only: the state at a pinned epoch is immutable"
+        )
+
+    insert = _readonly
+    delete = _readonly
+    insert_count = _readonly
+    delete_count = _readonly
+    insert_many = _readonly
+    delete_many = _readonly
+    clear = _readonly
+    replace_contents = _readonly
+
+    # -- hash indexes -----------------------------------------------------------
+    #
+    # Probes are served through SnapshotIndex views over the live base's
+    # *built* indexes, corrected by the undo delta under the same seqlock
+    # retry — the snapshot never builds or charges indexes on the live
+    # base (an index build from a reader thread would scan a mutating dict
+    # and install a torn index).  Whole-index consumption and
+    # post-materialization probing use a local index over the frozen rows.
+
+    def declare_index(self, positions) -> None:
+        from repro.engine.indexes import IndexSet
+
+        with self._sync_lock:
+            if self._indexes is None:
+                self._indexes = IndexSet()
+            self._indexes.declare(tuple(positions))
+
+    def _local_index(self, positions):
+        from repro.engine.indexes import IndexSet
+
+        with self._sync_lock:
+            if self._indexes is None:
+                self._indexes = IndexSet()
+            return self._indexes.ensure_built(tuple(positions), self._rows)
+
+    def index_on(self, positions):
+        positions = tuple(positions)
+        if self._materialized is None and not self._detached:
+            index = self.base.built_index(positions)
+            if index is not None:
+                return self._index_view(index)
+        return self._local_index(positions)
+
+    def built_index(self, positions):
+        positions = tuple(positions)
+        if self._materialized is None and not self._detached:
+            index = self.base.built_index(positions)
+            if index is None:
+                return None
+            return self._index_view(index)
+        if self._indexes is not None:
+            local = self._indexes.get_built(positions)
+            if local is not None:
+                return local
+        if self.base.built_index(positions) is None:
+            return None
+        return self._local_index(positions)
+
+    def amortized_index(self, positions, forgone_work=None):
+        # Never delegate the build decision to the live base: snapshots do
+        # not charge forgone work or trigger builds from reader threads.
+        # A base index that is already built is served through the
+        # corrected view; otherwise report no index.
+        return self.built_index(tuple(positions))
+
+    def _index_view(self, index) -> "SnapshotIndex":
+        with self._sync_lock:
+            view = self._index_views.get(index.positions)
+            if view is None:
+                view = SnapshotIndex(index, self)
+                self._index_views[index.positions] = view
+            return view
+
+    def __repr__(self) -> str:
+        state = (
+            "materialized"
+            if self._materialized is not None
+            else f"+{len(self.plus._rows)}/-{len(self.minus._rows)} undo"
+        )
+        return f"SnapshotRelation({self._name}@#{self._pin.epoch}, {state})"
+
+
+class SnapshotIndex(OverlayIndex):
+    """A live built index corrected to a pinned epoch, probe-safe.
+
+    Same correction arithmetic as :class:`OverlayIndex` (base bucket minus
+    undo-hidden rows, plus undo-re-added rows from delta-side indexes on
+    the snapshot's own undo relations), with every probe wrapped in the
+    snapshot's seqlock retry and every returned bucket detached from the
+    live index's storage.  Once the snapshot materializes, probes switch
+    to a local index over the frozen rows.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, base_index, overlay: SnapshotRelation):
+        OverlayIndex.__init__(self, base_index, overlay)
+        self.buckets = _SnapshotBuckets(self)
+
+    def _local(self):
+        return self.overlay._local_index(self.positions)
+
+    def lookup(self, key) -> tuple:
+        rel = self.overlay
+        if rel._materialized is not None or rel._detached:
+            return self._local().lookup(key)
+        return rel._read(lambda: OverlayIndex.lookup(self, key))
+
+    def touch(self, kind: str = "bulk", keys: Optional[int] = None) -> None:
+        # Usage evidence still flows to the base ledger (plain counter
+        # bumps; a lost racing increment is harmless).
+        try:
+            self.base_index.touch(kind, keys)
+        except RuntimeError:  # pragma: no cover - ledger resize race
+            pass
+
+    def __repr__(self) -> str:
+        return f"SnapshotIndex(positions={self.positions})"
+
+
+class _SnapshotBuckets(_DeltaBuckets):
+    """Corrected buckets of a :class:`SnapshotIndex`.
+
+    Per-key probes run the inherited correction under the seqlock retry
+    and always return buckets detached from the live index (a handed-out
+    dict must stay stable while later commits land).  Wholesale iteration
+    (join build sides) materializes the snapshot and serves the local
+    index's buckets — the consumer was about to pay O(|R|) anyway.
+    """
+
+    __slots__ = ()
+
+    def get(self, key, default=None):
+        rel = self._index.overlay
+        if rel._materialized is not None or rel._detached:
+            bucket = self._index._local().buckets.get(key)
+            return bucket if bucket else default
+
+        def probe():
+            bucket = _DeltaBuckets.get(self, key)
+            if bucket is None:
+                return None
+            # Detach: untouched keys alias the live index's bucket dict.
+            return dict(bucket)
+
+        bucket = rel._read(probe)
+        return bucket if bucket else default
+
+    def __contains__(self, key) -> bool:
+        return self.get(key) is not None
+
+    def items(self):
+        local = self._index._local()  # materializes the snapshot
+        return iter(local.buckets.items())
+
+    def __iter__(self):
+        return iter(self._index._local().buckets)
+
+    def __len__(self) -> int:
+        return len(self._index._local().buckets)

@@ -66,6 +66,7 @@ class OverlayRelation(Relation):
         self.bag = base.bag
         self._indexes = None
         self._batch = None
+        self._observer = None
         self.base = base
         self.plus = plus
         self.minus = minus

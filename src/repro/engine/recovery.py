@@ -1,7 +1,9 @@
 """Crash recovery and point-in-time restore: replay the durable log.
 
-Recovery is deliberately boring: load the newest applicable checkpoint,
-then stream the surviving commit records through *the same*
+Recovery is deliberately boring: load the newest applicable checkpoint
+(composing delta-checkpoint chains back to their full ancestor when the
+anchor is incremental), then stream the surviving commit records through
+*the same*
 ``apply_deltas`` path live commits use (via
 :meth:`~repro.engine.database.Database.replay_record`, which preserves the
 original sequence numbers and logical times).  There is no separate redo
@@ -102,15 +104,14 @@ def recover(
     """
     wal = WriteAheadLog(directory, **wal_options)
     try:
-        checkpoint = wal.latest_checkpoint(before=upto)
-        if checkpoint is None:
+        anchor = wal.load_checkpoint_chain(before=upto)
+        if anchor is None:
             raise WalError(
                 f"no usable checkpoint in {directory!s}"
                 + (f" at or before sequence #{upto}" if upto is not None else "")
                 + " — was the log created by Database.attach_wal?"
             )
-        checkpoint_sequence, checkpoint_path = checkpoint
-        database = wal.load_checkpoint(checkpoint_path)
+        checkpoint_sequence, database = anchor
         replayed = 0
         first_sequence = None
         last_sequence = None

@@ -47,7 +47,7 @@ def row_sort_key(row: tuple) -> tuple:
 class Relation:
     """A relation state: a (multi)set of typed tuples over a schema."""
 
-    __slots__ = ("schema", "bag", "_rows", "_indexes", "_batch")
+    __slots__ = ("schema", "bag", "_rows", "_indexes", "_batch", "_observer")
 
     def __init__(
         self,
@@ -61,6 +61,11 @@ class Relation:
         self._rows: dict = {}
         self._indexes = None  # lazily an engine.indexes.IndexSet
         self._batch = None  # lazily a cached algebra.columnar.ColumnBatch
+        # Mutation observer (the owning database's EpochManager on base
+        # relations; None everywhere else): notified *before* every row
+        # change so out-of-band mutations — ones bypassing the commit
+        # delta path — cannot silently invalidate pinned epoch snapshots.
+        self._observer = None
         for row in rows:
             self.insert(row, _validated=_validated)
 
@@ -144,6 +149,8 @@ class Relation:
         Returns True when the relation changed (always true in bag mode; in
         set mode a duplicate insert is a no-op returning False).
         """
+        if self._observer is not None:
+            self._observer.note_mutation(self)
         row = tuple(row) if _validated else self.schema.validate_tuple(tuple(row))
         if self.bag:
             count = self._rows.get(row, 0)
@@ -165,6 +172,8 @@ class Relation:
 
         Returns True when the relation changed.
         """
+        if self._observer is not None:
+            self._observer.note_mutation(self)
         row = tuple(row)
         count = self._rows.get(row)
         if count is None:
@@ -190,6 +199,8 @@ class Relation:
         """
         if count <= 0:
             return False
+        if self._observer is not None:
+            self._observer.note_mutation(self)
         row = tuple(row) if _validated else self.schema.validate_tuple(tuple(row))
         existing = self._rows.get(row, 0)
         if not self.bag:
@@ -211,6 +222,8 @@ class Relation:
         """
         if count <= 0:
             return 0
+        if self._observer is not None:
+            self._observer.note_mutation(self)
         row = tuple(row)
         existing = self._rows.get(row)
         if existing is None:
@@ -235,6 +248,8 @@ class Relation:
         return sum(1 for row in rows if self.delete(row))
 
     def clear(self) -> None:
+        if self._observer is not None:
+            self._observer.note_mutation(self)
         self._rows.clear()
         self._batch = None
         if self._indexes is not None:
@@ -242,10 +257,21 @@ class Relation:
 
     def replace_contents(self, other: "Relation") -> None:
         """Overwrite this relation's rows with those of ``other``."""
+        if self._observer is not None:
+            self._observer.note_mutation(self)
         self._rows = dict(other._rows)
         self._batch = None
         if self._indexes is not None:
             self._indexes.invalidate()
+
+    def _cow_detach_rows(self) -> None:
+        """Swap in a private copy of the row dict, abandoning the old one.
+
+        Called by the epoch manager *before* a mutation lands while a
+        snapshot shares this relation's dict zero-copy: the sharer keeps
+        the (now frozen) old dict, this relation mutates the copy.
+        """
+        self._rows = dict(self._rows)
 
     # -- hash indexes ---------------------------------------------------------
 
@@ -394,15 +420,20 @@ class Relation:
     # -- pickling -------------------------------------------------------------
 
     def __getstate__(self):
-        # The cached batch duplicates the row data; never pickle it.
+        # The cached batch duplicates the row data; never pickle it.  The
+        # mutation observer is process-local (it points at the owning
+        # database's epoch manager) and is re-attached on unpickle by
+        # Database.__setstate__.
         state = object.__getstate__(self)
         state[1].pop("_batch", None)
+        state[1].pop("_observer", None)
         return state
 
     def __setstate__(self, state):
         for key, value in state[1].items():
             setattr(self, key, value)
         self._batch = None
+        self._observer = None
 
 
 class ColumnarRelation(Relation):
@@ -425,6 +456,7 @@ class ColumnarRelation(Relation):
         self._indexes = None
         self._materialized = None
         self._batch = None
+        self._observer = None
         for positions in batch.index_specs:
             self.declare_index(positions)
         # Set last: declare_index invalidates the cached batch.
@@ -444,6 +476,9 @@ class ColumnarRelation(Relation):
             # The batch is still the backing store; materialize first.
             self._materialized = self._batch._merged_rows()
         self._batch = None
+
+    def _cow_detach_rows(self) -> None:
+        self._materialized = dict(self._rows)
 
     def __len__(self) -> int:
         batch = self._batch
@@ -473,12 +508,16 @@ class ColumnarRelation(Relation):
         return Relation.rows_and_counts(self)
 
     def clear(self) -> None:
+        if self._observer is not None:
+            self._observer.note_mutation(self)
         self._materialized = {}
         self._batch = None
         if self._indexes is not None:
             self._indexes.invalidate()
 
     def replace_contents(self, other: "Relation") -> None:
+        if self._observer is not None:
+            self._observer.note_mutation(self)
         self._materialized = dict(other._rows)
         self._batch = None
         if self._indexes is not None:

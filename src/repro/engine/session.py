@@ -88,8 +88,10 @@ class Session:
         * ``"async"`` — the scheduler drains immediately but fans
           predicted-expensive rule audits out to its worker pool and
           returns without waiting; :meth:`wait_for_audits` collects the
-          verdicts.  Verdicts may observe database states later than this
-          commit if the session keeps committing meanwhile.
+          verdicts.  Strict: each audit pins its commit's pre/post epochs
+          (:class:`~repro.engine.epochs.EpochSpan`), so verdicts describe
+          exactly the audited commit's states even while the session keeps
+          committing.
 
         ``modify`` may be set to re-enable transaction modification on top
         (belt and braces); by default the pipeline is the enforcement.
@@ -148,21 +150,30 @@ class Session:
 
     # -- queries -------------------------------------------------------------------
 
-    def query(self, expression_text: str) -> Relation:
+    def query(
+        self, expression_text: str, pinned: Optional[bool] = None
+    ) -> Relation:
         """Evaluate a read-only algebra expression against the current state.
 
-        A bare relation name returns the *live* relation instance: commits
-        apply their net delta to base relations in place, so a held result
-        of ``query("r")`` keeps tracking the database state.  Call
-        ``.copy()`` on the result to take a value snapshot.  Any composite
-        expression materializes a fresh relation as before.
+        A bare relation name returns an epoch-pinned snapshot view of the
+        relation: iterating the result is stable even while later commits
+        land (the old behaviour — a live relation instance that mutated
+        under a held iterator — was a race).  Pass ``pinned=False`` to get
+        the live instance back (a held result then keeps tracking the
+        database state), or ``pinned=True`` to evaluate a composite
+        expression against a pinned epoch instead of the live relations.
+        Composite expressions materialize a fresh relation either way.
         """
         from repro.algebra.evaluation import evaluate_expression
         from repro.algebra.parser import parse_expression
+        from repro.algebra import expressions as E
 
         expression = parse_expression(expression_text)
+        if pinned is None:
+            pinned = isinstance(expression, E.RelationRef)
+        pin = self.database.epochs.pin() if pinned else None
         return evaluate_expression(
-            expression, DatabaseView(self.database, engine=self.engine)
+            expression, DatabaseView(self.database, engine=self.engine, pin=pin)
         )
 
     def rows(self, expression_text: str) -> list:
@@ -189,17 +200,24 @@ class DatabaseView:
     current state (no transaction is running, so pre = current) and the
     differentials are empty.  This lets constraint conditions mentioning
     auxiliaries be evaluated between transactions as well.
+
+    With an :class:`~repro.engine.epochs.EpochPin`, base relations resolve
+    to read-only snapshot views of the pinned epoch instead of the live
+    instances, so the whole evaluation observes one consistent state.
     """
 
-    def __init__(self, database: Database, engine: Optional[str] = None):
+    def __init__(self, database: Database, engine: Optional[str] = None, pin=None):
         self.database = database
         self.engine = engine
+        self.pin = pin
 
     def resolve(self, name: str) -> Relation:
         from repro.engine import naming
 
         base, suffix = naming.split_auxiliary(name)
         if suffix is None or suffix == naming.OLD_SUFFIX:
+            if self.pin is not None:
+                return self.pin.relation(base)
             return self.database.relation(base)
         schema = self.database.relation_schema(base)
         return Relation(schema, bag=self.database.bag)
@@ -218,11 +236,21 @@ class DeltaView(DatabaseView):
     reconstruction copies the current relation: with in-place delta
     application, the committed relation object *is* the pre-state object,
     so the pre-state must be rebuilt rather than merely retained.)
+
+    With an :class:`~repro.engine.epochs.EpochSpan` the view is *strict*:
+    bare names resolve to the span's pinned post-state and ``R@old`` to
+    its pinned pre-state in O(Δ) — the copy-rebuild above becomes the
+    fallback for spans that could not be pinned (e.g. records drained from
+    a WAL older than this process).  This is what makes thread/inline
+    asynchronous audit verdicts per-commit exact under a racing writer.
     """
 
-    def __init__(self, database, differentials, engine: Optional[str] = None):
+    def __init__(
+        self, database, differentials, engine: Optional[str] = None, span=None
+    ):
         super().__init__(database, engine=engine)
         self.differentials = dict(differentials or {})
+        self.span = span
         self._old_cache: dict = {}
 
     def performed_triggers(self) -> frozenset:
@@ -240,6 +268,8 @@ class DeltaView(DatabaseView):
 
         base, suffix = naming.split_auxiliary(name)
         if suffix is None:
+            if self.span is not None:
+                return self.span.post_relation(base)
             return self.database.relation(base)
         plus, minus = self.differentials.get(base, (None, None))
         if suffix == naming.PLUS_SUFFIX:
@@ -254,9 +284,12 @@ class DeltaView(DatabaseView):
             return Relation(
                 self.database.relation_schema(base), bag=self.database.bag
             )
-        # R@old: untouched relations are their own pre-state; touched ones
-        # are rebuilt once per view and cached (audits may consult the same
-        # pre-state repeatedly).
+        # R@old: the span's pinned pre-state when available (exact under a
+        # racing writer); otherwise untouched relations are their own
+        # pre-state and touched ones are rebuilt once per view and cached
+        # (audits may consult the same pre-state repeatedly).
+        if self.span is not None:
+            return self.span.pre_relation(base)
         current = self.database.relation(base)
         if plus is None and minus is None:
             return current

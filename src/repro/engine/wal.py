@@ -58,6 +58,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 from zlib import crc32
 
 from repro.algebra.columnar import decode_differentials, encode_differentials
+from repro.engine.commitlog import coalesce_differentials
 from repro.errors import WalCorruptionError, WalError
 
 MAGIC = b"RWAL"
@@ -85,6 +86,7 @@ SEGMENT_PREFIX = "segment-"
 SEGMENT_SUFFIX = ".wal"
 CHECKPOINT_PREFIX = "checkpoint-"
 CHECKPOINT_SUFFIX = ".ckpt"
+DELTA_CHECKPOINT_SUFFIX = ".dckpt"
 CONSUMERS_FILE = "consumers.json"
 
 
@@ -99,6 +101,14 @@ def _segment_base(path) -> int:
 
 def _checkpoint_name(next_sequence: int) -> str:
     return f"{CHECKPOINT_PREFIX}{next_sequence:016d}{CHECKPOINT_SUFFIX}"
+
+
+def _delta_checkpoint_name(next_sequence: int) -> str:
+    return f"{CHECKPOINT_PREFIX}{next_sequence:016d}{DELTA_CHECKPOINT_SUFFIX}"
+
+
+def _is_full_checkpoint(path) -> bool:
+    return path.name.endswith(CHECKPOINT_SUFFIX)
 
 
 def _default_opener(path, mode):
@@ -588,10 +598,57 @@ class WriteAheadLog:
         what make segments purgeable at all — a segment wholly covered by
         a checkpoint (and drained by every consumer) carries no
         information recovery still needs.
+
+        What actually gets pickled is an epoch-*forked* copy
+        (:meth:`~repro.engine.database.Database.fork`): the fork is cut at
+        a pinned epoch, so a checkpointer thread can serialize while the
+        owning session keeps committing — the writer is never stopped and
+        the checkpoint is still an exact commit boundary.
         """
-        next_sequence = database.commit_log.next_sequence
+        fork = database.fork() if hasattr(database, "fork") else database
+        next_sequence = fork.commit_log.next_sequence
         path = self.directory / _checkpoint_name(next_sequence)
-        blob = pickle.dumps(database, protocol=PICKLE_PROTOCOL)
+        blob = pickle.dumps(fork, protocol=PICKLE_PROTOCOL)
+        self._write_atomic(path, blob)
+        return path
+
+    def write_delta_checkpoint(self, database) -> Path:
+        """Persist only the net changes since the newest checkpoint.
+
+        The delta checkpoint (``.dckpt``) holds the *coalesced* committed
+        differentials of every durable record at or after its parent
+        checkpoint's sequence, wire-encoded columnar — O(Δ-since-parent)
+        bytes instead of O(database).  Recovery composes the chain: load
+        the full ancestor, apply each delta checkpoint's differentials,
+        then replay the records after the newest link.  Falls back to a
+        full checkpoint when none exists yet; returns the parent's path
+        unchanged when nothing committed since.
+        """
+        self.sync()  # group-commit tail must be on disk before we scan it
+        parent = self.latest_checkpoint()
+        if parent is None:
+            return self.write_checkpoint(database)
+        base_sequence = parent[0]
+        records = list(self.scan(start_sequence=base_sequence, decode=True))
+        if not records:
+            return parent[1]
+        differentials = coalesce_differentials(
+            [record.differentials for record in records], database
+        )
+        # next_sequence derives from the records actually scanned (not the
+        # live commit log): unsynced or in-flight commits stay ahead of
+        # this checkpoint and will be replayed from the WAL at recovery.
+        payload = {
+            "base_sequence": base_sequence,
+            "next_sequence": records[-1].sequence + 1,
+            "logical_time": records[-1].post_time,
+            "differentials": encode_differentials(differentials),
+        }
+        path = self.directory / _delta_checkpoint_name(records[-1].sequence + 1)
+        self._write_atomic(path, pickle.dumps(payload, protocol=PICKLE_PROTOCOL))
+        return path
+
+    def _write_atomic(self, path: Path, blob: bytes) -> None:
         temp = path.with_suffix(".tmp")
         with open(temp, "wb") as handle:
             handle.write(blob)
@@ -601,22 +658,32 @@ class WriteAheadLog:
             except OSError:  # pragma: no cover - exotic filesystems
                 pass
         os.replace(temp, path)
-        return path
 
     def checkpoints(self) -> List[Tuple[int, Path]]:
-        """(next_sequence, path) of every checkpoint, oldest first."""
+        """(next_sequence, path) of every checkpoint, oldest first.
+
+        Lists full (``.ckpt``) and delta (``.dckpt``) checkpoints alike;
+        distinguish by suffix.  A full and a delta at the same sequence
+        sort full-first.
+        """
         found = []
         for path in self.directory.iterdir():
             name = path.name
-            if name.startswith(CHECKPOINT_PREFIX) and name.endswith(
-                CHECKPOINT_SUFFIX
-            ):
+            if not name.startswith(CHECKPOINT_PREFIX):
+                continue
+            if name.endswith(CHECKPOINT_SUFFIX):
                 digits = name[len(CHECKPOINT_PREFIX) : -len(CHECKPOINT_SUFFIX)]
-                try:
-                    found.append((int(digits), path))
-                except ValueError:
-                    continue
-        return sorted(found)
+            elif name.endswith(DELTA_CHECKPOINT_SUFFIX):
+                digits = name[
+                    len(CHECKPOINT_PREFIX) : -len(DELTA_CHECKPOINT_SUFFIX)
+                ]
+            else:
+                continue
+            try:
+                found.append((int(digits), path))
+            except ValueError:
+                continue
+        return sorted(found, key=lambda item: (item[0], item[1].name))
 
     def latest_checkpoint(
         self, before: Optional[int] = None
@@ -636,6 +703,82 @@ class WriteAheadLog:
     def load_checkpoint(self, path: Path):
         with open(path, "rb") as handle:
             return pickle.load(handle)
+
+    def load_checkpoint_chain(self, before: Optional[int] = None):
+        """Load the newest usable checkpoint state, composing delta chains.
+
+        Walks anchors newest-first: a full checkpoint loads directly; a
+        delta checkpoint is resolved back through its ``base_sequence``
+        parents to a full ancestor, then composed by applying each link's
+        coalesced differentials in order.  A broken link (missing parent,
+        unreadable file, cyclic base) disqualifies that anchor and the
+        next-older one is tried, so a torn delta never masks an intact
+        full checkpoint behind it.
+
+        Returns ``(anchor_sequence, database)`` — replay resumes at
+        ``anchor_sequence`` — or ``None`` when no intact chain exists.
+        """
+        usable = [
+            (seq, path)
+            for seq, path in self.checkpoints()
+            if before is None or seq <= before + 1
+        ]
+        for seq, path in reversed(usable):
+            chain = self._resolve_chain(seq, path, usable)
+            if chain is None:
+                continue
+            database = self._compose_chain(chain)
+            if database is not None:
+                return seq, database
+        return None
+
+    def _resolve_chain(self, seq, path, usable):
+        """Full-ancestor-first list of ``(seq, path, payload)`` links, or None."""
+        by_seq: Dict[int, Dict[str, Path]] = {}
+        for link_seq, link_path in usable:
+            slot = by_seq.setdefault(link_seq, {})
+            slot["full" if _is_full_checkpoint(link_path) else "delta"] = link_path
+        chain = []
+        current_seq, current_path = seq, path
+        while True:
+            if _is_full_checkpoint(current_path):
+                chain.append((current_seq, current_path, None))
+                chain.reverse()
+                return chain
+            try:
+                payload = self.load_checkpoint(current_path)
+                parent_seq = int(payload["base_sequence"])
+            except Exception:
+                return None
+            chain.append((current_seq, current_path, payload))
+            if parent_seq >= current_seq:  # malformed: chains walk backward
+                return None
+            slot = by_seq.get(parent_seq)
+            if not slot:
+                return None
+            # Prefer a full checkpoint at the parent sequence: it
+            # terminates the chain without further composition.
+            current_path = slot.get("full") or slot["delta"]
+            current_seq = parent_seq
+
+    def _compose_chain(self, chain):
+        base_seq, base_path, _ = chain[0]
+        try:
+            database = self.load_checkpoint(base_path)
+        except Exception:
+            return None
+        for _seq, _path, payload in chain[1:]:
+            try:
+                differentials = decode_differentials(payload["differentials"])
+                if differentials:
+                    database.apply_deltas(
+                        differentials, advance_time=False, record=False
+                    )
+                database.logical_time = payload["logical_time"]
+                database.commit_log.advance_to(payload["next_sequence"])
+            except Exception:
+                return None
+        return database
 
     # -- consumer watermarks and retention ------------------------------------------
 
@@ -696,13 +839,23 @@ class WriteAheadLog:
                     break
             # A superseded checkpoint stays useful for point-in-time
             # replay only while the segments following it survive; once
-            # its records are gone it anchors nothing — drop it.
+            # its records are gone it anchors nothing — drop it.  Never
+            # drop the newest *full* checkpoint or anything after it:
+            # delta checkpoints written later chain back to it (bases are
+            # monotone in write order), so deleting it would orphan them.
             remaining = self.segments()
             oldest_base = (
                 _segment_base(remaining[0]) if remaining else limit
             )
-            for seq, path in self.checkpoints()[:-1]:
-                if seq < oldest_base:
+            links = self.checkpoints()
+            full_seqs = [
+                seq for seq, path in links if _is_full_checkpoint(path)
+            ]
+            newest_full = max(full_seqs) if full_seqs else None
+            for seq, path in links[:-1]:
+                if seq < oldest_base and (
+                    newest_full is None or seq < newest_full
+                ):
                     path.unlink()
             return removed
 

@@ -51,6 +51,20 @@ class WalError(ReproError):
     """A durable commit-log operation failed (I/O, missing checkpoint, ...)."""
 
 
+class EpochUnavailableError(ReproError):
+    """A pinned epoch's reconstruction window was reclaimed.
+
+    Raised when a reader asks for a fresh snapshot view of an epoch whose
+    retained differentials were already garbage-collected — only possible
+    after the pin was released (or quiesced away by an out-of-band bulk
+    load).  Already-materialized snapshot relations are never affected.
+    """
+
+    def __init__(self, epoch: int):
+        super().__init__(f"epoch #{epoch} is no longer reconstructible")
+        self.epoch = epoch
+
+
 class WalCorruptionError(WalError):
     """The durable commit log is corrupt beyond tail repair.
 

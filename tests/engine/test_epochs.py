@@ -1,0 +1,389 @@
+"""Epoch-based MVCC: pins, O(Δ) snapshots, reclamation, quiesce fencing."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.engine import Database, DatabaseSchema, Relation, RelationSchema, Session
+from repro.engine.epochs import DEFAULT_RETAIN, EpochManager, fold_inverse
+from repro.engine.types import INT
+from repro.errors import EpochUnavailableError
+
+
+@pytest.fixture
+def rs_schema():
+    return DatabaseSchema(
+        [
+            RelationSchema("r", [("a", INT), ("b", INT)]),
+            RelationSchema("s", [("c", INT), ("d", INT)]),
+        ]
+    )
+
+
+@pytest.fixture
+def rdb(rs_schema):
+    database = Database(rs_schema)
+    database.load("r", [(1, 1), (2, 2), (3, 3)])
+    database.load("s", [(1, 10)])
+    return database
+
+
+def commit(database, name, plus=None, minus=None):
+    schema = database.relation_schema(name)
+    bag = database.bag
+    differentials = {
+        name: (
+            Relation(schema, plus or [], bag=bag) if plus is not None else None,
+            Relation(schema, minus or [], bag=bag) if minus is not None else None,
+        )
+    }
+    return database.apply_deltas(differentials)
+
+
+class TestFoldInverse:
+    def test_inverse_composition_cancels(self, rs_schema):
+        schema = rs_schema.relation("r")
+        plus = Relation(schema, bag=True)
+        minus = Relation(schema, bag=True)
+        # Commit 1 inserts (1,1); its inverse deletes it.
+        fold_inverse(plus, minus, (Relation(schema, [(1, 1)], bag=True), None))
+        assert minus.multiplicity((1, 1)) == 1 and len(plus) == 0
+        # Commit 2 deletes (1,1); the two inverses cancel exactly.
+        fold_inverse(plus, minus, (None, Relation(schema, [(1, 1)], bag=True)))
+        assert len(plus) == 0 and len(minus) == 0
+
+    def test_no_row_on_both_sides(self, rs_schema):
+        schema = rs_schema.relation("r")
+        plus = Relation(schema, bag=True)
+        minus = Relation(schema, bag=True)
+        fold_inverse(plus, minus, (None, Relation(schema, [(5, 5)], bag=True)))
+        fold_inverse(plus, minus, (Relation(schema, [(5, 5)], bag=True), None))
+        assert (5, 5) not in plus or (5, 5) not in minus
+
+
+class TestEpochPinning:
+    def test_pinned_reads_survive_later_commits(self, rdb):
+        pin = rdb.epochs.pin()
+        before = sorted(pin.relation("r"))
+        commit(rdb, "r", plus=[(9, 9)])
+        commit(rdb, "r", minus=[(1, 1)])
+        assert sorted(pin.relation("r")) == before
+        assert sorted(rdb.relation("r")) == [(2, 2), (3, 3), (9, 9)]
+        pin.release()
+
+    def test_pin_is_o_delta_not_a_copy(self, rdb):
+        pin = rdb.epochs.pin()
+        snap = pin.relation("r")
+        # Before any commit lands the snapshot holds no private rows at
+        # all — its base *is* the live dict, undo sides empty.
+        assert snap.base is rdb.relation("r")
+        assert len(snap.plus._rows) == 0 and len(snap.minus._rows) == 0
+        commit(rdb, "r", plus=[(9, 9)])
+        # One commit of one row: the undo delta holds exactly one row.
+        assert snap.multiplicity((9, 9)) == 0
+        assert len(snap.minus._rows) == 1
+        pin.release()
+
+    def test_public_epoch_is_commit_sequence(self, rdb):
+        assert rdb.epochs.current_epoch == rdb.commit_log.next_sequence
+        pin = rdb.epochs.pin()
+        assert pin.epoch == rdb.commit_log.next_sequence
+        commit(rdb, "r", plus=[(9, 9)])
+        assert rdb.epochs.current_epoch == pin.epoch + 1
+        pin.release()
+
+    def test_snapshot_relation_is_read_only(self, rdb):
+        with rdb.epochs.pin() as pin:
+            snap = pin.relation("r")
+            with pytest.raises(TypeError):
+                snap.insert((7, 7))
+            with pytest.raises(TypeError):
+                snap.clear()
+
+    def test_multiplicity_through_pin_in_bag_mode(self, rs_schema):
+        database = Database(rs_schema, bag=True)
+        database.load("r", [(1, 1), (1, 1)])
+        pin = database.epochs.pin()
+        commit(database, "r", plus=[(1, 1)])
+        assert pin.relation("r").multiplicity((1, 1)) == 2
+        assert database.relation("r").multiplicity((1, 1)) == 3
+        pin.release()
+
+    def test_release_is_idempotent_and_context_managed(self, rdb):
+        pin = rdb.epochs.pin()
+        pin.release()
+        pin.release()
+        with rdb.epochs.pin() as pin2:
+            assert pin2.version in rdb.epochs.pinned_versions()
+        assert pin2.version not in rdb.epochs.pinned_versions()
+
+
+class TestReclamation:
+    def test_entries_trimmed_once_unpinned(self, rs_schema):
+        database = Database(rs_schema)
+        database.epochs.retain = 4
+        for i in range(20):
+            commit(database, "r", plus=[(i, i)])
+        assert database.epochs.retained() <= 4 + 1
+        assert database.epochs.reclaimed > 0
+
+    def test_pin_holds_back_reclamation(self, rs_schema):
+        database = Database(rs_schema)
+        database.epochs.retain = 2
+        pin = database.epochs.pin()
+        for i in range(10):
+            commit(database, "r", plus=[(i, i)])
+        # All ten entries must survive: the pin still needs them.
+        assert database.epochs.retained() == 10
+        assert sorted(pin.relation("r")) == []
+        pin.release()
+        commit(database, "r", plus=[(99, 99)])
+        assert database.epochs.retained() <= 3
+
+    def test_fresh_read_after_reclamation_raises(self, rs_schema):
+        database = Database(rs_schema)
+        database.epochs.retain = 1
+        pin = database.epochs.pin()
+        pin.release()
+        for i in range(5):
+            commit(database, "r", plus=[(i, i)])
+        with pytest.raises(EpochUnavailableError):
+            pin.relation("r").sorted_rows()
+
+    def test_materialized_snapshot_outlives_reclamation(self, rs_schema):
+        database = Database(rs_schema)
+        database.load("r", [(1, 1)])
+        database.epochs.retain = 1
+        pin = database.epochs.pin()
+        snap = pin.relation("r")
+        rows = snap.sorted_rows()  # materializes
+        pin.release()
+        for i in range(5):
+            commit(database, "r", plus=[(i + 10, i)])
+        assert snap.sorted_rows() == rows == [(1, 1)]
+
+    def test_default_retain_matches_commit_log_window(self, rs_schema):
+        assert EpochManager(Database(rs_schema)).retain == DEFAULT_RETAIN
+
+
+class TestUndoDifferentials:
+    def test_restore_is_o_delta(self, rdb):
+        epochs = rdb.epochs
+        version = epochs.version
+        commit(rdb, "r", plus=[(9, 9)], minus=[(1, 1)])
+        undo = epochs.undo_differentials(version)
+        plus, minus = undo["r"]
+        assert sorted(plus) == [(1, 1)] and sorted(minus) == [(9, 9)]
+
+    def test_clean_state_returns_empty(self, rdb):
+        assert rdb.epochs.undo_differentials(rdb.epochs.version) == {}
+
+    def test_unavailable_returns_none(self, rs_schema):
+        database = Database(rs_schema)
+        database.epochs.retain = 1
+        version = database.epochs.version
+        for i in range(5):
+            commit(database, "r", plus=[(i, i)])
+        assert database.epochs.undo_differentials(version) is None
+
+
+class TestEpochSpans:
+    def test_span_brackets_pre_and_post_states(self, rdb):
+        first = rdb.commit_log.next_sequence
+        commit(rdb, "r", plus=[(9, 9)])
+        span = rdb.epochs.pin_span(first, first)
+        assert span is not None
+        assert (9, 9) not in span.pre_relation("r")
+        assert (9, 9) in span.post_relation("r")
+        # Later commits do not shift the bracketed states.
+        commit(rdb, "r", minus=[(9, 9)])
+        assert (9, 9) in span.post_relation("r")
+        assert (9, 9) not in rdb.relation("r")
+        span.release()
+
+    def test_span_covering_a_batch_sees_both_ends(self, rdb):
+        first = rdb.commit_log.next_sequence
+        commit(rdb, "r", plus=[(9, 9)])
+        last = rdb.commit_log.next_sequence
+        commit(rdb, "r", plus=[(8, 8)], minus=[(1, 1)])
+        span = rdb.epochs.pin_span(first, last)
+        assert span is not None
+        pre, post = span.pre_relation("r"), span.post_relation("r")
+        assert sorted(pre) == [(1, 1), (2, 2), (3, 3)]
+        assert sorted(post) == [(2, 2), (3, 3), (8, 8), (9, 9)]
+        span.release()
+
+    def test_span_refcounting(self, rdb):
+        first = rdb.commit_log.next_sequence
+        commit(rdb, "r", plus=[(9, 9)])
+        span = rdb.epochs.pin_span(first, first)
+        span.retain()
+        span.release()
+        assert not span.pre._released and not span.post._released
+        span.release()
+        assert span.pre._released and span.post._released
+
+    def test_span_unavailable_when_reclaimed(self, rs_schema):
+        database = Database(rs_schema)
+        database.epochs.retain = 1
+        first = database.commit_log.next_sequence
+        for i in range(6):
+            commit(database, "r", plus=[(i, i)])
+        assert database.epochs.pin_span(first, first) is None
+
+
+class TestQuiesceFence:
+    def test_out_of_band_mutation_preserves_pinned_state(self, rdb):
+        pin = rdb.epochs.pin()
+        # Direct mutation bypassing apply_deltas: the observer fence must
+        # materialize the pinned state before the row lands.
+        rdb.relation("r").insert((42, 42))
+        assert sorted(pin.relation("r")) == [(1, 1), (2, 2), (3, 3)]
+        assert (42, 42) in rdb.relation("r")
+        pin.release()
+
+    def test_load_fences_outstanding_pins(self, rdb):
+        pin = rdb.epochs.pin()
+        snap = pin.relation("s")
+        rdb.load("s", [(7, 70), (8, 80)])
+        assert sorted(snap) == [(1, 10)]
+        assert len(rdb.relation("s")) == 3
+        pin.release()
+
+    def test_restore_falls_back_after_fence(self, rdb):
+        snapshot = rdb.snapshot()
+        rdb.relation("r").clear()  # out-of-band: fences the epoch window
+        rdb.relation("r").insert((5, 5))
+        rdb.restore(snapshot)
+        assert sorted(rdb.relation("r")) == [(1, 1), (2, 2), (3, 3)]
+
+    def test_quiesce_is_amortized_constant(self, rdb):
+        epochs = rdb.epochs
+        rdb.relation("r").insert((50, 50))
+        fenced = epochs.version
+        # Repeated direct mutations while quiescent never re-fence.
+        for i in range(10):
+            rdb.relation("r").insert((60 + i, 60))
+        assert epochs.version == fenced
+
+
+class TestSnapshotIndexes:
+    def test_probe_through_built_base_index(self, rdb):
+        live = rdb.relation("r")
+        live.declare_index((0,))
+        live.index_on((0,))  # build on the live relation
+        pin = rdb.epochs.pin()
+        snap = pin.relation("r")
+        commit(rdb, "r", plus=[(1, 100)], minus=[(2, 2)])
+        index = snap.built_index((0,))
+        assert index is not None
+        assert sorted(index.lookup(1)) == [(1, 1)]  # (1,100) hidden
+        assert sorted(index.lookup(2)) == [(2, 2)]  # deletion undone
+        pin.release()
+
+    def test_deleted_row_still_probed_at_pin(self, rdb):
+        live = rdb.relation("r")
+        live.declare_index((0,))
+        live.index_on((0,))
+        pin = rdb.epochs.pin()
+        snap = pin.relation("r")
+        commit(rdb, "r", minus=[(2, 2)])
+        index = snap.index_on((0,))
+        assert sorted(index.lookup(2)) == [(2, 2)]
+        assert live.built_index((0,)).lookup(2) == ()
+        pin.release()
+
+
+class TestDatabaseSnapshotIntegration:
+    def test_snapshot_mapping_compatibility(self, rdb):
+        snapshot = rdb.snapshot()
+        assert set(snapshot.relations.keys()) == {"r", "s"}
+        assert "r" in snapshot.relations and "ghost" not in snapshot.relations
+        assert len(snapshot.relations) == 2
+        assert sorted(snapshot["r"]) == [(1, 1), (2, 2), (3, 3)]
+        assert snapshot.epoch == rdb.commit_log.next_sequence
+
+    def test_restore_reverts_committed_deltas(self, rdb):
+        snapshot = rdb.snapshot()
+        commit(rdb, "r", plus=[(9, 9)], minus=[(1, 1)])
+        commit(rdb, "s", plus=[(2, 20)])
+        rdb.restore(snapshot)
+        assert sorted(rdb.relation("r")) == [(1, 1), (2, 2), (3, 3)]
+        assert sorted(rdb.relation("s")) == [(1, 10)]
+
+    def test_restore_preserves_bag_multiplicities(self, rs_schema):
+        database = Database(rs_schema, bag=True)
+        database.load("r", [(1, 1), (1, 1)])
+        snapshot = database.snapshot()
+        commit(database, "r", plus=[(1, 1)])
+        database.restore(snapshot)
+        assert database.relation("r").multiplicity((1, 1)) == 2
+
+    def test_pickle_roundtrip_recreates_epochs(self, rdb):
+        pin = rdb.epochs.pin()
+        clone = pickle.loads(pickle.dumps(rdb))
+        assert isinstance(clone.epochs, EpochManager)
+        assert clone.relation("r")._observer is clone.epochs
+        # The clone's manager is independent: committing there does not
+        # disturb the original's pin.
+        commit(clone, "r", plus=[(9, 9)])
+        assert sorted(pin.relation("r")) == [(1, 1), (2, 2), (3, 3)]
+        pin.release()
+
+    def test_fork_cuts_at_pinned_epoch(self, rdb):
+        commit(rdb, "r", plus=[(9, 9)])
+        snapshot = rdb.snapshot()
+        commit(rdb, "r", plus=[(10, 10)])
+        fork = rdb.fork(snapshot)
+        assert sorted(fork.relation("r")) == [(1, 1), (2, 2), (3, 3), (9, 9)]
+        assert fork.commit_log.next_sequence == snapshot.epoch
+        snapshot.release()
+
+
+class TestConcurrentReaders:
+    def test_pinned_iteration_is_stable_under_commits(self, rs_schema):
+        """Regression: iterating a pinned view while commits land must
+        neither raise (dict changed size during iteration) nor observe a
+        torn state."""
+        database = Database(rs_schema)
+        database.load("r", [(i, i) for i in range(200)])
+        session = Session(database)
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    result = session.query("r")
+                    seen = {row for row in result}  # iterate the pinned view
+                    count = len(seen)
+                    assert count >= 200, f"torn read: {count} rows"
+            except Exception as exc:  # pragma: no cover - failure capture
+                failures.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for i in range(300):
+                commit(database, "r", plus=[(1000 + i, i)])
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not failures, failures[0]
+
+    def test_bare_name_query_is_pinned_by_default(self, rs_schema):
+        database = Database(rs_schema)
+        database.load("r", [(1, 1), (2, 2)])
+        session = Session(database)
+        result = session.query("r")
+        iterator = iter(result.sorted_rows())
+        first = next(iterator)
+        commit(database, "r", plus=[(0, 0)])
+        rest = list(iterator)
+        assert [first] + rest == [(1, 1), (2, 2)]
+        # Opting out returns the live relation itself.
+        live = session.query("r", pinned=False)
+        assert live is database.relation("r")

@@ -1,0 +1,108 @@
+"""Crashes in the checkpoint pipeline: torn links never lose commits.
+
+Checkpoints are written atomically (temp file + ``os.replace``), so a
+crash at any point of a base-then-delta checkpoint sequence leaves one of
+three artifacts: no new file, a stray ``.tmp``, or a whole link.  In every
+case the WAL still holds all committed records, so recovery must produce
+exactly the live pre-crash state — the checkpoint chain only changes
+*where replay starts*, never what it reaches.
+"""
+
+import shutil
+
+import pytest
+
+from repro.engine import Database, DatabaseSchema, RelationSchema, Session
+from repro.engine.recovery import recover
+from repro.engine.types import INT
+from repro.engine.wal import WriteAheadLog
+
+
+def _schema():
+    return DatabaseSchema([RelationSchema("r", [("a", INT), ("b", INT)])])
+
+
+def _state(database):
+    return dict(database.relation("r").items())
+
+
+def _run(directory):
+    """Full checkpoint, commits, delta checkpoint, one tail commit."""
+    database = Database(_schema())
+    database.load("r", [(1, 1)])
+    database.attach_wal(WriteAheadLog(directory, sync="commit"))
+    session = Session(database)
+    for i in range(3):
+        assert session.execute(f"begin insert(r, ({10 + i}, 0)); end").committed
+    database.checkpoint()  # full at #3
+    for i in range(3):
+        assert session.execute(f"begin insert(r, ({20 + i}, 0)); end").committed
+    database.checkpoint(delta=True)  # delta at #6, base #3
+    assert session.execute("begin insert(r, (30, 0)); end").committed
+    live = _state(database)
+    database.detach_wal()
+    return live
+
+
+class TestCheckpointCrashes:
+    def test_crash_before_delta_checkpoint_lands(self, tmp_path):
+        """The delta never made it to disk: replay from the full anchor."""
+        live = _run(tmp_path)
+        for path in tmp_path.iterdir():
+            if path.suffix == ".dckpt":
+                path.unlink()
+        recovered, report = recover(tmp_path, attach=False)
+        assert _state(recovered) == live
+        assert report.checkpoint_sequence == 3
+
+    def test_crash_mid_delta_write_leaves_tmp(self, tmp_path):
+        """A torn atomic write leaves only a ``.tmp`` — invisible to
+        recovery, which anchors at the whole delta's parent."""
+        live = _run(tmp_path)
+        for path in list(tmp_path.iterdir()):
+            if path.suffix == ".dckpt":
+                torn = path.read_bytes()[: max(4, path.stat().st_size // 2)]
+                path.with_suffix(".tmp").write_bytes(torn)
+                path.unlink()
+        recovered, report = recover(tmp_path, attach=False)
+        assert _state(recovered) == live
+        assert report.checkpoint_sequence == 3
+
+    def test_crash_after_delta_replays_tail_only(self, tmp_path):
+        """The whole chain survived: only the tail commit replays."""
+        live = _run(tmp_path)
+        recovered, report = recover(tmp_path, attach=False)
+        assert _state(recovered) == live
+        assert report.checkpoint_sequence == 6
+        assert report.replayed == 1
+
+    def test_torn_delta_bytes_fall_back_to_full_anchor(self, tmp_path):
+        """A half-written ``.dckpt`` (no atomic rename, e.g. copied by an
+        operator) is skipped loudly-silently: older anchors recover the
+        exact same state."""
+        live = _run(tmp_path)
+        for path in tmp_path.iterdir():
+            if path.suffix == ".dckpt":
+                path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        recovered, report = recover(tmp_path, attach=False)
+        assert _state(recovered) == live
+        assert report.checkpoint_sequence == 3
+
+    def test_crash_between_repeated_delta_checkpoints(self, tmp_path):
+        """Chain full -> delta -> (torn delta): the intact prefix anchors."""
+        database = Database(_schema())
+        database.attach_wal(WriteAheadLog(tmp_path, sync="commit"))
+        session = Session(database)
+        assert session.execute("begin insert(r, (1, 0)); end").committed
+        database.checkpoint()  # full at #1
+        assert session.execute("begin insert(r, (2, 0)); end").committed
+        first_delta = database.checkpoint(delta=True)  # delta at #2
+        assert session.execute("begin insert(r, (3, 0)); end").committed
+        second_delta = database.checkpoint(delta=True)  # delta at #3
+        live = _state(database)
+        database.detach_wal()
+        assert first_delta != second_delta
+        second_delta.write_bytes(second_delta.read_bytes()[:8])
+        recovered, report = recover(tmp_path, attach=False)
+        assert _state(recovered) == live
+        assert report.checkpoint_sequence == 2

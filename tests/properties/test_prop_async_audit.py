@@ -309,3 +309,92 @@ def test_session_commit_sync_equals_incremental(rows_r, rows_s, txns, bag):
         )
         assert {o.rule for o in result.audit if o.violated} == inline
         assert not any(o.failed for o in result.audit)
+
+
+@given(
+    rows_r=S.ROWS_R,
+    rows_s=S.ROWS_S,
+    txns=TXN_STREAMS,
+    bag=st.booleans(),
+    indexed=st.booleans(),
+    asynchronous=st.booleans(),
+)
+@_SETTINGS
+def test_deferred_audits_pin_their_commit_epochs(
+    rows_r, rows_s, txns, bag, indexed, asynchronous
+):
+    """Audits drained strictly AFTER every commit landed still report the
+    verdict each commit had at commit time: the pinned epoch span (pre/post
+    snapshots) makes thread-pool and inline async audits strict per-commit,
+    never audits of whatever state the worker happened to observe."""
+    database = _database(rows_r, rows_s, bag, indexed)
+    controller = _controller()
+    session = Session(database)
+    scheduler = AuditScheduler(
+        controller,
+        database,
+        workers=3,
+        dispatch_overhead=0.0 if asynchronous else 1e9,
+    )
+    expected = {}
+    for txn in txns:
+        result = session.execute(txn)
+        if not result.committed:
+            continue
+        sequence = database.commit_log.next_sequence - 1
+        inline_names = set(
+            controller.violated_constraints_incremental(database, result)
+        )
+        for rule in controller.rules:
+            expected[((sequence,), rule.name)] = rule.name in inline_names
+    # Every commit has landed; the database is at its final state.  A
+    # non-pinned audit of commit k would now see commits k+1.. too.
+    if asynchronous:
+        scheduler.drain(asynchronous=True, coalesce=False)
+        outcomes = scheduler.wait()
+    else:
+        outcomes = scheduler.drain(coalesce=False)
+    scheduler.close()
+    assert not any(o.failed for o in outcomes)
+    for outcome in outcomes:
+        assert outcome.violated == expected[(outcome.sequences, outcome.rule)], (
+            f"{outcome.rule} over {outcome.sequences}: deferred verdict "
+            f"{outcome.violated} diverges from the commit-time verdict"
+        )
+
+
+@given(
+    rows_r=S.ROWS_R,
+    rows_s=S.ROWS_S,
+    txns=TXN_STREAMS,
+    bag=st.booleans(),
+)
+@_SETTINGS
+def test_async_thread_verdicts_equal_sync_verdicts(rows_r, rows_s, txns, bag):
+    """``audit="async"`` on the thread pool produces exactly the verdicts
+    ``audit="sync"`` produces for the same transaction stream — the thread
+    arm of the consistency table is no longer weaker than sync."""
+    sync_db = _database(rows_r, rows_s, bag, indexed=False)
+    async_db = _database(rows_r, rows_s, bag, indexed=False)
+    sync_session = Session(sync_db, _controller())
+    async_controller = _controller()
+    async_session = Session(async_db, async_controller)
+    # First creation fixes the options: force thread-pool fan-out.
+    async_controller.audit_scheduler(async_db, workers=3, dispatch_overhead=0.0)
+    sync_verdicts = {}
+    for txn in txns:
+        sync_result = sync_session.commit(txn, audit="sync")
+        async_result = async_session.commit(txn, audit="async")
+        assert sync_result.committed == async_result.committed
+        if sync_result.committed:
+            sync_verdicts.update(
+                {(o.sequences, o.rule): o.violated for o in sync_result.audit}
+            )
+    outcomes = async_session.wait_for_audits()
+    async_verdicts = {
+        (o.sequences, o.rule): o.violated for o in outcomes
+    }
+    for key, violated in sync_verdicts.items():
+        assert async_verdicts[key] == violated, (
+            f"{key}: async verdict {async_verdicts[key]} != sync {violated}"
+        )
